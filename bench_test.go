@@ -1,0 +1,852 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations over the design choices called out in
+// DESIGN.md. Custom metrics (purity, NMI, Spearman, …) are attached to
+// the benchmark output via b.ReportMetric, so `go test -bench=.`
+// doubles as the experiment harness; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/lexicon"
+	"repro/internal/linkage"
+	"repro/internal/pipeline"
+	"repro/internal/recipe"
+	"repro/internal/report"
+	"repro/internal/rheology"
+	"repro/internal/rules"
+	"repro/internal/sensory"
+	"repro/internal/stats"
+	"repro/internal/textseg"
+	"repro/internal/word2vec"
+)
+
+// fixture is the shared full-scale fitted pipeline used by the
+// table/figure benches so the expensive fit runs once.
+var (
+	fixtureOnce sync.Once
+	fixtureOut  *pipeline.Output
+	fixtureErr  error
+)
+
+func fixture(b *testing.B) *pipeline.Output {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		fixtureOut, fixtureErr = pipeline.Run(pipeline.DefaultOptions())
+	})
+	if fixtureErr != nil {
+		b.Fatal(fixtureErr)
+	}
+	return fixtureOut
+}
+
+func truthOf(out *pipeline.Output) []int {
+	truth := make([]int, len(out.Docs))
+	for i, d := range out.Docs {
+		truth[i] = d.Truth
+	}
+	return truth
+}
+
+func recovery(b *testing.B, out *pipeline.Output) *eval.Contingency {
+	b.Helper()
+	c, err := eval.NewContingency(out.Model.Assign(), truthOf(out))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkTableI regenerates Table I: the calibrated simulator's
+// predictions for all thirteen empirical settings. The maxRelErr
+// metric is the worst relative error across rows and attributes
+// (absolute error for attributes measured as 0).
+func BenchmarkTableI(b *testing.B) {
+	worst := 0.0
+	for i := 0; i < b.N; i++ {
+		worst = 0.0
+		for _, m := range rheology.TableI {
+			p := rheology.PredictMeasurement(m)
+			for _, pair := range [][2]float64{
+				{p.Hardness, m.Attr.Hardness},
+				{p.Cohesiveness, m.Attr.Cohesiveness},
+				{p.Adhesiveness, m.Attr.Adhesiveness},
+			} {
+				err := pair[0] - pair[1]
+				if err < 0 {
+					err = -err
+				}
+				if pair[1] > 0 {
+					err /= pair[1]
+				}
+				if err > worst {
+					worst = err
+				}
+			}
+		}
+	}
+	b.ReportMetric(worst, "maxRelErr")
+}
+
+// BenchmarkFigure2 regenerates Figure 2: TPA curve synthesis and
+// attribute re-extraction for Table I data 4.
+func BenchmarkFigure2(b *testing.B) {
+	attr := rheology.TableI[3].Attr
+	var recovered rheology.Attributes
+	for i := 0; i < b.N; i++ {
+		got, err := rheology.Simulate(attr).Extract()
+		if err != nil {
+			b.Fatal(err)
+		}
+		recovered = got
+	}
+	b.ReportMetric(recovered.Hardness, "F1_RU")
+	b.ReportMetric(recovered.Cohesiveness, "c/a")
+	b.ReportMetric(recovered.Adhesiveness, "negArea_RU")
+}
+
+// BenchmarkTableIIa regenerates Table II(a): the full pipeline (corpus,
+// word2vec filter, dataset filters, joint topic model) plus the KL
+// assignment of the Table I rows. Metrics report ground-truth recovery
+// and the Texture Profile hardness consistency.
+func BenchmarkTableIIa(b *testing.B) {
+	var c *eval.Contingency
+	var spearman float64
+	var ci eval.CI
+	for i := 0; i < b.N; i++ {
+		out, err := pipeline.Run(pipeline.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, assignments, err := report.BuildTableIIa(out, linkage.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		c = recovery(b, out)
+		val := linkage.Validate(out.Model, out.Dict, assignments)
+		spearman = val.Spearman[lexicon.Hardness]
+		ci, err = eval.BootstrapClusterMetric(out.Model.Assign(), truthOf(out),
+			func(ct *eval.Contingency) float64 { return ct.Purity() }, 200, 0.95, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(c.Purity(), "purity")
+	b.ReportMetric(ci.Lo, "purityCI95lo")
+	b.ReportMetric(ci.Hi, "purityCI95hi")
+	b.ReportMetric(c.NMI(), "NMI")
+	b.ReportMetric(spearman, "hardSpearman")
+}
+
+// BenchmarkTableIIb regenerates Table II(b): assigning Bavarois and
+// Milk jelly to topics on the shared fitted model. sameTopic is 1 when
+// both dishes land in one topic (as in the paper) and that topic also
+// hosts Table I data 3.
+func BenchmarkTableIIb(b *testing.B) {
+	out := fixture(b)
+	same := 0.0
+	for i := 0; i < b.N; i++ {
+		dishes := []rheology.Measurement{rheology.Bavarois, rheology.MilkJelly, rheology.PureGelatin25}
+		as, err := linkage.AssignMeasurements(out.Model, dishes, linkage.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		same = 0
+		if as[0].Topic == as[1].Topic && as[1].Topic == as[2].Topic {
+			same = 1
+		}
+	}
+	b.ReportMetric(same, "sameTopic")
+}
+
+// BenchmarkFigure3 regenerates Figure 3 for both dishes on the shared
+// fitted model. Metrics: the near-dish hard fraction for Milk jelly
+// and the near-dish elastic-fraction gap between the dishes (the
+// paper's Bavarois-specific elasticity signal).
+func BenchmarkFigure3(b *testing.B) {
+	out := fixture(b)
+	cfg := linkage.DefaultConfig()
+	var nearHard, elasticGap float64
+	for i := 0; i < b.N; i++ {
+		cs, err := report.BuildCaseStudy(out, cfg, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nearHard = cs.Figure3["Milk jelly"].Bins[0].HardFraction()
+		elasticGap = cs.Figure3["Bavarois"].Bins[0].ElasticFraction() -
+			cs.Figure3["Milk jelly"].Bins[0].ElasticFraction()
+	}
+	b.ReportMetric(nearHard, "nearHardFrac")
+	b.ReportMetric(elasticGap, "elasticGap")
+}
+
+// BenchmarkFigure4 regenerates Figure 4 for both dishes. Metrics: how
+// far right of the topic star the near-dish quartile sits on the
+// hardness axis for each dish, and the cohesiveness gap between the
+// dishes' near quartiles.
+func BenchmarkFigure4(b *testing.B) {
+	out := fixture(b)
+	cfg := linkage.DefaultConfig()
+	var bavRight, milkRight, cohGap float64
+	for i := 0; i < b.N; i++ {
+		cs, err := report.BuildCaseStudy(out, cfg, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bav, milk := cs.Figure4["Bavarois"], cs.Figure4["Milk jelly"]
+		bh, bc := bav.NearMeanKL(0.25)
+		mh, mc := milk.NearMeanKL(0.25)
+		bavRight = bh - bav.StarX
+		milkRight = mh - milk.StarX
+		cohGap = bc - mc
+	}
+	b.ReportMetric(bavRight, "bavHardVsStar")
+	b.ReportMetric(milkRight, "milkHardVsStar")
+	b.ReportMetric(cohGap, "bavMilkCohGap")
+}
+
+// ablationOptions is the reduced-size configuration shared by the
+// ablation benches.
+func ablationOptions() pipeline.Options {
+	opts := pipeline.DefaultOptions()
+	opts.Corpus.Scale = 0.3
+	opts.Model.Iterations = 150
+	return opts
+}
+
+// BenchmarkAblationCollapsed compares the explicit parameter sampler
+// (the paper's equation (4)) against the collapsed Student-t sampler.
+func BenchmarkAblationCollapsed(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		collapsed bool
+	}{{"explicit", false}, {"collapsed", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var c *eval.Contingency
+			for i := 0; i < b.N; i++ {
+				opts := ablationOptions()
+				opts.Model.Collapsed = mode.collapsed
+				out, err := pipeline.Run(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c = recovery(b, out)
+			}
+			b.ReportMetric(c.NMI(), "NMI")
+			b.ReportMetric(c.Purity(), "purity")
+		})
+	}
+}
+
+// BenchmarkAblationBaselines compares the joint model against
+// words-only LDA and a concentrations-only GMM on the same dataset.
+func BenchmarkAblationBaselines(b *testing.B) {
+	opts := ablationOptions()
+	out, err := pipeline.Run(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := truthOf(out)
+	words := make([][]int, len(out.Docs))
+	gel := make([][]float64, len(out.Docs))
+	for i, d := range out.Docs {
+		words[i] = d.TermIDs
+		gel[i] = d.Gel
+	}
+
+	b.Run("joint", func(b *testing.B) {
+		var c *eval.Contingency
+		for i := 0; i < b.N; i++ {
+			c = recovery(b, out)
+		}
+		b.ReportMetric(c.NMI(), "NMI")
+	})
+	b.Run("lda", func(b *testing.B) {
+		var nmi float64
+		for i := 0; i < b.N; i++ {
+			cfg := core.DefaultLDAConfig()
+			cfg.Iterations = 150
+			res, err := core.FitLDA(words, out.Dict.Len(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := eval.NewContingency(res.Assign(), truth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nmi = c.NMI()
+		}
+		b.ReportMetric(nmi, "NMI")
+	})
+	b.Run("gmm", func(b *testing.B) {
+		var nmi float64
+		for i := 0; i < b.N; i++ {
+			res, err := core.FitGMM(gel, core.GMMConfig{K: 10, Alpha: 1, Iterations: 100, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := eval.NewContingency(res.Y, truth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nmi = c.NMI()
+		}
+		b.ReportMetric(nmi, "NMI")
+	})
+}
+
+// BenchmarkAblationFilter measures the word2vec relatedness filter's
+// effect: fraction of mined term tokens that are non-gel noise, with
+// the filter off and on, at a high confound rate.
+func BenchmarkAblationFilter(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var noise float64
+			for i := 0; i < b.N; i++ {
+				opts := pipeline.DefaultOptions()
+				opts.Corpus.ConfoundRate = 0.3
+				opts.Model.Iterations = 50
+				opts.UseW2VFilter = mode.on
+				out, err := pipeline.Run(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nonGel, total := 0, 0
+				for _, d := range out.Docs {
+					for _, id := range d.TermIDs {
+						total++
+						if !out.Dict.Term(id).GelRelated {
+							nonGel++
+						}
+					}
+				}
+				noise = float64(nonGel) / float64(total)
+			}
+			b.ReportMetric(noise, "noiseTokenFrac")
+		})
+	}
+}
+
+// BenchmarkAblationLogTransform compares the paper's −log(x)
+// information-quantity features against raw concentration ratios.
+func BenchmarkAblationLogTransform(b *testing.B) {
+	opts := ablationOptions()
+	out, err := pipeline.Run(opts) // provides docs; refit below
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := truthOf(out)
+	fit := func(b *testing.B, transform func([]float64) []float64) float64 {
+		data := &core.Data{V: out.Dict.Len()}
+		for _, d := range out.Docs {
+			data.Words = append(data.Words, d.TermIDs)
+			data.Gel = append(data.Gel, transform(d.Gel))
+			data.Emu = append(data.Emu, transform(d.Emulsion))
+		}
+		res, err := core.Fit(data, opts.Model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := eval.NewContingency(res.Assign(), truth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c.NMI()
+	}
+	b.Run("neglog", func(b *testing.B) {
+		var nmi float64
+		for i := 0; i < b.N; i++ {
+			nmi = fit(b, func(f []float64) []float64 { return f })
+		}
+		b.ReportMetric(nmi, "NMI")
+	})
+	b.Run("raw", func(b *testing.B) {
+		var nmi float64
+		for i := 0; i < b.N; i++ {
+			nmi = fit(b, recipe.ConcentrationVector)
+		}
+		b.ReportMetric(nmi, "NMI")
+	})
+}
+
+// BenchmarkAblationEpsilon sweeps the ε floor applied to absent
+// ingredients before the −log transform.
+func BenchmarkAblationEpsilon(b *testing.B) {
+	opts := ablationOptions()
+	out, err := pipeline.Run(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := truthOf(out)
+	for _, tc := range []struct {
+		name string
+		eps  float64
+	}{{"1e-2", 1e-2}, {"1e-4", 1e-4}, {"1e-6", 1e-6}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var nmi float64
+			for i := 0; i < b.N; i++ {
+				data := &core.Data{V: out.Dict.Len()}
+				refloor := func(f []float64) []float64 {
+					o := make([]float64, len(f))
+					for j, v := range f {
+						o[j] = recipe.InfoQuantityEps(recipe.Concentration(v), tc.eps)
+					}
+					return o
+				}
+				for _, d := range out.Docs {
+					data.Words = append(data.Words, d.TermIDs)
+					data.Gel = append(data.Gel, refloor(d.Gel))
+					data.Emu = append(data.Emu, refloor(d.Emulsion))
+				}
+				res, err := core.Fit(data, opts.Model)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := eval.NewContingency(res.Assign(), truth)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nmi = c.NMI()
+			}
+			b.ReportMetric(nmi, "NMI")
+		})
+	}
+}
+
+// BenchmarkAblationEmulsionWeight sweeps the emulsion likelihood
+// tempering λ (1.0 is the paper's exact model).
+func BenchmarkAblationEmulsionWeight(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		weight float64
+	}{{"1.0", 1.0}, {"0.5", 0.5}, {"0.25", 0.25}, {"gel-only", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var c *eval.Contingency
+			for i := 0; i < b.N; i++ {
+				opts := ablationOptions()
+				if tc.weight == 0 {
+					opts.Model.UseEmulsion = false
+				} else {
+					opts.Model.EmulsionWeight = tc.weight
+				}
+				out, err := pipeline.Run(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c = recovery(b, out)
+			}
+			b.ReportMetric(c.NMI(), "NMI")
+		})
+	}
+}
+
+// BenchmarkGibbsSweep measures the cost of one Gibbs sweep over the
+// full-scale dataset.
+func BenchmarkGibbsSweep(b *testing.B) {
+	out := fixture(b)
+	data := &core.Data{V: out.Dict.Len()}
+	for _, d := range out.Docs {
+		data.Words = append(data.Words, d.TermIDs)
+		data.Gel = append(data.Gel, d.Gel)
+		data.Emu = append(data.Emu, d.Emulsion)
+	}
+	cfg := pipeline.DefaultOptions().Model
+	s, err := core.NewSampler(data, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Sweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(out.Docs)), "docs")
+}
+
+// BenchmarkWord2Vec measures skip-gram training on the corpus text.
+func BenchmarkWord2Vec(b *testing.B) {
+	recipes, err := corpus.Generate(corpus.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tok := lexicon.Default().Tokenizer()
+	var sentences [][]string
+	for _, r := range recipes {
+		if s := textseg.Surfaces(tok.Tokenize(r.Description)); len(s) > 1 {
+			sentences = append(sentences, s)
+		}
+	}
+	cfg := word2vec.DefaultConfig()
+	cfg.Epochs = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := word2vec.Train(sentences, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTokenizer measures dictionary longest-match segmentation
+// throughput over recipe descriptions.
+func BenchmarkTokenizer(b *testing.B) {
+	recipes, err := corpus.Generate(corpus.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tok := lexicon.Default().Tokenizer()
+	var bytes int64
+	for _, r := range recipes {
+		bytes += int64(len(r.Description))
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range recipes {
+			tok.Tokenize(r.Description)
+		}
+	}
+}
+
+// BenchmarkRheologyPredict measures the texture predictor.
+func BenchmarkRheologyPredict(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range rheology.TableI {
+			rheology.PredictMeasurement(m)
+		}
+	}
+}
+
+// BenchmarkModelSelectionK sweeps the topic count with held-out word
+// perplexity as the criterion (the paper fixes K=10 without comment;
+// the sweep justifies it).
+func BenchmarkModelSelectionK(b *testing.B) {
+	opts := ablationOptions()
+	out, err := pipeline.Run(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := &core.Data{V: out.Dict.Len()}
+	for _, d := range out.Docs {
+		full.Words = append(full.Words, d.TermIDs)
+		full.Gel = append(full.Gel, d.Gel)
+		full.Emu = append(full.Emu, d.Emulsion)
+	}
+	train, test, err := core.SplitData(full, 0.2, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{5, 10, 15, 20} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			var ho core.HeldOut
+			for i := 0; i < b.N; i++ {
+				cfg := opts.Model
+				cfg.K = k
+				res, err := core.Fit(train, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ho, err = res.Evaluate(test, 50, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(ho.Perplexity, "perplexity")
+			b.ReportMetric(ho.ConcLogLik, "concLogLik")
+		})
+	}
+}
+
+// BenchmarkFoldInPlacement measures fold-in inference on held-out
+// recipes: the fraction placed into the cluster holding the majority
+// of their ground-truth population.
+func BenchmarkFoldInPlacement(b *testing.B) {
+	out := fixture(b)
+	// Majority cluster per truth label.
+	assign := out.Model.Assign()
+	counts := map[[2]int]int{}
+	for i, d := range out.Docs {
+		counts[[2]int{d.Truth, assign[i]}]++
+	}
+	majority := map[int]int{}
+	best := map[int]int{}
+	for key, n := range counts {
+		if n > best[key[0]] {
+			best[key[0]] = n
+			majority[key[0]] = key[1]
+		}
+	}
+	// Freshly generated recipes, unseen by the fit.
+	cfg := corpus.DefaultConfig()
+	cfg.Seed = 999
+	cfg.Scale = 0.05
+	fresh, err := corpus.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dict := lexicon.Default()
+	acc := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		correct, total := 0, 0
+		for j, r := range fresh {
+			theta, err := out.Model.FoldIn(dict.ExtractTermIDs(r.Description),
+				r.GelFeatures(), r.EmulsionFeatures(), 60, uint64(j))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total++
+			if stats.ArgMax(theta) == majority[r.Truth] {
+				correct++
+			}
+		}
+		acc = float64(correct) / float64(total)
+	}
+	b.ReportMetric(acc, "placementAcc")
+	b.ReportMetric(float64(len(fresh)), "recipes")
+}
+
+// BenchmarkConvergence reports the Geweke diagnostic and effective
+// sample size of the full-scale fit's log-likelihood trace.
+func BenchmarkConvergence(b *testing.B) {
+	out := fixture(b)
+	var z, ess float64
+	for i := 0; i < b.N; i++ {
+		trace := out.Model.LogLik[len(out.Model.LogLik)/3:]
+		var err error
+		z, err = core.GewekeZ(trace, 0.2, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ess = core.ESS(trace)
+	}
+	b.ReportMetric(z, "gewekeZ")
+	b.ReportMetric(ess, "ESS")
+}
+
+// BenchmarkParallelSweep measures the AD-LDA-style parallel sweep
+// against the sequential kernel. The dataset is the full-scale corpus
+// replicated 4× (≈11k recipes): at the paper's own size one sweep is
+// ~4 ms and goroutine fan-out overhead hides the speedup.
+func BenchmarkParallelSweep(b *testing.B) {
+	out := fixture(b)
+	data := &core.Data{V: out.Dict.Len()}
+	for rep := 0; rep < 4; rep++ {
+		for _, d := range out.Docs {
+			data.Words = append(data.Words, d.TermIDs)
+			data.Gel = append(data.Gel, d.Gel)
+			data.Emu = append(data.Emu, d.Emulsion)
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := pipeline.DefaultOptions().Model
+			cfg.Workers = workers
+			cfg.Iterations = b.N
+			s, err := core.NewSampler(data, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if err := s.Run(nil); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkTextureRules mines the future-work association rules
+// (recipe information + cooking steps ⇒ texture category) over the
+// full corpus. Metrics: rule count and the confidence of the
+// gelatin-high ⇒ hard rule, the miner's rediscovery of Table I's
+// dose-response.
+func BenchmarkTextureRules(b *testing.B) {
+	recipes, err := corpus.Generate(corpus.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dict := lexicon.Default()
+	var mined []rules.Rule
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mined, err = rules.MineTexture(recipes, dict, rules.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(mined)), "rules")
+	for _, r := range mined {
+		if len(r.Antecedent) == 1 && r.Antecedent[0] == "gel:gelatin-high" && r.Consequent == "reads:hard" {
+			b.ReportMetric(r.Confidence, "gelatinHighHardConf")
+			break
+		}
+	}
+}
+
+// BenchmarkSensoryPanel reproduces the sensory-instrumental
+// correlation experiment (refs [13],[14]) with the simulated panel on
+// the Table I samples.
+func BenchmarkSensoryPanel(b *testing.B) {
+	dict := lexicon.Default()
+	samples := make([]rheology.Attributes, len(rheology.TableI))
+	for i, m := range rheology.TableI {
+		samples[i] = m.Attr
+	}
+	panel := sensory.DefaultPanel()
+	var hardRho, agreement float64
+	for i := 0; i < b.N; i++ {
+		evals, err := panel.Evaluate(dict, samples)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hardRho = sensory.Correlate(evals)[0].Spearman
+		agreement = sensory.WordAgreement(dict, evals, 1.5)
+	}
+	b.ReportMetric(hardRho, "hardSpearman")
+	b.ReportMetric(agreement, "wordAgreement")
+}
+
+// BenchmarkRuleGeneralization mines texture rules on one corpus seed
+// and scores them on a fresh seed — held-out precision over training
+// confidence.
+func BenchmarkRuleGeneralization(b *testing.B) {
+	dict := lexicon.Default()
+	trainRecipes, err := corpus.Generate(corpus.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	testCfg := corpus.DefaultConfig()
+	testCfg.Seed = 1234
+	testRecipes, err := corpus.Generate(testCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var testTxs []rules.Transaction
+	for _, r := range testRecipes {
+		testTxs = append(testTxs, rules.Featurize(r, dict))
+	}
+	var gen float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mined, err := rules.MineTexture(trainRecipes, dict, rules.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		scores, err := rules.Evaluate(mined, testTxs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen = rules.MeanGeneralization(scores, 5)
+	}
+	b.ReportMetric(gen, "generalization")
+}
+
+// BenchmarkTopicStability fits the model with three seeds and reports
+// the optimal-matching (Hungarian) topic agreement — how reproducible
+// Table II(a)'s topics are across chains.
+func BenchmarkTopicStability(b *testing.B) {
+	opts := ablationOptions()
+	var mean, minimum float64
+	for i := 0; i < b.N; i++ {
+		var phis [][][]float64
+		for seed := uint64(1); seed <= 3; seed++ {
+			o := opts
+			o.Model.Seed = seed
+			out, err := pipeline.Run(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			phis = append(phis, out.Model.Phi)
+		}
+		mean, minimum = 0, 1
+		pairs := 0
+		for x := 0; x < len(phis); x++ {
+			for y := x + 1; y < len(phis); y++ {
+				st, err := eval.TopicStability(phis[x], phis[y])
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean += st.Mean
+				if st.Minimum < minimum {
+					minimum = st.Minimum
+				}
+				pairs++
+			}
+		}
+		mean /= float64(pairs)
+	}
+	b.ReportMetric(mean, "meanMatchedCos")
+	b.ReportMetric(minimum, "worstMatchedCos")
+}
+
+// BenchmarkAblationLearnAlpha lets Minka's fixed point learn α on the
+// real corpus, reporting the learned value — the data-driven check of
+// the pipeline's hand-set α=0.1.
+func BenchmarkAblationLearnAlpha(b *testing.B) {
+	var learned, nmi float64
+	for i := 0; i < b.N; i++ {
+		opts := ablationOptions()
+		opts.Model.LearnAlpha = true
+		opts.Model.Alpha = 0.5 // start from the naive default
+		out, err := pipeline.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		learned = out.Model.Alpha
+		nmi = recovery(b, out).NMI()
+	}
+	b.ReportMetric(learned, "learnedAlpha")
+	b.ReportMetric(nmi, "NMI")
+}
+
+// BenchmarkRobustnessTermNoise injects uniformly random texture terms
+// into the corpus and measures recovery degradation.
+func BenchmarkRobustnessTermNoise(b *testing.B) {
+	for _, noise := range []float64{0, 0.3, 0.6} {
+		b.Run(fmt.Sprintf("noise=%.1f", noise), func(b *testing.B) {
+			var nmi float64
+			for i := 0; i < b.N; i++ {
+				opts := ablationOptions()
+				opts.Corpus.TermNoise = noise
+				out, err := pipeline.Run(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nmi = recovery(b, out).NMI()
+			}
+			b.ReportMetric(nmi, "NMI")
+		})
+	}
+}
+
+// BenchmarkPipelineScale sweeps the corpus scale: wall-clock and
+// recovery at 0.25×, 0.5×, 1× and 2× the paper's dataset.
+func BenchmarkPipelineScale(b *testing.B) {
+	for _, scale := range []float64{0.25, 0.5, 1, 2} {
+		b.Run(fmt.Sprintf("scale=%.2f", scale), func(b *testing.B) {
+			var nmi float64
+			var docs int
+			for i := 0; i < b.N; i++ {
+				opts := pipeline.DefaultOptions()
+				opts.Corpus.Scale = scale
+				out, err := pipeline.Run(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nmi = recovery(b, out).NMI()
+				docs = len(out.Docs)
+			}
+			b.ReportMetric(nmi, "NMI")
+			b.ReportMetric(float64(docs), "docs")
+		})
+	}
+}

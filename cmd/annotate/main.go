@@ -1,0 +1,112 @@
+// Command annotate attaches texture cards to recipes: it fits (or
+// quickly refits) the topic model on the synthetic corpus, reads a
+// JSON array of recipes (the format of cmd/corpusgen and
+// recipe.WriteJSON), and prints one card per recipe — expected texture
+// words, simulated rheology, and the nearest food-science measurement.
+//
+// Usage:
+//
+//	corpusgen -scale 0.02 | annotate            # cards for piped recipes
+//	annotate -i recipes.json -json              # machine-readable cards
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/annotate"
+	"repro/internal/pipeline"
+	"repro/internal/recipe"
+)
+
+// fitOrLoad loads a fitted bundle when the path exists, otherwise
+// fits the pipeline and (when a path was given) saves the bundle.
+func fitOrLoad(path string, scale float64, iters int) (*pipeline.Output, error) {
+	if path != "" {
+		if f, err := os.Open(path); err == nil {
+			defer f.Close()
+			return pipeline.LoadBundle(f)
+		}
+	}
+	opts := pipeline.DefaultOptions()
+	opts.Corpus.Scale = scale
+	opts.Model.Iterations = iters
+	out, err := pipeline.Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := out.SaveBundle(f); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		in       = flag.String("i", "-", "input recipes JSON, - for stdin")
+		scale    = flag.Float64("scale", 1.0, "training corpus scale")
+		iters    = flag.Int("iters", 300, "Gibbs sweeps for the model fit")
+		foldIn   = flag.Int("foldin", 100, "fold-in sweeps per recipe")
+		asJSON   = flag.Bool("json", false, "emit cards as JSON lines")
+		topTerms = flag.Int("top", 5, "expected terms per card")
+		bundle   = flag.String("bundle", "", "fitted-model bundle: loaded if it exists, written after a fresh fit otherwise")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "annotate:", err)
+		os.Exit(1)
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	recipes, err := recipe.ReadJSON(r)
+	if err != nil {
+		fail(err)
+	}
+
+	out, err := fitOrLoad(*bundle, *scale, *iters)
+	if err != nil {
+		fail(err)
+	}
+	ann, err := annotate.New(out)
+	if err != nil {
+		fail(err)
+	}
+	ann.FoldInIters = *foldIn
+	ann.TopTerms = *topTerms
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetEscapeHTML(false)
+	cards, errs := ann.AnnotateAll(recipes)
+	for i, card := range cards {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "annotate: %s: %v\n", recipes[i].ID, errs[i])
+			continue
+		}
+		if *asJSON {
+			if err := enc.Encode(card.Wire()); err != nil {
+				fail(err)
+			}
+		} else {
+			fmt.Println(card)
+		}
+	}
+}

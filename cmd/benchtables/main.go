@@ -1,0 +1,143 @@
+// Command benchtables regenerates every table and figure of the
+// paper's evaluation in one run: Table I, Figure 2, Table II(a) with
+// the Table I topic assignment, Table II(b), and Figures 3 and 4 for
+// the Bavarois / Milk jelly case study, plus the Texture Profile
+// validation and (on synthetic ground truth) topic-recovery scores.
+//
+// Usage:
+//
+//	benchtables [-scale 1.0] [-iters 300] [-seed 1] [-bins 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/eval"
+	"repro/internal/linkage"
+	"repro/internal/pipeline"
+	"repro/internal/plot"
+	"repro/internal/report"
+	"repro/internal/rheology"
+	"repro/internal/rules"
+	"repro/internal/sensory"
+)
+
+func main() {
+	var (
+		scale  = flag.Float64("scale", 1.0, "corpus scale")
+		iters  = flag.Int("iters", 300, "Gibbs sweeps")
+		seed   = flag.Uint64("seed", 1, "model seed")
+		bins   = flag.Int("bins", 5, "Figure 3 histogram bins")
+		svgDir = flag.String("svg", "", "also write the figures as SVG files into this directory")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("=== Table I ===")
+	fmt.Print(report.RenderTableI())
+
+	fmt.Println("\n=== Figure 2 (simulated TPA curve for Table I data 4) ===")
+	fmt.Print(report.RenderFigure2(rheology.TableI[3].Attr))
+
+	opts := pipeline.DefaultOptions()
+	opts.Corpus.Scale = *scale
+	opts.Model.Iterations = *iters
+	opts.Model.Seed = *seed
+	out, err := pipeline.Run(opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\npipeline: %d recipes generated, %d kept; %d texture terms excluded by word2vec filter\n",
+		len(out.AllRecipes), len(out.Kept), len(out.ExcludedTerms))
+
+	fmt.Println("\n=== Table II(a) ===")
+	rows, assignments, err := report.BuildTableIIa(out, linkage.DefaultConfig())
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(report.RenderTableIIa(out, rows))
+
+	fmt.Println("\n=== Texture Profile validation ===")
+	val := linkage.Validate(out.Model, out.Dict, assignments)
+	fmt.Print(report.RenderValidation(val))
+
+	truth := make([]int, len(out.Docs))
+	for i, d := range out.Docs {
+		truth[i] = d.Truth
+	}
+	if c, err := eval.NewContingency(out.Model.Assign(), truth); err == nil {
+		fmt.Printf("\nground-truth recovery (synthetic corpus only): purity=%.3f NMI=%.3f V=%.3f\n",
+			c.Purity(), c.NMI(), c.VMeasure())
+	}
+
+	fmt.Println("\n=== Table II(b) + case study ===")
+	cs, err := report.BuildCaseStudy(out, linkage.DefaultConfig(), *bins)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(report.RenderTableIIb(cs))
+	for _, dish := range []string{"Bavarois", "Milk jelly"} {
+		fmt.Println()
+		fmt.Print(report.RenderFigure3(cs.Figure3[dish]))
+		fmt.Println()
+		fmt.Print(report.RenderFigure4(cs.Figure4[dish]))
+	}
+
+	fmt.Println("\n=== Extensions ===")
+	mined, err := rules.MineTexture(out.AllRecipes, out.Dict, rules.DefaultConfig())
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(rules.Render(mined, 10))
+
+	samples := make([]rheology.Attributes, len(rheology.TableI))
+	for i, m := range rheology.TableI {
+		samples[i] = m.Attr
+	}
+	evals, err := sensory.DefaultPanel().Evaluate(out.Dict, samples)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("\nsensory panel vs instrument (Table I samples):")
+	for _, c := range sensory.Correlate(evals) {
+		fmt.Printf("  %-13s Spearman %+.3f\n", c.Axis, c.Spearman)
+	}
+
+	if *svgDir != "" {
+		if err := writeSVGs(*svgDir, cs); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+		fmt.Println("SVG figures written to", *svgDir)
+	}
+}
+
+// writeSVGs renders Figures 2-4 as SVG files.
+func writeSVGs(dir string, cs *report.CaseStudy) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name, content string) error {
+		return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+	}
+	curve := rheology.Simulate(rheology.TableI[3].Attr)
+	if err := write("figure2.svg", plot.Figure2SVG(curve, "Figure 2 — simulated TPA curve (Table I data 4)")); err != nil {
+		return err
+	}
+	for dish, slug := range map[string]string{"Bavarois": "bavarois", "Milk jelly": "milkjelly"} {
+		if err := write("figure3-"+slug+".svg", plot.Figure3SVG(cs.Figure3[dish])); err != nil {
+			return err
+		}
+		if err := write("figure4-"+slug+".svg", plot.Figure4SVG(cs.Figure4[dish])); err != nil {
+			return err
+		}
+	}
+	return nil
+}

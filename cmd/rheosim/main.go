@@ -1,0 +1,56 @@
+// Command rheosim simulates a rheometer run: given a gel/emulsion
+// composition it predicts the quantitative texture attributes with the
+// Table-I-calibrated model, synthesizes the two-compression TPA force
+// curve (the paper's Figure 2), and re-extracts the attributes from
+// the curve.
+//
+// Usage:
+//
+//	rheosim [-gelatin 0.025] [-kanten 0] [-agar 0]
+//	        [-sugar 0] [-albumen 0] [-yolk 0] [-cream 0] [-milk 0] [-yogurt 0]
+//	        [-table1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/recipe"
+	"repro/internal/report"
+	"repro/internal/rheology"
+)
+
+func main() {
+	var (
+		gelatin = flag.Float64("gelatin", 0.025, "gelatin weight ratio")
+		kanten  = flag.Float64("kanten", 0, "kanten weight ratio")
+		agar    = flag.Float64("agar", 0, "agar weight ratio")
+		sugar   = flag.Float64("sugar", 0, "sugar weight ratio")
+		albumen = flag.Float64("albumen", 0, "egg albumen weight ratio")
+		yolk    = flag.Float64("yolk", 0, "egg yolk weight ratio")
+		cream   = flag.Float64("cream", 0, "raw cream weight ratio")
+		milk    = flag.Float64("milk", 0, "milk weight ratio")
+		yogurt  = flag.Float64("yogurt", 0, "yogurt weight ratio")
+		table1  = flag.Bool("table1", false, "print Table I (measured vs simulated) and exit")
+	)
+	flag.Parse()
+
+	if *table1 {
+		fmt.Print(report.RenderTableI())
+		return
+	}
+	gels := [recipe.NumGels]float64{*gelatin, *kanten, *agar}
+	emus := [recipe.NumEmulsions]float64{*sugar, *albumen, *yolk, *cream, *milk, *yogurt}
+	attr := rheology.Predict(gels, emus)
+	fmt.Printf("composition: gelatin=%.3f kanten=%.3f agar=%.3f\n", *gelatin, *kanten, *agar)
+	fmt.Printf("emulsions:   sugar=%.3f albumen=%.3f yolk=%.3f cream=%.3f milk=%.3f yogurt=%.3f\n",
+		*sugar, *albumen, *yolk, *cream, *milk, *yogurt)
+	fmt.Printf("predicted:   hardness=%.3f cohesiveness=%.3f adhesiveness=%.3f (RU)\n\n",
+		attr.Hardness, attr.Cohesiveness, attr.Adhesiveness)
+	if attr.Hardness <= 0 {
+		fmt.Fprintln(os.Stderr, "rheosim: no gel network forms at this composition; no curve to draw")
+		os.Exit(1)
+	}
+	fmt.Print(report.RenderFigure2(attr))
+}

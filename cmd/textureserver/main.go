@@ -1,0 +1,62 @@
+// Command textureserver serves texture cards over HTTP: it fits the
+// topic model once at startup, then answers
+//
+//	POST /annotate   {recipe JSON}  → texture card
+//	GET  /topics                    → the fitted topics
+//	GET  /healthz                   → liveness
+//
+// Usage:
+//
+//	textureserver [-addr :8080] [-scale 1.0] [-iters 300]
+//
+// Example:
+//
+//	curl -s localhost:8080/annotate -d '{
+//	  "id":"my-jelly","title":"ゼリー",
+//	  "ingredients":[{"name":"ゼラチン","amount":"5g"},
+//	                 {"name":"水","amount":"400ml"}]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		scale = flag.Float64("scale", 1.0, "training corpus scale")
+		iters = flag.Int("iters", 300, "Gibbs sweeps for the startup fit")
+	)
+	flag.Parse()
+
+	log.Printf("fitting topic model (scale %.2f, %d sweeps)…", *scale, *iters)
+	start := time.Now()
+	opts := pipeline.DefaultOptions()
+	opts.Corpus.Scale = *scale
+	opts.Model.Iterations = *iters
+	out, err := pipeline.Run(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("model ready in %v: %d recipes, %d topics", time.Since(start).Round(time.Millisecond),
+		len(out.Docs), out.Model.K)
+
+	srv, err := serve.New(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Println("listening on", *addr)
+	log.Fatal(server.ListenAndServe())
+}

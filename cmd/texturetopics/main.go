@@ -1,0 +1,96 @@
+// Command texturetopics runs the full texture-mining pipeline — corpus,
+// word2vec relatedness filter, dataset filters, joint topic model — and
+// prints the paper's Table II(a): the acquired topics with their gel
+// concentrations, ranked texture terms, recipe counts, and the Table I
+// empirical rows assigned to each topic by KL divergence.
+//
+// Usage:
+//
+//	texturetopics [-scale 1.0] [-k 10] [-iters 300] [-seed 1]
+//	              [-collapsed] [-no-filter] [-no-emulsion]
+//	              [-model-out model.json] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lexicon"
+	"repro/internal/linkage"
+	"repro/internal/pipeline"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		scale     = flag.Float64("scale", 1.0, "corpus scale relative to the paper's ~3,000 recipes")
+		k         = flag.Int("k", 10, "number of topics")
+		iters     = flag.Int("iters", 300, "Gibbs sweeps")
+		seed      = flag.Uint64("seed", 1, "model seed")
+		collapsed = flag.Bool("collapsed", false, "use the collapsed sampler")
+		noFilter  = flag.Bool("no-filter", false, "disable the word2vec relatedness filter")
+		workers   = flag.Int("workers", 1, "parallel Gibbs workers (AD-LDA approximation when > 1)")
+		restarts  = flag.Int("restarts", 1, "independent chains; the best by log-likelihood is kept")
+		noEmu     = flag.Bool("no-emulsion", false, "drop the emulsion likelihood (gel-only ablation)")
+		modelOut  = flag.String("model-out", "", "write the fitted model JSON to this file")
+		verbose   = flag.Bool("v", false, "print progress and the validation summary")
+	)
+	flag.Parse()
+
+	opts := pipeline.DefaultOptions()
+	opts.Corpus.Scale = *scale
+	opts.Model.K = *k
+	opts.Model.Iterations = *iters
+	opts.Model.Seed = *seed
+	opts.Model.Collapsed = *collapsed
+	opts.Model.Workers = *workers
+	opts.Restarts = *restarts
+	opts.Model.UseEmulsion = !*noEmu
+	opts.UseW2VFilter = !*noFilter
+
+	out, err := pipeline.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "texturetopics:", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Printf("corpus: %d recipes, %d kept (dropped: %d no-gel, %d no-texture, %d unrelated>10%%)\n",
+			len(out.AllRecipes), len(out.Kept),
+			out.FilterStats.NoGel, out.FilterStats.NoTexture, out.FilterStats.TooUnrelated)
+		if len(out.ExcludedTerms) > 0 {
+			fmt.Println("word2vec filter excluded terms:")
+			for term, offending := range out.ExcludedTerms {
+				fmt.Printf("  %s (neighbours: %v)\n", term, offending)
+			}
+		}
+	}
+
+	rows, assignments, err := report.BuildTableIIa(out, linkage.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "texturetopics:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report.RenderTableIIa(out, rows))
+
+	if *verbose {
+		val := linkage.Validate(out.Model, lexicon.Default(), assignments)
+		fmt.Print(report.RenderValidation(val))
+	}
+
+	if *modelOut != "" {
+		f, err := os.Create(*modelOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "texturetopics:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := out.Model.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "texturetopics:", err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Println("model written to", *modelOut)
+		}
+	}
+}

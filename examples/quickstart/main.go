@@ -1,0 +1,50 @@
+// Quickstart: run the texture-mining pipeline end to end on a small
+// synthetic corpus and inspect the topics it finds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/linkage"
+	"repro/internal/pipeline"
+	"repro/internal/recipe"
+)
+
+func main() {
+	// Default options reproduce the paper's setup; a smaller corpus and
+	// fewer sweeps keep the quickstart fast.
+	opts := pipeline.DefaultOptions()
+	opts.Corpus.Scale = 0.25
+	opts.Model.Iterations = 150
+
+	out, err := pipeline.Run(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mined %d of %d recipes (dropped: %d without gel, %d without texture terms, %d over the 10%% unrelated rule)\n\n",
+		len(out.Kept), len(out.AllRecipes),
+		out.FilterStats.NoGel, out.FilterStats.NoTexture, out.FilterStats.TooUnrelated)
+
+	counts := out.Model.DocsPerTopic()
+	for k := 0; k < out.Model.K; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		fmt.Printf("topic %d (%d recipes):", k, counts[k])
+		gels := linkage.TopicMeanConcentrations(out.Model, k, 0.0005)
+		for axis, conc := range gels {
+			fmt.Printf(" %s=%.3f", recipe.Gel(axis), conc)
+		}
+		fmt.Println()
+		for _, tp := range out.Model.TopTerms(k, 3) {
+			if tp.Prob < 0.02 {
+				break
+			}
+			term := out.Dict.Term(tp.ID)
+			fmt.Printf("   %-16s %.3f  %s\n", term.Romaji, tp.Prob, term.Gloss)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Rheometer: sweep gel compositions through the Table-I-calibrated
+// texture predictor and the TPA curve simulator — the quantitative
+// side of the paper without any text mining.
+//
+//	go run ./examples/rheometer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/recipe"
+	"repro/internal/report"
+	"repro/internal/rheology"
+)
+
+func main() {
+	// Dose-response sweep: how does gelatin concentration shape texture?
+	fmt.Println("gelatin dose-response (simulator calibrated to Table I):")
+	fmt.Println("conc    hardness cohesiveness adhesiveness")
+	for _, c := range []float64{0.015, 0.02, 0.025, 0.03, 0.04, 0.055} {
+		a := rheology.Predict([recipe.NumGels]float64{c, 0, 0}, [recipe.NumEmulsions]float64{})
+		fmt.Printf("%.3f   %7.2f  %7.2f     %7.2f\n", c, a.Hardness, a.Cohesiveness, a.Adhesiveness)
+	}
+
+	// The emulsion effect: the same 2.5% gelatin as Bavarois vs plain.
+	plain := rheology.Predict(rheology.PureGelatin25.Gels, [recipe.NumEmulsions]float64{})
+	bav := rheology.PredictMeasurement(rheology.Bavarois)
+	fmt.Printf("\nemulsion effect at 2.5%% gelatin: plain H=%.2f → Bavarois H=%.2f (measured %.2f)\n",
+		plain.Hardness, bav.Hardness, rheology.Bavarois.Attr.Hardness)
+
+	// One full rheometer run with curve extraction (Figure 2).
+	fmt.Println()
+	curve := rheology.Simulate(bav)
+	fmt.Print(curve.ASCIIPlot(12, 70))
+	got, err := curve.Extract()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("extracted from curve: H=%.2f C=%.2f A=%.2f\n", got.Hardness, got.Cohesiveness, got.Adhesiveness)
+
+	// And the measured-vs-simulated table.
+	fmt.Println()
+	fmt.Print(report.RenderTableI())
+}

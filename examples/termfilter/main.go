@@ -1,0 +1,86 @@
+// Termfilter: the paper's word2vec relatedness filter in isolation. A
+// mousse topped with nuts may be described as さくさく (crispy), but
+// the crispiness belongs to the nuts, not the gel. Skip-gram
+// embeddings trained on the recipe descriptions place さくさく next to
+// ナッツ and グラノーラ; the filter excludes texture terms that sit
+// markedly closer to gel-unrelated ingredients than to the gels.
+//
+//	go run ./examples/termfilter
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/lexicon"
+	"repro/internal/pipeline"
+	"repro/internal/textseg"
+	"repro/internal/word2vec"
+)
+
+func main() {
+	cfg := corpus.DefaultConfig()
+	cfg.ConfoundRate = 0.3 // plenty of nut/granola toppings
+	recipes, err := corpus.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Tokenize descriptions with a dictionary that knows both texture
+	// terms and ingredient names.
+	dict := lexicon.Default()
+	trie := dict.Trie()
+	next := dict.Len()
+	for _, info := range recipeIngredients() {
+		trie.Insert(info, next)
+		next++
+	}
+	tok := textseg.NewTokenizer(trie)
+	var sentences [][]string
+	for _, r := range recipes {
+		if s := textseg.Surfaces(tok.Tokenize(r.Description)); len(s) > 1 {
+			sentences = append(sentences, s)
+		}
+	}
+
+	w2v := word2vec.DefaultConfig()
+	w2v.Subsample = 0
+	model, err := word2vec.Train(sentences, w2v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("trained", model.Vocab)
+
+	for _, term := range []string{"さくさく", "ぷるぷる"} {
+		fmt.Printf("\nnearest neighbours of %s:\n", term)
+		nb, err := model.MostSimilar(term, 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ws := range nb {
+			fmt.Printf("   %-14s %.3f\n", ws.Word, ws.Score)
+		}
+	}
+
+	candidates := []string{"さくさく", "かりかり", "ぱりぱり", "ざくざく", "ぷるぷる", "ふわふわ", "とろとろ", "かたい"}
+	results := word2vec.FilterContrastive(model, candidates,
+		pipeline.UnrelatedIngredientWords(), pipeline.GelIngredientWords(), 25, 0.25, 0.15)
+	sort.Slice(results, func(i, j int) bool { return results[i].Term < results[j].Term })
+	fmt.Println("\nfilter decisions:")
+	for _, r := range results {
+		verdict := "keep"
+		if r.Excluded {
+			verdict = fmt.Sprintf("EXCLUDE (neighbours: %v)", r.Offending)
+		}
+		fmt.Printf("   %-10s %s\n", r.Term, verdict)
+	}
+}
+
+func recipeIngredients() []string {
+	var out []string
+	out = append(out, pipeline.UnrelatedIngredientWords()...)
+	out = append(out, pipeline.GelIngredientWords()...)
+	return out
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// GewekeZ is a convergence diagnostic on a log-likelihood trace: the
+// z-score of the difference between the mean of the first `early`
+// fraction and the last `late` fraction of the chain (Geweke 1992,
+// with plain variance in place of the spectral estimate — adequate for
+// the nearly-uncorrelated sweep-level traces produced here). |z| below
+// about 2 is consistent with convergence.
+func GewekeZ(trace []float64, early, late float64) (float64, error) {
+	n := len(trace)
+	if n < 10 {
+		return 0, fmt.Errorf("core: need ≥10 trace points, have %d", n)
+	}
+	if early <= 0 || late <= 0 || early+late > 1 {
+		return 0, fmt.Errorf("core: invalid window fractions %g/%g", early, late)
+	}
+	a := trace[:int(float64(n)*early)]
+	b := trace[n-int(float64(n)*late):]
+	if len(a) < 2 || len(b) < 2 {
+		return 0, fmt.Errorf("core: windows too small")
+	}
+	va := stats.Variance(a) / float64(len(a))
+	vb := stats.Variance(b) / float64(len(b))
+	if va+vb == 0 {
+		return 0, nil // constant trace: trivially converged
+	}
+	return (stats.Mean(a) - stats.Mean(b)) / math.Sqrt(va+vb), nil
+}
+
+// ESS estimates the effective sample size of a trace via the
+// initial-positive-sequence autocorrelation sum.
+func ESS(trace []float64) float64 {
+	n := len(trace)
+	if n < 4 {
+		return float64(n)
+	}
+	mean := stats.Mean(trace)
+	var c0 float64
+	for _, x := range trace {
+		d := x - mean
+		c0 += d * d
+	}
+	c0 /= float64(n)
+	if c0 == 0 {
+		return float64(n)
+	}
+	sum := 0.0
+	for lag := 1; lag < n/2; lag++ {
+		var ck float64
+		for i := 0; i+lag < n; i++ {
+			ck += (trace[i] - mean) * (trace[i+lag] - mean)
+		}
+		ck /= float64(n)
+		rho := ck / c0
+		if rho <= 0.05 {
+			break
+		}
+		sum += rho
+	}
+	return float64(n) / (1 + 2*sum)
+}
+
+// SplitData partitions the documents into train and test sets.
+func SplitData(data *Data, testFrac float64, seed uint64) (train, test *Data, err error) {
+	if _, _, err := data.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("core: test fraction %g outside (0,1)", testFrac)
+	}
+	n := data.NumDocs()
+	nTest := int(float64(n) * testFrac)
+	if nTest == 0 || nTest == n {
+		return nil, nil, fmt.Errorf("core: split leaves an empty side (%d/%d)", nTest, n)
+	}
+	perm := stats.NewRNG(seed, 0x5A11).Perm(n)
+	train = &Data{V: data.V}
+	test = &Data{V: data.V}
+	for i, idx := range perm {
+		dst := train
+		if i < nTest {
+			dst = test
+		}
+		dst.Words = append(dst.Words, data.Words[idx])
+		dst.Gel = append(dst.Gel, data.Gel[idx])
+		dst.Emu = append(dst.Emu, data.Emu[idx])
+	}
+	return train, test, nil
+}
+
+// HeldOut is the held-out evaluation of a fitted model on unseen
+// documents.
+type HeldOut struct {
+	// Perplexity is the per-token word perplexity under the folded-in
+	// mixtures.
+	Perplexity float64
+	// ConcLogLik is the mean per-document log-likelihood of the gel (and,
+	// if the model uses them, emulsion) features under the best topic of
+	// the folded-in mixture.
+	ConcLogLik float64
+	Docs       int
+	Tokens     int
+}
+
+// Evaluate folds each test document into the fitted model and scores
+// the held-out words and concentrations — the quantity to compare when
+// selecting K.
+func (r *Result) Evaluate(test *Data, foldIters int, seed uint64) (HeldOut, error) {
+	if _, _, err := test.Validate(); err != nil {
+		return HeldOut{}, err
+	}
+	var out HeldOut
+	ll := 0.0
+	concLL := 0.0
+	for d := range test.Words {
+		theta, err := r.FoldIn(test.Words[d], test.Gel[d], test.Emu[d], foldIters, seed+uint64(d))
+		if err != nil {
+			return HeldOut{}, err
+		}
+		for _, w := range test.Words[d] {
+			p := 0.0
+			for k := 0; k < r.K; k++ {
+				p += theta[k] * r.Phi[k][w]
+			}
+			if p <= 0 {
+				return HeldOut{}, fmt.Errorf("core: zero held-out probability for word %d", w)
+			}
+			ll += math.Log(p)
+			out.Tokens++
+		}
+		k := stats.ArgMax(theta)
+		g, err := r.GelGaussian(k)
+		if err != nil {
+			return HeldOut{}, err
+		}
+		docLL := g.LogPdf(test.Gel[d])
+		if r.UseEmulsion {
+			e, err := r.EmuGaussian(k)
+			if err != nil {
+				return HeldOut{}, err
+			}
+			docLL += r.EmulsionWeight * e.LogPdf(test.Emu[d])
+		}
+		concLL += docLL
+		out.Docs++
+	}
+	if out.Tokens > 0 {
+		out.Perplexity = math.Exp(-ll / float64(out.Tokens))
+	}
+	if out.Docs > 0 {
+		out.ConcLogLik = concLL / float64(out.Docs)
+	}
+	return out, nil
+}

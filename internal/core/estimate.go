@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Component is a fitted topic's Gaussian over a concentration space.
+type Component struct {
+	Mean      []float64
+	Precision *stats.Mat
+}
+
+// Gaussian materializes the component density.
+func (c Component) Gaussian() (*stats.Gaussian, error) {
+	return stats.NewGaussian(c.Mean, stats.RegularizeSPD(c.Precision, 1e-10))
+}
+
+// Result is the fitted model: the point estimates of equation (5) plus
+// the concentration components and per-recipe assignments.
+type Result struct {
+	K, V  int
+	Phi   [][]float64 // K×V texture-term distributions
+	Theta [][]float64 // D×K per-recipe topic distributions
+	Y     []int       // concentration-topic assignment per recipe
+	Gel   []Component // per-topic gel components
+	Emu   []Component // per-topic emulsion components
+
+	// Inference hyperparameters, retained so fold-in inference on new
+	// recipes uses the same kernel.
+	Alpha          float64
+	Gamma          float64
+	UseEmulsion    bool
+	EmulsionWeight float64
+
+	LogLik []float64 // per-sweep joint log-likelihood trace
+}
+
+// Estimate computes the point estimates of equation (5) from the
+// current sampler state:
+//
+//	φ_kv = (N_kv + γ)/(N_k + γV)
+//	θ_dk = (N_dk + M_dk + α)/(N_d + M_d + Σα)
+//
+// In collapsed mode the components are the posterior means given the
+// current assignment; otherwise they are the current sampled values.
+func (s *Sampler) Estimate() *Result {
+	res := &Result{
+		K:              s.cfg.K,
+		V:              s.data.V,
+		Alpha:          s.cfg.Alpha,
+		Gamma:          s.cfg.Gamma,
+		UseEmulsion:    s.cfg.UseEmulsion,
+		EmulsionWeight: s.cfg.EmulsionWeight,
+		LogLik:         append([]float64(nil), s.LogLik...),
+		Y:              append([]int(nil), s.Y...),
+	}
+	res.Phi = make([][]float64, s.cfg.K)
+	gv := s.cfg.Gamma * float64(s.data.V)
+	for k := 0; k < s.cfg.K; k++ {
+		row := make([]float64, s.data.V)
+		for w := 0; w < s.data.V; w++ {
+			row[w] = (float64(s.nkw[k][w]) + s.cfg.Gamma) / (float64(s.nk[k]) + gv)
+		}
+		res.Phi[k] = row
+	}
+	res.Theta = make([][]float64, s.data.NumDocs())
+	sumAlpha := s.cfg.Alpha * float64(s.cfg.K)
+	for d := range s.data.Words {
+		row := make([]float64, s.cfg.K)
+		denom := float64(s.nd[d]) + 1 + sumAlpha // M_d = 1 concentration observation
+		for k := 0; k < s.cfg.K; k++ {
+			m := 0.0
+			if s.Y[d] == k {
+				m = 1
+			}
+			row[k] = (float64(s.ndk[d][k]) + m + s.cfg.Alpha) / denom
+		}
+		res.Theta[d] = row
+	}
+
+	// Components are reported as posterior means given the final
+	// assignment, not the last random draw: a topic that happens to be
+	// empty at the final sweep would otherwise report an arbitrary prior
+	// sample (with β ≪ 1 its mean wanders far outside the data range),
+	// which would poison the KL linkage downstream.
+	members := s.membersByTopic()
+	res.Gel = make([]Component, s.cfg.K)
+	res.Emu = make([]Component, s.cfg.K)
+	for k := 0; k < s.cfg.K; k++ {
+		gxs := make([][]float64, len(members[k]))
+		exs := make([][]float64, len(members[k]))
+		for i, d := range members[k] {
+			gxs[i] = s.data.Gel[d]
+			exs[i] = s.data.Emu[d]
+		}
+		mu, lam := s.cfg.GelPrior.Posterior(gxs).MeanParams()
+		res.Gel[k] = Component{Mean: mu, Precision: lam}
+		m, l := s.cfg.EmuPrior.Posterior(exs).MeanParams()
+		res.Emu[k] = Component{Mean: m, Precision: l}
+	}
+	return res
+}
+
+// Fit is the one-call API: build a sampler, run it, and return the
+// estimates.
+func Fit(data *Data, cfg Config) (*Result, error) {
+	s, err := NewSampler(data, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Run(nil); err != nil {
+		return nil, err
+	}
+	return s.Estimate(), nil
+}
+
+// FitBest runs `restarts` independent chains (seeds cfg.Seed,
+// cfg.Seed+1, …) and returns the estimate of the chain with the best
+// mean post-burn-in log-likelihood. Gibbs chains on this model
+// occasionally settle in split/merge local optima; restart selection
+// is the standard, exactness-preserving remedy.
+func FitBest(data *Data, cfg Config, restarts int) (*Result, error) {
+	if restarts < 1 {
+		return nil, fmt.Errorf("core: need ≥1 restart, got %d", restarts)
+	}
+	var best *Result
+	bestLL := 0.0
+	for r := 0; r < restarts; r++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(r)
+		res, err := Fit(data, c)
+		if err != nil {
+			return nil, fmt.Errorf("core: restart %d: %w", r, err)
+		}
+		ll := meanTail(res.LogLik)
+		if best == nil || ll > bestLL {
+			best, bestLL = res, ll
+		}
+	}
+	return best, nil
+}
+
+// meanTail averages the last half of a trace.
+func meanTail(trace []float64) float64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	tail := trace[len(trace)/2:]
+	s := 0.0
+	for _, v := range tail {
+		s += v
+	}
+	return s / float64(len(tail))
+}
+
+// Assign returns the topic of each recipe by maximum θ probability —
+// the paper's rule for the "# Recipes" column of Table II(a).
+func (r *Result) Assign() []int {
+	out := make([]int, len(r.Theta))
+	for d, row := range r.Theta {
+		out[d] = stats.ArgMax(row)
+	}
+	return out
+}
+
+// DocsPerTopic counts recipes per topic under Assign.
+func (r *Result) DocsPerTopic() []int {
+	counts := make([]int, r.K)
+	for _, k := range r.Assign() {
+		counts[k]++
+	}
+	return counts
+}
+
+// TermProb pairs a vocabulary index with its probability in a topic.
+type TermProb struct {
+	ID   int
+	Prob float64
+}
+
+// TopTerms returns topic k's n most probable terms in decreasing
+// probability.
+func (r *Result) TopTerms(k, n int) []TermProb {
+	if k < 0 || k >= r.K {
+		panic(fmt.Sprintf("core: topic %d out of range", k))
+	}
+	idx := stats.TopK(r.Phi[k], n)
+	out := make([]TermProb, len(idx))
+	for i, id := range idx {
+		out[i] = TermProb{ID: id, Prob: r.Phi[k][id]}
+	}
+	return out
+}
+
+// GelGaussian returns topic k's gel component as a density, for KL
+// linkage against empirical settings.
+func (r *Result) GelGaussian(k int) (*stats.Gaussian, error) {
+	return r.Gel[k].Gaussian()
+}
+
+// EmuGaussian returns topic k's emulsion component as a density.
+func (r *Result) EmuGaussian(k int) (*stats.Gaussian, error) {
+	return r.Emu[k].Gaussian()
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// FoldIn infers the topic mixture θ of an unseen recipe under a fitted
+// model, holding φ and the concentration components fixed — the
+// operation behind the paper's motivating application: estimating what
+// texture a posted recipe will have before cooking it.
+//
+// words may be empty (a recipe whose description carries no texture
+// terms is placed by its concentrations alone). The sampler runs iters
+// Gibbs sweeps over the recipe's latent z and y and returns the
+// averaged θ of the second half of the chain.
+func (r *Result) FoldIn(words []int, gel, emu []float64, iters int, seed uint64) ([]float64, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("core: fold-in needs positive iterations")
+	}
+	if len(gel) != len(r.Gel[0].Mean) || len(emu) != len(r.Emu[0].Mean) {
+		return nil, fmt.Errorf("core: fold-in feature dims %d/%d, model %d/%d",
+			len(gel), len(emu), len(r.Gel[0].Mean), len(r.Emu[0].Mean))
+	}
+	for _, w := range words {
+		if w < 0 || w >= r.V {
+			return nil, fmt.Errorf("core: fold-in word %d outside [0,%d)", w, r.V)
+		}
+	}
+
+	gelG := make([]*stats.Gaussian, r.K)
+	emuG := make([]*stats.Gaussian, r.K)
+	for k := 0; k < r.K; k++ {
+		g, err := r.GelGaussian(k)
+		if err != nil {
+			return nil, fmt.Errorf("core: topic %d gel: %w", k, err)
+		}
+		gelG[k] = g
+		e, err := r.EmuGaussian(k)
+		if err != nil {
+			return nil, fmt.Errorf("core: topic %d emulsion: %w", k, err)
+		}
+		emuG[k] = e
+	}
+	// Concentration log-likelihood per topic is constant across sweeps.
+	conc := make([]float64, r.K)
+	for k := 0; k < r.K; k++ {
+		conc[k] = gelG[k].LogPdf(gel)
+		if r.UseEmulsion {
+			conc[k] += r.EmulsionWeight * emuG[k].LogPdf(emu)
+		}
+	}
+
+	rng := stats.NewRNG(seed, 0xF01D)
+	z := make([]int, len(words))
+	ndk := make([]int, r.K)
+	for n := range z {
+		z[n] = rng.IntN(r.K)
+		ndk[z[n]]++
+	}
+	y := rng.CategoricalLog(conc)
+
+	thetaAcc := make([]float64, r.K)
+	kept := 0
+	weights := make([]float64, r.K)
+	logw := make([]float64, r.K)
+	for it := 0; it < iters; it++ {
+		for n, w := range words {
+			ndk[z[n]]--
+			for k := 0; k < r.K; k++ {
+				m := 0.0
+				if y == k {
+					m = 1
+				}
+				weights[k] = (float64(ndk[k]) + m + r.Alpha) * r.Phi[k][w]
+			}
+			z[n] = rng.Categorical(weights)
+			ndk[z[n]]++
+		}
+		for k := 0; k < r.K; k++ {
+			logw[k] = math.Log(float64(ndk[k])+r.Alpha) + conc[k]
+		}
+		y = rng.CategoricalLog(logw)
+
+		if it >= iters/2 {
+			kept++
+			denom := float64(len(words)) + 1 + r.Alpha*float64(r.K)
+			for k := 0; k < r.K; k++ {
+				m := 0.0
+				if y == k {
+					m = 1
+				}
+				thetaAcc[k] += (float64(ndk[k]) + m + r.Alpha) / denom
+			}
+		}
+	}
+	for k := range thetaAcc {
+		thetaAcc[k] /= float64(kept)
+	}
+	return thetaAcc, nil
+}

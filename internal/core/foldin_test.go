@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestFoldInPlacesNewDocCorrectly(t *testing.T) {
+	res, _ := fitSynth(t, smallCfg(), 300)
+	// Generate fresh docs from each true topic's region and check the
+	// fold-in lands them with the training docs of that region.
+	rng := stats.NewRNG(80, 1)
+	gelMeans := [][]float64{{3, 9}, {6, 9}, {9, 4}}
+	emuMeans := [][]float64{{2, 8}, {8, 2}, {5, 5}}
+	wordPools := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}}
+
+	// Map each generating region to the fitted topic via component
+	// means.
+	regionTopic := make([]int, 3)
+	for region, gm := range gelMeans {
+		best, bestD := 0, math.Inf(1)
+		for k := 0; k < res.K; k++ {
+			d := 0.0
+			for j := range gm {
+				diff := res.Gel[k].Mean[j] - gm[j]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = k, d
+			}
+		}
+		regionTopic[region] = best
+	}
+
+	correct := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		region := i % 3
+		words := []int{
+			wordPools[region][rng.IntN(3)],
+			wordPools[region][rng.IntN(3)],
+		}
+		gel := []float64{rng.Normal(gelMeans[region][0], 0.25), rng.Normal(gelMeans[region][1], 0.25)}
+		emu := []float64{rng.Normal(emuMeans[region][0], 0.3), rng.Normal(emuMeans[region][1], 0.3)}
+		theta, err := res.FoldIn(words, gel, emu, 60, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := stats.SumVec(theta); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("θ sums to %g", s)
+		}
+		if stats.ArgMax(theta) == regionTopic[region] {
+			correct++
+		}
+	}
+	if correct < trials*8/10 {
+		t.Errorf("fold-in placed %d/%d new docs correctly", correct, trials)
+	}
+}
+
+func TestFoldInWithoutWords(t *testing.T) {
+	res, _ := fitSynth(t, smallCfg(), 200)
+	// A doc with no texture terms is placed by concentrations alone.
+	theta, err := res.FoldIn(nil, []float64{3, 9}, []float64{2, 8}, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := stats.SumVec(theta); math.Abs(s-1) > 1e-9 {
+		t.Errorf("θ sums to %g", s)
+	}
+	// The chosen topic's gel mean must be near the query.
+	k := stats.ArgMax(theta)
+	if math.Abs(res.Gel[k].Mean[0]-3) > 1 {
+		t.Errorf("wordless fold-in chose topic with gel mean %v", res.Gel[k].Mean)
+	}
+}
+
+func TestFoldInValidation(t *testing.T) {
+	res, _ := fitSynth(t, smallCfg(), 60)
+	if _, err := res.FoldIn([]int{0}, []float64{1, 2}, []float64{1, 2}, 0, 1); err == nil {
+		t.Error("zero iterations should fail")
+	}
+	if _, err := res.FoldIn([]int{0}, []float64{1}, []float64{1, 2}, 10, 1); err == nil {
+		t.Error("gel dim mismatch should fail")
+	}
+	if _, err := res.FoldIn([]int{999}, []float64{1, 2}, []float64{1, 2}, 10, 1); err == nil {
+		t.Error("out-of-vocab word should fail")
+	}
+}
+
+func TestFoldInDeterministic(t *testing.T) {
+	res, _ := fitSynth(t, smallCfg(), 60)
+	a, err := res.FoldIn([]int{0, 1}, []float64{3, 9}, []float64{2, 8}, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.FoldIn([]int{0, 1}, []float64{3, 9}, []float64{2, 8}, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical fold-in")
+		}
+	}
+}
+
+func TestResultRoundTripPreservesFoldInParams(t *testing.T) {
+	res, _ := fitSynth(t, smallCfg(), 60)
+	if res.Alpha == 0 || res.Gamma == 0 {
+		t.Fatal("hyperparameters not captured")
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// GMMConfig controls the concentrations-only baseline.
+type GMMConfig struct {
+	K          int
+	Alpha      float64 // symmetric Dirichlet on mixture weights
+	Prior      *stats.NormalWishart
+	Iterations int
+	Seed       uint64
+}
+
+// GMMResult is a fitted Gaussian mixture over concentration features.
+type GMMResult struct {
+	K          int
+	Weights    []float64
+	Components []Component
+	Y          []int
+	LogLik     []float64
+}
+
+// FitGMM runs collapsed-weight Gibbs sampling for a Bayesian Gaussian
+// mixture over the feature vectors — the concentrations-only baseline:
+// it clusters recipes by gel dose but carries no texture terms, so its
+// clusters cannot be read as sensory vocabulary.
+func FitGMM(xs [][]float64, cfg GMMConfig) (*GMMResult, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("core: gmm: empty input")
+	}
+	if cfg.K <= 1 || cfg.Alpha <= 0 || cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("core: gmm: invalid config %+v", cfg)
+	}
+	dim := len(xs[0])
+	for i, x := range xs {
+		if len(x) != dim {
+			return nil, fmt.Errorf("core: gmm: row %d has dim %d, want %d", i, len(x), dim)
+		}
+	}
+	if cfg.Prior == nil {
+		p, err := empiricalPrior(xs, dim)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Prior = p
+	}
+	if cfg.Prior.Dim() != dim {
+		return nil, fmt.Errorf("core: gmm: prior dim %d, data dim %d", cfg.Prior.Dim(), dim)
+	}
+
+	rng := stats.NewRNG(cfg.Seed, 0x6333)
+	n := len(xs)
+	y := make([]int, n)
+	counts := make([]int, cfg.K)
+	for i := range y {
+		y[i] = rng.IntN(cfg.K)
+		counts[y[i]]++
+	}
+	comps := make([]component, cfg.K)
+	resample := func() error {
+		members := make([][]int, cfg.K)
+		for i, k := range y {
+			members[k] = append(members[k], i)
+		}
+		for k := 0; k < cfg.K; k++ {
+			data := make([][]float64, len(members[k]))
+			for i, m := range members[k] {
+				data[i] = xs[m]
+			}
+			mu, lam := cfg.Prior.Posterior(data).Sample(rng)
+			c, err := newComponent(mu, lam)
+			if err != nil {
+				return fmt.Errorf("core: gmm component %d: %w", k, err)
+			}
+			comps[k] = c
+		}
+		return nil
+	}
+	if err := resample(); err != nil {
+		return nil, err
+	}
+
+	var lls []float64
+	logw := make([]float64, cfg.K)
+	for it := 0; it < cfg.Iterations; it++ {
+		for i, x := range xs {
+			counts[y[i]]--
+			for k := 0; k < cfg.K; k++ {
+				logw[k] = math.Log(float64(counts[k])+cfg.Alpha) + comps[k].gauss.LogPdf(x)
+			}
+			k := rng.CategoricalLog(logw)
+			y[i] = k
+			counts[k]++
+		}
+		if err := resample(); err != nil {
+			return nil, err
+		}
+		ll := 0.0
+		for i, x := range xs {
+			ll += comps[y[i]].gauss.LogPdf(x)
+		}
+		lls = append(lls, ll)
+	}
+
+	res := &GMMResult{K: cfg.K, Y: append([]int(nil), y...), LogLik: lls}
+	res.Weights = make([]float64, cfg.K)
+	for k := 0; k < cfg.K; k++ {
+		res.Weights[k] = (float64(counts[k]) + cfg.Alpha) / (float64(n) + cfg.Alpha*float64(cfg.K))
+	}
+	res.Components = make([]Component, cfg.K)
+	for k := 0; k < cfg.K; k++ {
+		res.Components[k] = Component{
+			Mean:      stats.CloneVec(comps[k].gauss.Mean),
+			Precision: comps[k].gauss.Precision.Clone(),
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// initYKMeans seeds the per-recipe concentration topics with
+// k-means++ on the gel feature vectors followed by a few Lloyd
+// rounds. Random initialization tends to leave far-apart small gel
+// bands merged under one wide Gaussian while other topics sit empty (a
+// label vacuum the Gibbs chain escapes only slowly); seeding centers
+// across the occupied gel bands removes that failure mode. The chain
+// still mixes from there, so the stationary distribution is unchanged.
+func initYKMeans(xs [][]float64, k int, rng *stats.RNG) []int {
+	n := len(xs)
+	centers := make([][]float64, 0, k)
+	// k-means++ seeding.
+	centers = append(centers, stats.CloneVec(xs[rng.IntN(n)]))
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		total := 0.0
+		for i, x := range xs {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := sqDist(x, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// Fewer distinct points than centers; duplicate an existing one.
+			centers = append(centers, stats.CloneVec(xs[rng.IntN(n)]))
+			continue
+		}
+		centers = append(centers, stats.CloneVec(xs[rng.Categorical(d2)]))
+	}
+	assign := make([]int, n)
+	// Lloyd refinement.
+	for round := 0; round < 8; round++ {
+		changed := false
+		for i, x := range xs {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				if d := sqDist(x, centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		counts := make([]int, k)
+		for c := range centers {
+			for j := range centers[c] {
+				centers[c][j] = 0
+			}
+		}
+		for i, x := range xs {
+			c := assign[i]
+			counts[c]++
+			for j, v := range x {
+				centers[c][j] += v
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range centers[c] {
+				centers[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	return assign
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestInitYKMeansSeparatesBands(t *testing.T) {
+	rng := stats.NewRNG(70, 1)
+	// Three well-separated 2D bands.
+	var xs [][]float64
+	var truth []int
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	for i := 0; i < 300; i++ {
+		k := i % 3
+		truth = append(truth, k)
+		xs = append(xs, []float64{
+			rng.Normal(centers[k][0], 0.3),
+			rng.Normal(centers[k][1], 0.3),
+		})
+	}
+	assign := initYKMeans(xs, 3, rng)
+	// Perfect separation up to relabeling.
+	if acc := clusterAccuracy(assign, truth, 3); acc < 0.99 {
+		t.Errorf("k-means accuracy = %.3f", acc)
+	}
+}
+
+func TestInitYKMeansMoreCentersThanBands(t *testing.T) {
+	rng := stats.NewRNG(71, 1)
+	var xs [][]float64
+	for i := 0; i < 60; i++ {
+		xs = append(xs, []float64{rng.Normal(0, 0.1)})
+	}
+	// K exceeds distinct structure; must not panic and must assign all.
+	assign := initYKMeans(xs, 10, rng)
+	if len(assign) != 60 {
+		t.Fatalf("assigned %d", len(assign))
+	}
+	for _, a := range assign {
+		if a < 0 || a >= 10 {
+			t.Fatalf("assignment %d out of range", a)
+		}
+	}
+}
+
+func TestInitYKMeansDuplicatePoints(t *testing.T) {
+	rng := stats.NewRNG(72, 1)
+	xs := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	assign := initYKMeans(xs, 3, rng)
+	if len(assign) != 4 {
+		t.Fatal("missing assignments")
+	}
+}
+
+func TestRandomInitStillRecovers(t *testing.T) {
+	cfg := smallCfg()
+	cfg.RandomInit = true
+	cfg.Iterations = 200
+	res, truth := fitSynth(t, cfg, 300)
+	if acc := clusterAccuracy(res.Y, truth, 3); acc < 0.85 {
+		t.Errorf("random-init recovery = %.3f", acc)
+	}
+}
+
+func TestEmulsionWeightValidation(t *testing.T) {
+	data, _ := synthData(73, 30)
+	cfg := smallCfg()
+	cfg.EmulsionWeight = -0.5
+	if _, err := NewSampler(data, cfg); err == nil {
+		t.Error("negative weight should fail")
+	}
+	cfg.EmulsionWeight = 1.5
+	if _, err := NewSampler(data, cfg); err == nil {
+		t.Error("weight > 1 should fail")
+	}
+	// Zero means "unset" and defaults to 1.
+	cfg.EmulsionWeight = 0
+	if _, err := NewSampler(data, cfg); err != nil {
+		t.Errorf("zero weight should default: %v", err)
+	}
+}
+
+func TestEmulsionWeightTempering(t *testing.T) {
+	// With λ→small the y kernel must still work and recovery hold (gel
+	// features alone separate the synthetic topics).
+	cfg := smallCfg()
+	cfg.EmulsionWeight = 0.25
+	res, truth := fitSynth(t, cfg, 300)
+	if acc := clusterAccuracy(res.Y, truth, 3); acc < 0.9 {
+		t.Errorf("tempered recovery = %.3f", acc)
+	}
+}

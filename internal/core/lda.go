@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// LDAConfig controls the words-only baseline.
+type LDAConfig struct {
+	K          int
+	Alpha      float64
+	Gamma      float64
+	Iterations int
+	Seed       uint64
+}
+
+// DefaultLDAConfig mirrors the joint model's text-side settings.
+func DefaultLDAConfig() LDAConfig {
+	return LDAConfig{K: 10, Alpha: 0.5, Gamma: 0.1, Iterations: 300, Seed: 1}
+}
+
+// LDAResult is a fitted words-only LDA baseline.
+type LDAResult struct {
+	K, V   int
+	Phi    [][]float64
+	Theta  [][]float64
+	LogLik []float64
+}
+
+// FitLDA runs collapsed Gibbs sampling for conventional LDA over the
+// texture-term tokens only, ignoring concentrations. This is the
+// baseline the joint model is compared against: its topics cannot be
+// linked to rheology because they carry no concentration component.
+func FitLDA(words [][]int, v int, cfg LDAConfig) (*LDAResult, error) {
+	if v <= 0 || len(words) == 0 {
+		return nil, fmt.Errorf("core: lda: empty input")
+	}
+	if cfg.K <= 1 || cfg.Alpha <= 0 || cfg.Gamma <= 0 || cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("core: lda: invalid config %+v", cfg)
+	}
+	for d, ws := range words {
+		for _, w := range ws {
+			if w < 0 || w >= v {
+				return nil, fmt.Errorf("core: lda: doc %d word %d outside [0,%d)", d, w, v)
+			}
+		}
+	}
+	rng := stats.NewRNG(cfg.Seed, 0x1DA)
+	d := len(words)
+	z := make([][]int, d)
+	ndk := make([][]int, d)
+	nkw := make([][]int, cfg.K)
+	nk := make([]int, cfg.K)
+	for k := range nkw {
+		nkw[k] = make([]int, v)
+	}
+	for i := range words {
+		z[i] = make([]int, len(words[i]))
+		ndk[i] = make([]int, cfg.K)
+		for n, w := range words[i] {
+			k := rng.IntN(cfg.K)
+			z[i][n] = k
+			ndk[i][k]++
+			nkw[k][w]++
+			nk[k]++
+		}
+	}
+
+	gv := cfg.Gamma * float64(v)
+	weights := make([]float64, cfg.K)
+	var lls []float64
+	for it := 0; it < cfg.Iterations; it++ {
+		for i := range words {
+			for n, w := range words[i] {
+				old := z[i][n]
+				ndk[i][old]--
+				nkw[old][w]--
+				nk[old]--
+				for k := 0; k < cfg.K; k++ {
+					weights[k] = (float64(ndk[i][k]) + cfg.Alpha) *
+						(float64(nkw[k][w]) + cfg.Gamma) / (float64(nk[k]) + gv)
+				}
+				k := rng.Categorical(weights)
+				z[i][n] = k
+				ndk[i][k]++
+				nkw[k][w]++
+				nk[k]++
+			}
+		}
+		ll := 0.0
+		for i := range words {
+			for n, w := range words[i] {
+				k := z[i][n]
+				ll += math.Log((float64(nkw[k][w]) + cfg.Gamma) / (float64(nk[k]) + gv))
+				_ = n
+			}
+		}
+		lls = append(lls, ll)
+	}
+
+	res := &LDAResult{K: cfg.K, V: v, LogLik: lls}
+	res.Phi = make([][]float64, cfg.K)
+	for k := 0; k < cfg.K; k++ {
+		row := make([]float64, v)
+		for w := 0; w < v; w++ {
+			row[w] = (float64(nkw[k][w]) + cfg.Gamma) / (float64(nk[k]) + gv)
+		}
+		res.Phi[k] = row
+	}
+	res.Theta = make([][]float64, d)
+	sumAlpha := cfg.Alpha * float64(cfg.K)
+	for i := range words {
+		row := make([]float64, cfg.K)
+		for k := 0; k < cfg.K; k++ {
+			row[k] = (float64(ndk[i][k]) + cfg.Alpha) / (float64(len(words[i])) + sumAlpha)
+		}
+		res.Theta[i] = row
+	}
+	return res, nil
+}
+
+// Assign returns each document's argmax-θ topic.
+func (r *LDAResult) Assign() []int {
+	out := make([]int, len(r.Theta))
+	for d, row := range r.Theta {
+		out[d] = stats.ArgMax(row)
+	}
+	return out
+}

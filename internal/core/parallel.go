@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// sweepParallel runs one Gibbs pass with cfg.Workers goroutines using
+// the approximate-distributed scheme of AD-LDA (Newman et al. 2009):
+// documents are sharded; each worker samples its shard's z against a
+// private copy of the topic-word counts, and the copies' deltas are
+// merged after the barrier. Per-document state (ndk, Z, Y) is disjoint
+// across shards, so only the nkw/nk approximation deviates from the
+// sequential kernel — and it vanishes as the chain mixes. The y phase
+// is exactly parallel (its kernel reads only per-document counts and
+// the fixed components). Results are deterministic for a fixed worker
+// count; they differ from the sequential chain, like any AD-LDA run.
+func (s *Sampler) sweepParallel(sweep int) error {
+	w := s.cfg.Workers
+	shards := shardRanges(s.data.NumDocs(), w)
+
+	type delta struct {
+		nkw [][]int
+		nk  []int
+	}
+	deltas := make([]delta, len(shards))
+	var wg sync.WaitGroup
+	for si, sh := range shards {
+		wg.Add(1)
+		go func(si int, lo, hi int) {
+			defer wg.Done()
+			// Private copies of the shared counts.
+			nkw := make([][]int, s.cfg.K)
+			for k := range nkw {
+				nkw[k] = append([]int(nil), s.nkw[k]...)
+			}
+			nk := append([]int(nil), s.nk...)
+			rng := stats.NewRNG(s.cfg.Seed^0xAD1DA, uint64(sweep)<<16|uint64(si))
+
+			weights := make([]float64, s.cfg.K)
+			gv := s.cfg.Gamma * float64(s.data.V)
+			for d := lo; d < hi; d++ {
+				for n, word := range s.data.Words[d] {
+					old := s.Z[d][n]
+					s.ndk[d][old]--
+					nkw[old][word]--
+					nk[old]--
+					for k := 0; k < s.cfg.K; k++ {
+						m := 0.0
+						if s.Y[d] == k {
+							m = 1
+						}
+						weights[k] = (float64(s.ndk[d][k]) + m + s.cfg.Alpha) *
+							(float64(nkw[k][word]) + s.cfg.Gamma) /
+							(float64(nk[k]) + gv)
+					}
+					k := rng.Categorical(weights)
+					s.Z[d][n] = k
+					s.ndk[d][k]++
+					nkw[k][word]++
+					nk[k]++
+				}
+			}
+			// Record the deltas against the shared state.
+			dl := delta{nkw: make([][]int, s.cfg.K), nk: make([]int, s.cfg.K)}
+			for k := 0; k < s.cfg.K; k++ {
+				row := make([]int, s.data.V)
+				for v := 0; v < s.data.V; v++ {
+					row[v] = nkw[k][v] - s.nkw[k][v]
+				}
+				dl.nkw[k] = row
+				dl.nk[k] = nk[k] - s.nk[k]
+			}
+			deltas[si] = dl
+		}(si, sh[0], sh[1])
+	}
+	wg.Wait()
+	for _, dl := range deltas {
+		for k := 0; k < s.cfg.K; k++ {
+			for v, dv := range dl.nkw[k] {
+				s.nkw[k][v] += dv
+			}
+			s.nk[k] += dl.nk[k]
+		}
+	}
+
+	// y phase: exactly parallel (kernel reads ndk and the fixed
+	// components only).
+	for si, sh := range shards {
+		wg.Add(1)
+		go func(si, lo, hi int) {
+			defer wg.Done()
+			rng := stats.NewRNG(s.cfg.Seed^0x9D1DA, uint64(sweep)<<16|uint64(si))
+			logw := make([]float64, s.cfg.K)
+			for d := lo; d < hi; d++ {
+				for k := 0; k < s.cfg.K; k++ {
+					lw := logFloat(float64(s.ndk[d][k]) + s.cfg.Alpha)
+					lw += s.gelComp[k].gauss.LogPdf(s.data.Gel[d])
+					if s.cfg.UseEmulsion {
+						lw += s.cfg.EmulsionWeight * s.emuComp[k].gauss.LogPdf(s.data.Emu[d])
+					}
+					logw[k] = lw
+				}
+				s.Y[d] = rng.CategoricalLog(logw)
+			}
+		}(si, sh[0], sh[1])
+	}
+	wg.Wait()
+	for k := range s.mk {
+		s.mk[k] = 0
+	}
+	for _, y := range s.Y {
+		s.mk[y]++
+	}
+	return s.resampleComponents()
+}
+
+// shardRanges splits n items into at most w contiguous [lo,hi) ranges.
+func shardRanges(n, w int) [][2]int {
+	if w > n {
+		w = n
+	}
+	out := make([][2]int, 0, w)
+	size := n / w
+	rem := n % w
+	lo := 0
+	for i := 0; i < w; i++ {
+		hi := lo + size
+		if i < rem {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}

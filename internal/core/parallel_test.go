@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestParallelRecoversStructure(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Workers = 4
+	res, truth := fitSynth(t, cfg, 300)
+	if acc := clusterAccuracy(res.Y, truth, 3); acc < 0.9 {
+		t.Errorf("parallel recovery accuracy = %.3f", acc)
+	}
+}
+
+func TestParallelDeterministicForFixedWorkers(t *testing.T) {
+	data, _ := synthData(96, 150)
+	cfg := smallCfg()
+	cfg.Workers = 3
+	cfg.Iterations = 40
+	r1, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range r1.Y {
+		if r1.Y[d] != r2.Y[d] {
+			t.Fatal("same seed and worker count must give identical chains")
+		}
+	}
+}
+
+func TestParallelCountInvariants(t *testing.T) {
+	data, _ := synthData(97, 120)
+	cfg := smallCfg()
+	cfg.Workers = 4
+	cfg.Iterations = 10
+	s, err := NewSampler(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	// After merging deltas: nkw row sums equal nk, totals equal token
+	// count, ndk consistent with Z.
+	totalTokens := 0
+	for _, w := range data.Words {
+		totalTokens += len(w)
+	}
+	sumNk := 0
+	for k := 0; k < cfg.K; k++ {
+		rowSum := 0
+		for v := 0; v < data.V; v++ {
+			if s.nkw[k][v] < 0 {
+				t.Fatalf("negative count nkw[%d][%d]", k, v)
+			}
+			rowSum += s.nkw[k][v]
+		}
+		if rowSum != s.nk[k] {
+			t.Fatalf("topic %d: row sum %d != nk %d", k, rowSum, s.nk[k])
+		}
+		sumNk += s.nk[k]
+	}
+	if sumNk != totalTokens {
+		t.Fatalf("Σnk = %d, tokens %d", sumNk, totalTokens)
+	}
+	for d := range data.Words {
+		counts := make([]int, cfg.K)
+		for _, z := range s.Z[d] {
+			counts[z]++
+		}
+		for k := 0; k < cfg.K; k++ {
+			if counts[k] != s.ndk[d][k] {
+				t.Fatalf("doc %d topic %d: ndk %d != actual %d", d, k, s.ndk[d][k], counts[k])
+			}
+		}
+	}
+	// mk consistent with Y.
+	mk := make([]int, cfg.K)
+	for _, y := range s.Y {
+		mk[y]++
+	}
+	for k := 0; k < cfg.K; k++ {
+		if mk[k] != s.mk[k] {
+			t.Fatalf("mk[%d] = %d, actual %d", k, s.mk[k], mk[k])
+		}
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	data, _ := synthData(98, 30)
+	cfg := smallCfg()
+	cfg.Workers = -1
+	if _, err := NewSampler(data, cfg); err == nil {
+		t.Error("negative workers should fail")
+	}
+	cfg = smallCfg()
+	cfg.Workers = 4
+	cfg.Collapsed = true
+	if _, err := NewSampler(data, cfg); err == nil {
+		t.Error("collapsed + workers should fail")
+	}
+}
+
+func TestShardRanges(t *testing.T) {
+	shards := shardRanges(10, 3)
+	if len(shards) != 3 {
+		t.Fatalf("%d shards", len(shards))
+	}
+	covered := 0
+	prev := 0
+	for _, sh := range shards {
+		if sh[0] != prev {
+			t.Fatalf("gap at %d", sh[0])
+		}
+		covered += sh[1] - sh[0]
+		prev = sh[1]
+	}
+	if covered != 10 || prev != 10 {
+		t.Fatalf("covered %d", covered)
+	}
+	// More workers than items clamps.
+	if got := shardRanges(2, 8); len(got) != 2 {
+		t.Errorf("clamped shards = %d", len(got))
+	}
+}
+
+func TestParallelMatchesSequentialQuality(t *testing.T) {
+	data, truth := synthData(99, 300)
+	seqCfg := smallCfg()
+	seq, err := Fit(data, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := smallCfg()
+	parCfg.Workers = 4
+	par, err := Fit(data, parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accSeq := clusterAccuracy(seq.Y, truth, 3)
+	accPar := clusterAccuracy(par.Y, truth, 3)
+	if accPar < accSeq-0.05 {
+		t.Errorf("parallel accuracy %.3f well below sequential %.3f", accPar, accSeq)
+	}
+}

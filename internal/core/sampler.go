@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// logFloat is math.Log, named so the parallel kernel reads like the
+// sequential one.
+func logFloat(x float64) float64 { return math.Log(x) }
+
+// component is one topic's Gaussian over a concentration space, stored
+// as mean and precision with a cached density object.
+type component struct {
+	gauss *stats.Gaussian
+}
+
+func newComponent(mean []float64, precision *stats.Mat) (component, error) {
+	g, err := stats.NewGaussian(mean, stats.RegularizeSPD(precision, 1e-10))
+	if err != nil {
+		return component{}, err
+	}
+	return component{gauss: g}, nil
+}
+
+// Sampler is the Gibbs sampler state for the joint topic model.
+type Sampler struct {
+	cfg  Config
+	data *Data
+	rng  *stats.RNG
+
+	gelDim, emuDim int
+
+	// Latent assignments.
+	Z [][]int // topic of each texture token
+	Y []int   // concentration topic of each recipe
+
+	// Count statistics.
+	ndk [][]int // docs × topics: texture tokens of d in k
+	nkw [][]int // topics × vocab: tokens of word w in k
+	nk  []int   // topics: total tokens in k
+	nd  []int   // docs: tokens in d (fixed)
+	mk  []int   // topics: recipes with y_d = k
+
+	// Explicit component parameters (non-collapsed mode).
+	gelComp []component
+	emuComp []component
+
+	// Sufficient-statistic accumulators per topic (collapsed mode).
+	gelAcc []*stats.NWAccum
+	emuAcc []*stats.NWAccum
+
+	// LogLik records the joint data log-likelihood after each sweep.
+	LogLik []float64
+}
+
+// NewSampler validates inputs, fills in empirical priors when the
+// config leaves them nil, and initializes assignments uniformly at
+// random.
+func NewSampler(data *Data, cfg Config) (*Sampler, error) {
+	gelDim, emuDim, err := data.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.K <= 1 {
+		return nil, fmt.Errorf("core: need K ≥ 2 topics, got %d", cfg.K)
+	}
+	if cfg.Alpha <= 0 || cfg.Gamma <= 0 {
+		return nil, fmt.Errorf("core: need positive α and γ")
+	}
+	if cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("core: need positive iteration count")
+	}
+	if cfg.EmulsionWeight == 0 {
+		cfg.EmulsionWeight = 1
+	}
+	if cfg.EmulsionWeight < 0 || cfg.EmulsionWeight > 1 {
+		return nil, fmt.Errorf("core: emulsion weight %g outside (0,1]", cfg.EmulsionWeight)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: negative worker count %d", cfg.Workers)
+	}
+	if cfg.Workers > 1 && cfg.Collapsed {
+		return nil, fmt.Errorf("core: the collapsed sampler is sequential; Workers > 1 is not supported with it")
+	}
+	if cfg.GelPrior == nil || cfg.EmuPrior == nil {
+		gp, ep, err := EmpiricalPriors(data)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.GelPrior == nil {
+			cfg.GelPrior = gp
+		}
+		if cfg.EmuPrior == nil {
+			cfg.EmuPrior = ep
+		}
+	}
+	if cfg.GelPrior.Dim() != gelDim {
+		return nil, fmt.Errorf("core: gel prior dim %d, data dim %d", cfg.GelPrior.Dim(), gelDim)
+	}
+	if cfg.EmuPrior.Dim() != emuDim {
+		return nil, fmt.Errorf("core: emulsion prior dim %d, data dim %d", cfg.EmuPrior.Dim(), emuDim)
+	}
+
+	s := &Sampler{
+		cfg:    cfg,
+		data:   data,
+		rng:    stats.NewRNG(cfg.Seed, 0x70F1C),
+		gelDim: gelDim,
+		emuDim: emuDim,
+	}
+	d := data.NumDocs()
+	s.Z = make([][]int, d)
+	s.Y = make([]int, d)
+	s.ndk = make([][]int, d)
+	s.nd = make([]int, d)
+	s.nkw = make([][]int, cfg.K)
+	s.nk = make([]int, cfg.K)
+	s.mk = make([]int, cfg.K)
+	for k := range s.nkw {
+		s.nkw[k] = make([]int, data.V)
+	}
+	var yInit []int
+	if !cfg.RandomInit {
+		yInit = initYKMeans(data.Gel, cfg.K, s.rng)
+	}
+	for i := 0; i < d; i++ {
+		s.ndk[i] = make([]int, cfg.K)
+		s.Z[i] = make([]int, len(data.Words[i]))
+		s.nd[i] = len(data.Words[i])
+		y := s.rng.IntN(cfg.K)
+		if yInit != nil {
+			y = yInit[i]
+		}
+		s.Y[i] = y
+		s.mk[y]++
+		for n, w := range data.Words[i] {
+			// Tokens start in the recipe's concentration topic so the two
+			// channels begin coupled; random token topics work too but mix
+			// more slowly.
+			k := y
+			if cfg.RandomInit {
+				k = s.rng.IntN(cfg.K)
+			}
+			s.Z[i][n] = k
+			s.ndk[i][k]++
+			s.nkw[k][w]++
+			s.nk[k]++
+		}
+	}
+	if cfg.Collapsed {
+		s.gelAcc = make([]*stats.NWAccum, cfg.K)
+		s.emuAcc = make([]*stats.NWAccum, cfg.K)
+		for k := 0; k < cfg.K; k++ {
+			s.gelAcc[k] = stats.NewNWAccum(cfg.GelPrior)
+			s.emuAcc[k] = stats.NewNWAccum(cfg.EmuPrior)
+		}
+		for i := 0; i < d; i++ {
+			s.gelAcc[s.Y[i]].Add(data.Gel[i])
+			s.emuAcc[s.Y[i]].Add(data.Emu[i])
+		}
+	} else {
+		if err := s.resampleComponents(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Run performs cfg.Iterations Gibbs sweeps. The onSweep callback (may
+// be nil) receives the sweep index and running log-likelihood.
+func (s *Sampler) Run(onSweep func(iter int, logLik float64)) error {
+	for it := 0; it < s.cfg.Iterations; it++ {
+		var err error
+		if s.cfg.Workers > 1 && !s.cfg.Collapsed {
+			err = s.sweepParallel(it)
+		} else {
+			err = s.Sweep()
+		}
+		if err != nil {
+			return fmt.Errorf("core: sweep %d: %w", it, err)
+		}
+		if s.cfg.LearnAlpha && it >= s.cfg.BurnIn {
+			s.updateAlpha()
+		}
+		ll := s.logLikelihood()
+		s.LogLik = append(s.LogLik, ll)
+		if onSweep != nil {
+			onSweep(it, ll)
+		}
+	}
+	return nil
+}
+
+// Sweep runs one full Gibbs pass: all z, all y, then the component
+// parameters.
+func (s *Sampler) Sweep() error {
+	for d := range s.data.Words {
+		s.sampleZ(d)
+	}
+	if s.cfg.Collapsed {
+		s.sampleYCollapsed()
+	} else {
+		for d := range s.data.Words {
+			s.sampleY(d)
+		}
+		if err := s.resampleComponents(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sampleZ resamples every token topic in document d with the kernel of
+// equation (2):
+//
+//	p(z_dn = k) ∝ (N_dk^{-dn} + M_dk + α) · (N_kw^{-dn} + γ)/(N_k^{-dn} + γV)
+//
+// where M_dk is 1 when y_d = k — texture tokens feel the pull of the
+// recipe's concentration topic through the shared θ_d.
+func (s *Sampler) sampleZ(d int) {
+	w := s.data.Words[d]
+	weights := make([]float64, s.cfg.K)
+	gv := s.cfg.Gamma * float64(s.data.V)
+	for n, word := range w {
+		old := s.Z[d][n]
+		s.ndk[d][old]--
+		s.nkw[old][word]--
+		s.nk[old]--
+		for k := 0; k < s.cfg.K; k++ {
+			m := 0.0
+			if s.Y[d] == k {
+				m = 1
+			}
+			weights[k] = (float64(s.ndk[d][k]) + m + s.cfg.Alpha) *
+				(float64(s.nkw[k][word]) + s.cfg.Gamma) /
+				(float64(s.nk[k]) + gv)
+		}
+		k := s.rng.Categorical(weights)
+		s.Z[d][n] = k
+		s.ndk[d][k]++
+		s.nkw[k][word]++
+		s.nk[k]++
+	}
+}
+
+// sampleY resamples the concentration topic of document d with the
+// kernel of equation (3):
+//
+//	p(y_d = k) ∝ (N_dk + α) · N(g_d | μ_k, Λ_k) · N(e_d | m_k, L_k)
+//
+// (M_dk^{−d} vanishes because each recipe carries exactly one y; the
+// denominator is constant in k). The emulsion factor follows the
+// generative model of equation (1); UseEmulsion=false drops it.
+func (s *Sampler) sampleY(d int) {
+	old := s.Y[d]
+	s.mk[old]--
+	logw := make([]float64, s.cfg.K)
+	for k := 0; k < s.cfg.K; k++ {
+		lw := math.Log(float64(s.ndk[d][k]) + s.cfg.Alpha)
+		lw += s.gelComp[k].gauss.LogPdf(s.data.Gel[d])
+		if s.cfg.UseEmulsion {
+			lw += s.cfg.EmulsionWeight * s.emuComp[k].gauss.LogPdf(s.data.Emu[d])
+		}
+		logw[k] = lw
+	}
+	k := s.rng.CategoricalLog(logw)
+	s.Y[d] = k
+	s.mk[k]++
+}
+
+// sampleYCollapsed resamples all y with the component parameters
+// integrated out: the likelihood of g_d under topic k is the
+// Normal-Wishart posterior predictive (a Student-t) given the other
+// recipes currently assigned to k, maintained incrementally through
+// sufficient-statistic accumulators.
+func (s *Sampler) sampleYCollapsed() {
+	logw := make([]float64, s.cfg.K)
+	for d := range s.data.Words {
+		old := s.Y[d]
+		s.mk[old]--
+		s.gelAcc[old].Remove(s.data.Gel[d])
+		s.emuAcc[old].Remove(s.data.Emu[d])
+
+		for k := 0; k < s.cfg.K; k++ {
+			lw := math.Log(float64(s.ndk[d][k]) + s.cfg.Alpha)
+			lw += s.gelAcc[k].PredictiveLogPdf(s.data.Gel[d])
+			if s.cfg.UseEmulsion {
+				lw += s.cfg.EmulsionWeight * s.emuAcc[k].PredictiveLogPdf(s.data.Emu[d])
+			}
+			logw[k] = lw
+		}
+		k := s.rng.CategoricalLog(logw)
+		s.Y[d] = k
+		s.mk[k]++
+		s.gelAcc[k].Add(s.data.Gel[d])
+		s.emuAcc[k].Add(s.data.Emu[d])
+	}
+}
+
+func (s *Sampler) membersByTopic() [][]int {
+	members := make([][]int, s.cfg.K)
+	for d, y := range s.Y {
+		members[y] = append(members[y], d)
+	}
+	return members
+}
+
+// resampleComponents draws (μ_k, Λ_k) and (m_k, L_k) from their
+// Normal-Wishart posteriors given the recipes currently assigned to
+// each topic — equation (4). Topics with no recipes draw from the
+// prior.
+func (s *Sampler) resampleComponents() error {
+	members := s.membersByTopic()
+	gel := make([]component, s.cfg.K)
+	emu := make([]component, s.cfg.K)
+	for k := 0; k < s.cfg.K; k++ {
+		gxs := make([][]float64, len(members[k]))
+		exs := make([][]float64, len(members[k]))
+		for i, d := range members[k] {
+			gxs[i] = s.data.Gel[d]
+			exs[i] = s.data.Emu[d]
+		}
+		mu, lam := s.cfg.GelPrior.Posterior(gxs).Sample(s.rng)
+		c, err := newComponent(mu, lam)
+		if err != nil {
+			return fmt.Errorf("gel component %d: %w", k, err)
+		}
+		gel[k] = c
+		m, l := s.cfg.EmuPrior.Posterior(exs).Sample(s.rng)
+		c, err = newComponent(m, l)
+		if err != nil {
+			return fmt.Errorf("emulsion component %d: %w", k, err)
+		}
+		emu[k] = c
+	}
+	s.gelComp = gel
+	s.emuComp = emu
+	return nil
+}
+
+// logLikelihood computes the joint data log-likelihood under the
+// current state: texture tokens under the φ point estimate and
+// concentration vectors under their assigned components (or the
+// posterior-mean components in collapsed mode).
+func (s *Sampler) logLikelihood() float64 {
+	gv := s.cfg.Gamma * float64(s.data.V)
+	ll := 0.0
+	for d, words := range s.data.Words {
+		for n, w := range words {
+			k := s.Z[d][n]
+			ll += math.Log((float64(s.nkw[k][w]) + s.cfg.Gamma) / (float64(s.nk[k]) + gv))
+			_ = n
+		}
+	}
+	if s.cfg.Collapsed {
+		for k := 0; k < s.cfg.K; k++ {
+			ll += s.gelAcc[k].LogMarginalLikelihood()
+			if s.cfg.UseEmulsion {
+				ll += s.emuAcc[k].LogMarginalLikelihood()
+			}
+		}
+		return ll
+	}
+	for d := range s.data.Words {
+		k := s.Y[d]
+		ll += s.gelComp[k].gauss.LogPdf(s.data.Gel[d])
+		if s.cfg.UseEmulsion {
+			ll += s.emuComp[k].gauss.LogPdf(s.data.Emu[d])
+		}
+	}
+	return ll
+}

@@ -1,0 +1,271 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lexicon"
+	"repro/internal/recipe"
+	"repro/internal/rheology"
+	"repro/internal/stats"
+)
+
+// Config controls corpus generation.
+type Config struct {
+	Seed  uint64
+	Scale float64 // population multiplier over the Table II(a) counts
+
+	// ConfoundRate is the probability a recipe gains a non-gel topping
+	// (nuts, granola, cookies) plus matching crispy texture terms — the
+	// word2vec filter's targets. Toppings stay below the 10% weight
+	// share so the recipes survive the unrelated-ingredient filter.
+	ConfoundRate float64
+	// FruitHeavyRate is the probability a recipe carries >10% fruit and
+	// is therefore dropped by the paper's exclusion rule.
+	FruitHeavyRate float64
+	// UntaggedPerTagged appends this many description-without-texture-
+	// terms recipes per tagged recipe, reproducing the paper's 63k → 10k
+	// funnel when set to ≈5.3. Zero (the default) skips them.
+	UntaggedPerTagged float64
+
+	GelJitter      float64 // σ of the log-normal jitter on gel doses
+	EmulsionJitter float64 // σ of the log-normal jitter on emulsion doses
+	ExtraTerms     int     // max extra base-topic terms per recipe beyond the first
+	KatakanaRate   float64 // probability a term is written in katakana
+
+	// TermNoise is the probability of appending one uniformly random
+	// gel-related texture term to a recipe — off-topic vocabulary noise
+	// for robustness experiments. Zero in the calibrated corpus.
+	TermNoise float64
+}
+
+// DefaultConfig generates the ≈3,000-recipe corpus of the paper's
+// final dataset.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           7,
+		Scale:          1,
+		ConfoundRate:   0.12,
+		FruitHeavyRate: 0.05,
+		GelJitter:      0.10,
+		EmulsionJitter: 0.18,
+		ExtraTerms:     2,
+		KatakanaRate:   0.2,
+	}
+}
+
+// FunnelConfig reproduces the paper's full collection funnel
+// (63,000 collected → ~10,000 with texture terms → ~3,000 kept) at the
+// given scale.
+func FunnelConfig(scale float64) Config {
+	cfg := DefaultConfig()
+	cfg.Scale = scale
+	cfg.UntaggedPerTagged = 5.3
+	cfg.FruitHeavyRate = 0.70
+	return cfg
+}
+
+// Generate builds the corpus. Every recipe carries its ground-truth
+// topic in Truth (untagged filler recipes carry −1) and is already
+// resolved (amounts parsed to grams).
+func Generate(cfg Config) ([]*recipe.Recipe, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("corpus: scale must be positive, got %g", cfg.Scale)
+	}
+	g := &generator{cfg: cfg, rng: stats.NewRNG(cfg.Seed, 0xC0FFEE), dict: lexicon.Default()}
+	var out []*recipe.Recipe
+	serial := 0
+	for _, spec := range Topics {
+		n := int(math.Round(float64(spec.Recipes) * cfg.Scale))
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			serial++
+			r, err := g.recipe(spec, serial)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+			for f := cfg.UntaggedPerTagged; f > 0; f-- {
+				if f < 1 && g.rng.Float64() >= f {
+					break
+				}
+				serial++
+				u, err := g.untagged(spec, serial)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, u)
+			}
+		}
+	}
+	// Shuffle so topic blocks are not contiguous.
+	g.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, nil
+}
+
+type generator struct {
+	cfg  Config
+	rng  *stats.RNG
+	dict *lexicon.Dictionary
+}
+
+// jitterLogNormal multiplies x by exp(N(0,σ)).
+func (g *generator) jitterLogNormal(x, sigma float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return x * math.Exp(g.rng.Normal(0, sigma))
+}
+
+func (g *generator) recipe(spec TopicSpec, serial int) (*recipe.Recipe, error) {
+	// Target composition.
+	var gels [recipe.NumGels]float64
+	for i, c := range spec.Gels {
+		gels[i] = g.jitterLogNormal(c, g.cfg.GelJitter*jitterScale(spec))
+	}
+	style := g.pickStyle(spec)
+	var emus [recipe.NumEmulsions]float64
+	for i, c := range style.Conc {
+		emus[i] = g.jitterLogNormal(c, g.cfg.EmulsionJitter)
+	}
+
+	total := g.rng.Normal(450, 70)
+	if total < 250 {
+		total = 250
+	}
+	if total > 700 {
+		total = 700
+	}
+
+	confound := g.rng.Float64() < g.cfg.ConfoundRate
+	fruitHeavy := g.rng.Float64() < g.cfg.FruitHeavyRate
+
+	ings, toppingName := g.ingredients(gels, emus, total, confound, fruitHeavy)
+
+	terms := g.terms(spec, gels, emus)
+	// A crunchy-texture sentence is only written for crunchy toppings;
+	// fruit (which wins when both flags fire) is decoration.
+	desc := g.description(spec, terms, toppingName, confound && !fruitHeavy)
+
+	r := &recipe.Recipe{
+		ID:          fmt.Sprintf("syn-%05d", serial),
+		Title:       g.title(spec, serial),
+		Description: desc,
+		Ingredients: ings,
+		Steps:       g.steps(gels, emus, style),
+		Truth:       spec.ID,
+	}
+	if err := r.Resolve(); err != nil {
+		return nil, fmt.Errorf("corpus: generated unparseable recipe: %w", err)
+	}
+	return r, nil
+}
+
+// untagged emits a same-composition recipe whose description carries no
+// texture terms; the mining pipeline drops it, as the paper dropped
+// 53,000 of its 63,000 collected recipes.
+func (g *generator) untagged(spec TopicSpec, serial int) (*recipe.Recipe, error) {
+	var gels [recipe.NumGels]float64
+	for i, c := range spec.Gels {
+		gels[i] = g.jitterLogNormal(c, g.cfg.GelJitter*jitterScale(spec))
+	}
+	style := g.pickStyle(spec)
+	var emus [recipe.NumEmulsions]float64
+	for i, c := range style.Conc {
+		emus[i] = g.jitterLogNormal(c, g.cfg.EmulsionJitter)
+	}
+	ings, _ := g.ingredients(gels, emus, 400, false, false)
+	r := &recipe.Recipe{
+		ID:          fmt.Sprintf("syn-%05d", serial),
+		Title:       g.title(spec, serial),
+		Description: g.plainDescription(),
+		Ingredients: ings,
+		Steps:       g.steps(gels, emus, style),
+		Truth:       -1,
+	}
+	if err := r.Resolve(); err != nil {
+		return nil, fmt.Errorf("corpus: generated unparseable recipe: %w", err)
+	}
+	return r, nil
+}
+
+func (g *generator) pickStyle(spec TopicSpec) EmulsionStyle {
+	if len(spec.Styles) == 0 {
+		return plainStyle(1)
+	}
+	w := make([]float64, len(spec.Styles))
+	for i, s := range spec.Styles {
+		w[i] = s.Prob
+	}
+	return spec.Styles[g.rng.Categorical(w)]
+}
+
+// terms draws the texture terms of one recipe: one or more from the
+// topic's base distribution, plus emulsion-driven hard/elastic terms
+// whose probability scales with how much the emulsions change the
+// predicted rheology versus the plain gel — the mechanism that gives
+// the Figure 3/4 case study its signal.
+func (g *generator) terms(spec TopicSpec, gels [recipe.NumGels]float64, emus [recipe.NumEmulsions]float64) []string {
+	w := make([]float64, len(spec.Terms))
+	for i, t := range spec.Terms {
+		w[i] = t.Prob
+	}
+	n := 1 + g.rng.IntN(g.cfg.ExtraTerms+1)
+	var out []string
+	for i := 0; i < n; i++ {
+		out = append(out, spec.Terms[g.rng.Categorical(w)].Romaji)
+	}
+
+	base := rheology.Predict(gels, [recipe.NumEmulsions]float64{})
+	withE := rheology.Predict(gels, emus)
+	if base.Hardness > 0.5 {
+		p := gradedProb(withE.Hardness / base.Hardness)
+		if g.rng.Float64() < p {
+			out = append(out, hardTermPool[g.rng.IntN(len(hardTermPool))])
+		}
+		// An emulsion-hardened dish also stops reading soft: posters of a
+		// firm bavarois do not call it mushy, so soft base terms are
+		// replaced by hard ones with the same graded probability.
+		for i, romaji := range out {
+			if term, ok := g.dict.ByRomaji(romaji); ok && term.Hardness < 0 && g.rng.Float64() < p {
+				out[i] = hardTermPool[g.rng.IntN(len(hardTermPool))]
+			}
+		}
+	}
+	if base.Cohesiveness > 0 && base.Hardness > 0.5 {
+		if p := gradedProb(withE.Cohesiveness / base.Cohesiveness); g.rng.Float64() < p {
+			out = append(out, elasticTermPool[g.rng.IntN(len(elasticTermPool))])
+		}
+	}
+	if g.cfg.TermNoise > 0 && g.rng.Float64() < g.cfg.TermNoise {
+		gel := g.dict.GelRelated()
+		out = append(out, g.dict.Term(gel[g.rng.IntN(len(gel))]).Romaji)
+	}
+	return out
+}
+
+// gradedProb maps an emulsion-effect ratio to an extra-term
+// probability: no effect → 0, strong effect → capped at 0.9.
+func gradedProb(ratio float64) float64 {
+	p := 0.35 * (ratio - 1)
+	if p < 0 {
+		return 0
+	}
+	if p > 0.9 {
+		return 0.9
+	}
+	return p
+}
+
+// jitterScale returns the topic's gel jitter multiplier.
+func jitterScale(spec TopicSpec) float64 {
+	if spec.JitterScale > 0 {
+		return spec.JitterScale
+	}
+	return 1
+}
+
+var hardTermPool = []string{"katai", "shikkari", "muchimuchi", "kamigotae"}
+var elasticTermPool = []string{"danryoku-ga-aru", "burunburun", "mocchiri", "hari-ga-aru"}

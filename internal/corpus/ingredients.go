@@ -1,0 +1,232 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/recipe"
+)
+
+// ingredients composes an ingredient list realizing the target
+// concentrations at the given total weight, writing amounts in the
+// heterogeneous units of real recipe posts (grams, spoons, cups,
+// sheets, packs, pieces). Returns the list and the topping name when a
+// confound or fruit load was added.
+func (g *generator) ingredients(gels [recipe.NumGels]float64, emus [recipe.NumEmulsions]float64, total float64, confound, fruitHeavy bool) ([]recipe.Ingredient, string) {
+	var ings []recipe.Ingredient
+	used := 0.0
+
+	toppingGrams := 0.0
+	toppingName := ""
+	switch {
+	case fruitHeavy:
+		toppingName = fruitNames[g.rng.IntN(len(fruitNames))]
+		toppingGrams = total * (0.15 + 0.15*g.rng.Float64())
+	case confound:
+		toppingName = confoundToppings[g.rng.IntN(len(confoundToppings))]
+		toppingGrams = total * (0.03 + 0.05*g.rng.Float64())
+	}
+
+	// Keep at least 8% of the weight for water; scale emulsions and
+	// topping down if the target composition overflows.
+	need := toppingGrams
+	for _, c := range gels {
+		need += c * total
+	}
+	for _, c := range emus {
+		need += c * total
+	}
+	if limit := 0.92 * total; need > limit {
+		f := limit / need
+		for i := range emus {
+			emus[i] *= f
+		}
+		toppingGrams *= f
+	}
+
+	for gel := recipe.Gel(0); gel < recipe.NumGels; gel++ {
+		grams := gels[gel] * total
+		if grams <= 0 {
+			continue
+		}
+		name, amount, realized := g.gelAmount(gel, grams)
+		ings = append(ings, recipe.Ingredient{Name: name, Amount: amount})
+		used += realized
+	}
+	for emu := recipe.Emulsion(0); emu < recipe.NumEmulsions; emu++ {
+		grams := emus[emu] * total
+		if grams <= 0 {
+			continue
+		}
+		name, amount, realized := g.emulsionAmount(emu, grams)
+		if realized <= 0 {
+			continue
+		}
+		ings = append(ings, recipe.Ingredient{Name: name, Amount: amount})
+		used += realized
+	}
+	if toppingGrams > 1 {
+		ings = append(ings, recipe.Ingredient{Name: toppingName, Amount: fmt.Sprintf("%dg", int(math.Round(toppingGrams)))})
+		used += math.Round(toppingGrams)
+	}
+
+	// Water fills the remainder.
+	water := total - used
+	if water < 20 {
+		water = 20
+	}
+	ings = append(ings, recipe.Ingredient{Name: "水", Amount: g.waterAmount(water)})
+	return ings, toppingName
+}
+
+var confoundToppings = []string{"ナッツ", "グラノーラ", "クッキー"}
+var fruitNames = []string{"いちご", "みかん", "もも", "フルーツ"}
+
+// gelAmount renders a gel dose in one of the unit styles posters use
+// and returns the grams the written amount actually resolves to. Gel
+// doses are the latent signal the topic model must recover, so a unit
+// is only used when its rounding keeps the dose within 25% of the
+// target (nobody writes "1袋" of a 5 g sachet when the recipe needs
+// 1.5 g — they write grams); otherwise the amount falls back to grams
+// rounded to 0.5.
+func (g *generator) gelAmount(gel recipe.Gel, grams float64) (name, amount string, realized float64) {
+	gramsFallback := func(name string) (string, string, float64) {
+		v := roundTo(grams, 0.5)
+		if v == 0 {
+			v = 0.5
+		}
+		return name, trimFloat(v) + "g", v
+	}
+	// accept reports whether a candidate realization is close enough.
+	accept := func(realized float64) bool {
+		return math.Abs(realized-grams) <= 0.25*grams
+	}
+	switch gel {
+	case recipe.Gelatin:
+		switch g.rng.IntN(4) {
+		case 1: // sheets of 1.5 g
+			n := atLeast1(math.Round(grams / 1.5))
+			if r := float64(n) * 1.5; accept(r) {
+				return "板ゼラチン", fmt.Sprintf("%d枚", n), r
+			}
+		case 2: // 5 g sachets
+			n := atLeast1(math.Round(grams / 5))
+			if r := float64(n) * 5; accept(r) {
+				return "ゼラチン", fmt.Sprintf("%d袋", n), r
+			}
+		case 3: // teaspoons, 5 mL × 0.6 g/mL = 3 g
+			v := roundTo(grams/3, 0.5)
+			if r := v * 3; v > 0 && accept(r) {
+				return "ゼラチン", "小さじ" + trimFloat(v), r
+			}
+		}
+		return gramsFallback("ゼラチン")
+	case recipe.Kanten:
+		switch g.rng.IntN(3) {
+		case 1: // 4 g sachets
+			n := atLeast1(math.Round(grams / 4))
+			if r := float64(n) * 4; accept(r) {
+				return "寒天", fmt.Sprintf("%d袋", n), r
+			}
+		case 2: // sticks of 8 g
+			n := atLeast1(math.Round(grams / 8))
+			if r := float64(n) * 8; accept(r) {
+				return "棒寒天", fmt.Sprintf("%d本", n), r
+			}
+		}
+		return gramsFallback("粉寒天")
+	default: // agar
+		if g.rng.IntN(2) == 1 {
+			v := roundTo(grams/3, 0.5)
+			if r := v * 3; v > 0 && accept(r) {
+				return "アガー", "小さじ" + trimFloat(v), r
+			}
+		}
+		return gramsFallback("アガー")
+	}
+}
+
+// emulsionAmount renders an emulsion dose and returns realized grams.
+func (g *generator) emulsionAmount(emu recipe.Emulsion, grams float64) (name, amount string, realized float64) {
+	switch emu {
+	case recipe.Sugar:
+		if g.rng.IntN(2) == 0 {
+			v := math.Round(grams)
+			return "砂糖", trimFloat(v) + "g", v
+		}
+		v := roundTo(grams/9, 0.5) // 大さじ = 15 mL × 0.6
+		if v == 0 {
+			v = 0.5
+		}
+		return "砂糖", "大さじ" + trimFloat(v), v * 9
+	case recipe.EggAlbumen:
+		n := atLeast1(math.Round(grams / 30))
+		return "卵白", fmt.Sprintf("%d個", n), float64(n) * 30
+	case recipe.EggYolk:
+		n := atLeast1(math.Round(grams / 20))
+		return "卵黄", fmt.Sprintf("%d個", n), float64(n) * 20
+	case recipe.RawCream:
+		if grams > 150 && g.rng.IntN(3) == 0 {
+			n := atLeast1(math.Round(grams / 200))
+			return "生クリーム", fmt.Sprintf("%dパック", n), float64(n) * 200
+		}
+		v := roundTo(grams, 10) // density 1.0 → mL = g
+		if v == 0 {
+			v = 10
+		}
+		return "生クリーム", trimFloat(v) + "ml", v
+	case recipe.Milk:
+		if g.rng.IntN(3) == 0 {
+			v := roundTo(grams/206, 0.5) // カップ = 200 mL × 1.03
+			if v == 0 {
+				v = 0.5
+			}
+			return "牛乳", trimFloat(v) + "カップ", v * 206
+		}
+		ml := roundTo(grams/1.03, 10)
+		if ml == 0 {
+			ml = 10
+		}
+		return "牛乳", trimFloat(ml) + "ml", ml * 1.03
+	default: // yogurt
+		v := math.Round(grams)
+		if v == 0 {
+			return "", "", 0
+		}
+		return "ヨーグルト", trimFloat(v) + "g", v
+	}
+}
+
+func (g *generator) waterAmount(grams float64) string {
+	switch g.rng.IntN(3) {
+	case 0:
+		return trimFloat(roundTo(grams, 10)) + "ml"
+	case 1:
+		return trimFloat(roundTo(grams, 10)) + "cc"
+	default:
+		v := roundTo(grams/200, 0.5)
+		if v == 0 {
+			v = 0.5
+		}
+		return trimFloat(v) + "カップ"
+	}
+}
+
+func roundTo(x, step float64) float64 {
+	return math.Round(x/step) * step
+}
+
+func atLeast1(x float64) int {
+	if x < 1 {
+		return 1
+	}
+	return int(x)
+}
+
+// trimFloat formats without a trailing ".0".
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%d", int(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

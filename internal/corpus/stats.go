@@ -1,0 +1,68 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lexicon"
+	"repro/internal/recipe"
+)
+
+// Summary aggregates corpus statistics, mirroring the figures the
+// paper reports about its collection (Section IV.A).
+type Summary struct {
+	Total         int
+	Tagged        int            // recipes whose description carries ≥1 texture term
+	ByGel         map[string]int // recipes per dominant gel
+	ByTruth       map[int]int    // recipes per ground-truth topic
+	DistinctTerms int            // distinct dictionary terms observed
+}
+
+// Summarize scans the corpus.
+func Summarize(recipes []*recipe.Recipe, dict *lexicon.Dictionary) Summary {
+	s := Summary{
+		Total:   len(recipes),
+		ByGel:   make(map[string]int),
+		ByTruth: make(map[int]int),
+	}
+	seen := make(map[int]bool)
+	for _, r := range recipes {
+		ids := dict.ExtractTermIDs(r.Description)
+		if len(ids) > 0 {
+			s.Tagged++
+			for _, id := range ids {
+				seen[id] = true
+			}
+		}
+		s.ByTruth[r.Truth]++
+		g := r.GelConcentrations()
+		best, bestC := "", 0.0
+		for i, c := range g {
+			if c > bestC {
+				bestC = c
+				best = recipe.Gel(i).String()
+			}
+		}
+		if best != "" {
+			s.ByGel[best]++
+		}
+	}
+	s.DistinctTerms = len(seen)
+	return s
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "recipes=%d tagged=%d distinctTerms=%d\n", s.Total, s.Tagged, s.DistinctTerms)
+	gels := make([]string, 0, len(s.ByGel))
+	for g := range s.ByGel {
+		gels = append(gels, g)
+	}
+	sort.Strings(gels)
+	for _, g := range gels {
+		fmt.Fprintf(&sb, "  %s: %d\n", g, s.ByGel[g])
+	}
+	return sb.String()
+}

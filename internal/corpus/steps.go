@@ -1,0 +1,56 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/recipe"
+)
+
+// steps generates the cooking instructions of a recipe. Steps follow
+// the preparation a composition actually requires — gelatin blooms and
+// dissolves below the boil, kanten and agar must be boiled, egg white
+// and cream are whipped, everything chills to set — so step keywords
+// carry real signal about the resulting texture, the signal the
+// paper's future-work rule mining is after.
+func (g *generator) steps(gels [recipe.NumGels]float64, emus [recipe.NumEmulsions]float64, style EmulsionStyle) []string {
+	var out []string
+
+	switch {
+	case gels[recipe.Kanten] > 0 && gels[recipe.Kanten] >= gels[recipe.Gelatin]:
+		out = append(out,
+			"寒天を水にひたしてもどす。",
+			"なべにいれて煮とかし、2ふんほど沸騰させる。")
+	case gels[recipe.Agar] > 0 && gels[recipe.Agar] >= gels[recipe.Gelatin]:
+		out = append(out,
+			"アガーと砂糖をよくまぜておく。",
+			"水にふりいれて煮とかし、沸騰直前まであたためる。")
+	default:
+		out = append(out,
+			"ゼラチンを水でふやかしておく。",
+			"あたためたベースにゼラチンをいれてとかす。")
+	}
+
+	fat := emus[recipe.RawCream] + emus[recipe.EggAlbumen]
+	if fat > 0.05 || strings.Contains(style.Name, "mousse") {
+		if emus[recipe.EggAlbumen] > 0 {
+			out = append(out, "卵白をあわだててメレンゲにする。")
+		}
+		if emus[recipe.RawCream] > 0 {
+			out = append(out, "生クリームを八分立てにあわだてる。")
+		}
+		out = append(out, "ベースにさっくりとまぜあわせる。")
+	}
+	if emus[recipe.Milk] > 0.2 {
+		out = append(out, "牛乳をくわえてよくまぜる。")
+	}
+
+	// Setting: kanten sets at room temperature, the others chill.
+	if gels[recipe.Kanten] > 0 && gels[recipe.Kanten] >= gels[recipe.Gelatin] {
+		out = append(out, "型にながして常温でかためる。")
+	} else {
+		hours := 2 + g.rng.IntN(3)
+		out = append(out, fmt.Sprintf("れいぞうこで%dじかんひやしかためる。", hours))
+	}
+	return out
+}

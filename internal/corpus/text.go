@@ -1,0 +1,117 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// termSurface renders a texture term (romaji key) as it would appear
+// in a post: usually hiragana, sometimes katakana.
+func (g *generator) termSurface(romaji string) string {
+	term, ok := g.dict.ByRomaji(romaji)
+	if !ok {
+		// Generator term lists are validated by tests; an unknown romaji
+		// here is a programming error.
+		panic("corpus: term not in lexicon: " + romaji)
+	}
+	kana := term.Kana
+	if g.rng.Float64() < g.cfg.KatakanaRate {
+		return toKatakana(kana)
+	}
+	return kana
+}
+
+// toKatakana shifts hiragana runes to katakana; the tokenizer folds
+// them back, so dictionary matching is unaffected.
+func toKatakana(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r >= 0x3041 && r <= 0x3096 {
+			r = r - 0x3041 + 0x30A1
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}
+
+var termTemplates = []string{
+	"とても%sなしあがりです。",
+	"%sのしょっかんがたまりません。",
+	"ひやすと%sになります。",
+	"こどもがよろこぶ%sデザートです。",
+	"くちにいれると%sでしあわせなあじわい。",
+	"%sでとてもおいしいですよ。",
+}
+
+var confoundTemplates = []string{
+	"%sをのせて%sのしょっかんをプラスしました。",
+	"しあげに%sをトッピングして%sにしあげます。",
+}
+
+var introTemplates = []string{
+	"%sでつくるかんたんデザートです。",
+	"%sをつかったてづくりおやつです。",
+	"おうちにある%sでできるレシピです。",
+}
+
+var confoundTermPool = []string{"sakusaku", "karikari", "paripari", "zakuzaku"}
+
+// description assembles the free text of a tagged recipe: an intro
+// naming the gel, one sentence per texture term, and — when a topping
+// confound is present — a topping sentence whose crispy term co-occurs
+// with the topping name (the word2vec filter's training signal).
+func (g *generator) description(spec TopicSpec, terms []string, toppingName string, confound bool) string {
+	var sb strings.Builder
+	gelName := g.primaryGelName(spec)
+	fmt.Fprintf(&sb, introTemplates[g.rng.IntN(len(introTemplates))], gelName)
+	for _, t := range terms {
+		fmt.Fprintf(&sb, termTemplates[g.rng.IntN(len(termTemplates))], g.termSurface(t))
+	}
+	if toppingName != "" {
+		if confound {
+			ct := confoundTermPool[g.rng.IntN(len(confoundTermPool))]
+			fmt.Fprintf(&sb, confoundTemplates[g.rng.IntN(len(confoundTemplates))],
+				toppingName, g.termSurface(ct))
+		} else {
+			// Fruit decorations are mentioned without texture claims, as
+			// in real posts — this gives fruit words ordinary contexts so
+			// only the crunchy-topping words stay texture-specific.
+			fmt.Fprintf(&sb, decorationTemplates[g.rng.IntN(len(decorationTemplates))], toppingName)
+		}
+	}
+	return sb.String()
+}
+
+var decorationTemplates = []string{
+	"%sをかざってかわいくしあげました。",
+	"%sをそえていろどりよくどうぞ。",
+	"おこのみで%sをのせてもおいしいです。",
+}
+
+// plainDescription is the texture-term-free text of filler recipes.
+func (g *generator) plainDescription() string {
+	options := []string{
+		"かんたんにつくれるデザートです。おもてなしにもどうぞ。",
+		"れいぞうこでひやすだけのてがるなおやつです。",
+		"ざいりょうをまぜてかためるだけのレシピです。",
+	}
+	return options[g.rng.IntN(len(options))]
+}
+
+func (g *generator) primaryGelName(spec TopicSpec) string {
+	best, bestC := "ゼラチン", 0.0
+	names := []string{"ゼラチン", "寒天", "アガー"}
+	for i, c := range spec.Gels {
+		if c > bestC {
+			bestC = c
+			best = names[i]
+		}
+	}
+	return best
+}
+
+func (g *generator) title(spec TopicSpec, serial int) string {
+	styles := []string{"ぷるぷる", "てづくり", "かんたん", "おうちカフェの", "なつかしの"}
+	kinds := []string{"ゼリー", "ムース", "プリン", "デザート", "スイーツ"}
+	return fmt.Sprintf("%s%s No.%d", styles[g.rng.IntN(len(styles))], kinds[g.rng.IntN(len(kinds))], serial)
+}

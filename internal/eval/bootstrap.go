@@ -1,0 +1,61 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// CI is a bootstrap percentile confidence interval for a metric.
+type CI struct {
+	Point float64 // metric on the full sample
+	Lo    float64
+	Hi    float64
+}
+
+// BootstrapClusterMetric resamples (prediction, truth) pairs with
+// replacement and returns the percentile CI of the given metric at the
+// given level (e.g. 0.95). metric is evaluated on each resample via a
+// fresh contingency table.
+func BootstrapClusterMetric(pred, truth []int, metric func(*Contingency) float64,
+	resamples int, level float64, seed uint64) (CI, error) {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return CI{}, fmt.Errorf("eval: bad inputs (%d vs %d)", len(pred), len(truth))
+	}
+	if resamples < 10 {
+		return CI{}, fmt.Errorf("eval: need ≥10 resamples, got %d", resamples)
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, fmt.Errorf("eval: level %g outside (0,1)", level)
+	}
+	full, err := NewContingency(pred, truth)
+	if err != nil {
+		return CI{}, err
+	}
+	rng := stats.NewRNG(seed, 0xB007)
+	n := len(pred)
+	vals := make([]float64, resamples)
+	rp := make([]int, n)
+	rt := make([]int, n)
+	for b := 0; b < resamples; b++ {
+		for i := 0; i < n; i++ {
+			j := rng.IntN(n)
+			rp[i] = pred[j]
+			rt[i] = truth[j]
+		}
+		c, err := NewContingency(rp, rt)
+		if err != nil {
+			return CI{}, err
+		}
+		vals[b] = metric(c)
+	}
+	sort.Float64s(vals)
+	alpha := (1 - level) / 2
+	lo := vals[int(alpha*float64(resamples))]
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return CI{Point: metric(full), Lo: lo, Hi: vals[hiIdx]}, nil
+}

@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hungarian solves the square assignment problem: given cost[i][j],
+// it returns the column assigned to each row minimizing the total
+// cost (the Jonker-style O(n³) shortest augmenting path variant).
+func Hungarian(cost [][]float64) ([]int, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, fmt.Errorf("eval: empty cost matrix")
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, fmt.Errorf("eval: row %d has %d columns, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) {
+				return nil, fmt.Errorf("eval: NaN cost at (%d,%d)", i, j)
+			}
+		}
+	}
+	// 1-based potentials; a[0], b[0] unused.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row assigned to column j
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	return assign, nil
+}
+
+// MatchTopics finds the optimal one-to-one matching between two topic
+// sets by maximizing the summed cosine similarity of their term
+// distributions. It returns, for each topic of a, the matched topic of
+// b and the per-pair cosine similarities.
+func MatchTopics(phiA, phiB [][]float64) (match []int, sims []float64, err error) {
+	k := len(phiA)
+	if k == 0 || len(phiB) != k {
+		return nil, nil, fmt.Errorf("eval: topic sets of size %d and %d", k, len(phiB))
+	}
+	cost := make([][]float64, k)
+	for i := range cost {
+		cost[i] = make([]float64, k)
+		for j := range cost[i] {
+			cost[i][j] = -cosineVec(phiA[i], phiB[j])
+		}
+	}
+	match, err = Hungarian(cost)
+	if err != nil {
+		return nil, nil, err
+	}
+	sims = make([]float64, k)
+	for i, j := range match {
+		sims[i] = cosineVec(phiA[i], phiB[j])
+	}
+	return match, sims, nil
+}
+
+func cosineVec(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Stability summarizes topic agreement between two fits of the same
+// data (different seeds): the mean and minimum matched-topic cosine,
+// weighted by nothing — every topic counts equally.
+type Stability struct {
+	Match   []int
+	Sims    []float64
+	Mean    float64
+	Minimum float64
+}
+
+// TopicStability matches the two fits' topics optimally and summarizes
+// the agreement.
+func TopicStability(phiA, phiB [][]float64) (Stability, error) {
+	match, sims, err := MatchTopics(phiA, phiB)
+	if err != nil {
+		return Stability{}, err
+	}
+	st := Stability{Match: match, Sims: sims, Minimum: math.Inf(1)}
+	for _, s := range sims {
+		st.Mean += s
+		if s < st.Minimum {
+			st.Minimum = s
+		}
+	}
+	st.Mean /= float64(len(sims))
+	return st, nil
+}

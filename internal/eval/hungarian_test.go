@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestHungarianKnown(t *testing.T) {
+	// Classic example: optimal assignment cost 5 (0→1, 1→0, 2→2).
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	seen := make(map[int]bool)
+	for i, j := range assign {
+		total += cost[i][j]
+		if seen[j] {
+			t.Fatalf("column %d assigned twice", j)
+		}
+		seen[j] = true
+	}
+	if total != 5 {
+		t.Errorf("total cost = %g, want 5 (assignment %v)", total, assign)
+	}
+}
+
+func TestHungarianIdentityOnDiagonal(t *testing.T) {
+	// Zero diagonal, positive elsewhere: identity is optimal.
+	n := 6
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i != j {
+				cost[i][j] = 1 + float64((i+j)%3)
+			}
+		}
+	}
+	assign, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range assign {
+		if i != j {
+			t.Fatalf("assign = %v, want identity", assign)
+		}
+	}
+}
+
+// Property: Hungarian is optimal — compare against brute force for
+// small n.
+func TestHungarianOptimalProperty(t *testing.T) {
+	rng := stats.NewRNG(123, 1)
+	f := func(seed uint8) bool {
+		_ = seed
+		n := 2 + rng.IntN(4)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 10
+			}
+		}
+		assign, err := Hungarian(cost)
+		if err != nil {
+			return false
+		}
+		got := 0.0
+		for i, j := range assign {
+			got += cost[i][j]
+		}
+		best := bruteForceAssignment(cost)
+		return math.Abs(got-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bruteForceAssignment(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			total := 0.0
+			for i, j := range perm {
+				total += cost[i][j]
+			}
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestHungarianValidation(t *testing.T) {
+	if _, err := Hungarian(nil); err == nil {
+		t.Error("empty matrix should fail")
+	}
+	if _, err := Hungarian([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+	if _, err := Hungarian([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN cost should fail")
+	}
+}
+
+func TestMatchTopicsPermutation(t *testing.T) {
+	// B is a permutation of A: matching must recover it with cosine 1.
+	phiA := [][]float64{
+		{0.7, 0.2, 0.1, 0},
+		{0, 0.1, 0.2, 0.7},
+		{0.25, 0.25, 0.25, 0.25},
+	}
+	phiB := [][]float64{phiA[2], phiA[0], phiA[1]}
+	match, sims, err := MatchTopics(phiA, phiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 0}
+	for i := range want {
+		if match[i] != want[i] {
+			t.Errorf("match = %v, want %v", match, want)
+			break
+		}
+	}
+	for i, s := range sims {
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("sim[%d] = %g", i, s)
+		}
+	}
+}
+
+func TestTopicStability(t *testing.T) {
+	phiA := [][]float64{{0.9, 0.1}, {0.1, 0.9}}
+	phiB := [][]float64{{0.1, 0.9}, {0.8, 0.2}}
+	st, err := TopicStability(phiA, phiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mean < 0.95 || st.Minimum < 0.9 {
+		t.Errorf("stability = %+v", st)
+	}
+	if _, err := TopicStability(phiA, phiB[:1]); err == nil {
+		t.Error("size mismatch should fail")
+	}
+}

@@ -1,0 +1,179 @@
+package lexicon
+
+// root is a two-to-three-mora mimetic root. Japanese texture mimetics
+// derive systematically from such roots: ぷる → ぷるぷる (reduplication),
+// ぷるっ (sokuon form), ぷるん (n-form), ぷるんぷるん (n-reduplication).
+// The dictionary expands every root into those four forms, each
+// inheriting the root's annotations; the sokuon and n- forms describe a
+// momentary percept and the reduplicated forms a sustained one, but they
+// sit at the same point on the rheological axes, which is what matters
+// for this pipeline.
+type root struct {
+	kana, romaji, gloss string
+	hard, coh, adh      float64
+	gel                 bool
+}
+
+// roots lists the mimetic roots. Scores follow the glosses the paper's
+// Table II(a) gives for the terms it names, and the cited texture-term
+// literature for the rest.
+var roots = []root{
+	// Gel-related roots: soft / elastic / wobbly family.
+	{"ぷる", "puru", "soft elastic and slightly sticky, slightly wobbly", -0.3, 0.8, 0.2, true},
+	{"ふる", "furu", "soft and slightly wobbly, easy to break", -0.8, -0.2, 0.0, true},
+	{"ぶる", "buru", "elastic and slightly wobbly", 0.1, 0.7, 0.0, true},
+	{"ぶり", "buri", "firm and resilient", 0.5, 0.7, 0.0, true},
+	{"ぷり", "puri", "crisp-popping; slight sound at the bite", 0.4, 0.5, 0.0, true},
+	{"むち", "muchi", "resilient, firm and slightly sticky", 0.6, 0.7, 0.3, true},
+	{"もち", "mochi", "chewy, sticky and elastic", 0.2, 0.7, 0.5, true},
+	{"ぷに", "puni", "soft elastic and slightly sticky", -0.4, 0.6, 0.2, true},
+	{"ぷよ", "puyo", "jiggly and soft", -0.5, 0.5, 0.0, true},
+	{"しこ", "shiko", "firm, chewy and resilient", 0.6, 0.8, 0.0, true},
+	// Melting / flowing family.
+	{"とろ", "toro", "melty, thick and flowing", -0.7, -0.3, 0.3, true},
+	{"どろ", "doro", "muddy and thick", -0.6, -0.5, 0.5, true},
+	{"だら", "dara", "thick, heavy, drooping flow", -0.4, -0.5, 0.4, true},
+	{"もた", "mota", "thick and sluggish", -0.2, -0.3, 0.4, true},
+	// Airy / soft family.
+	{"ふわ", "fuwa", "soft and fluffy", -0.9, 0.2, 0.0, true},
+	{"ふか", "fuka", "soft, swollen and somewhat elastic", -0.6, 0.2, 0.0, true},
+	{"ふにゃ", "funya", "limp and soft", -0.8, -0.2, 0.0, true},
+	{"ゆる", "yuru", "thin, loose, easy to deform", -0.9, -0.4, 0.0, true},
+	{"くた", "kuta", "soft, not taut", -0.7, -0.4, 0.0, true},
+	{"くにゃ", "kunya", "pliant, bending", -0.6, -0.1, 0.0, true},
+	{"ぐにゃ", "gunya", "squishy, deforming", -0.6, -0.3, 0.1, true},
+	{"ぐちゃ", "gucha", "mushy; having lost its original shape", -0.5, -0.8, 0.4, true},
+	// Sticky family.
+	{"べた", "beta", "sticky, flattening", -0.3, -0.2, 0.8, true},
+	{"べちゃ", "becha", "sticky, viscous and watery", -0.5, -0.3, 0.7, true},
+	{"ねば", "neba", "sticky and stringy", -0.2, 0.3, 0.9, true},
+	{"ねと", "neto", "sticky, clinging", -0.2, 0.0, 0.9, true},
+	{"ぬちゃ", "nucha", "wet and sticky", -0.3, -0.2, 0.8, true},
+	{"ぬる", "nuru", "slimy, slippery", -0.4, 0.0, 0.6, true},
+	{"ぬめ", "nume", "slick, smooth-coated", -0.3, 0.0, 0.5, true},
+	// Smooth / slippery family.
+	{"つる", "tsuru", "smooth and slippery", -0.3, 0.3, 0.1, true},
+	{"ちゅる", "churu", "slippery, smooth and wet surface", -0.3, 0.2, 0.1, true},
+	{"すべ", "sube", "smooth, sliding", -0.3, 0.1, 0.0, true},
+	// Firm / hard gel family.
+	{"こり", "kori", "crunchy, small firm bite", 0.7, 0.3, 0.0, true},
+	{"こち", "kochi", "stiff, hardened", 0.8, 0.0, 0.0, true},
+	{"かち", "kachi", "hard as if frozen solid", 0.95, 0.1, 0.0, true},
+	{"がち", "gachi", "extremely hard, rigid", 1.0, 0.1, 0.0, true},
+	// Crumbly / dry family.
+	{"ほろ", "horo", "crumbly and soft", -0.2, -0.8, 0.0, true},
+	{"ぼろ", "boro", "crumbling, falling apart", 0.0, -0.9, 0.0, true},
+	{"ぽろ", "poro", "flaking into small crumbs", -0.1, -0.7, 0.0, true},
+	{"ぼそ", "boso", "dry, crumbly and not compact", 0.2, -0.7, 0.0, true},
+	{"ぱさ", "pasa", "dry, moistureless", 0.1, -0.6, 0.0, true},
+	{"から", "kara", "dry and crispy", 0.3, -0.5, 0.0, true},
+	// Thick-body family.
+	{"ぽて", "pote", "thick, plump, resistant to flow", 0.1, -0.2, 0.4, true},
+	{"ぼて", "bote", "thick and heavy, resistant to flow", 0.2, -0.3, 0.4, true},
+	// Grain / fizz family.
+	{"しゃく", "shaku", "crisp; material is cut off or shears off easily", 0.4, -0.4, 0.0, true},
+	{"しゅわ", "shuwa", "fizzy, bursting finely", -0.3, -0.3, 0.0, true},
+	{"ぷち", "puchi", "popping like small beads", 0.2, 0.3, 0.0, true},
+	{"つぶ", "tsubu", "grainy, granular", 0.2, -0.3, 0.0, true},
+	{"ざら", "zara", "gritty, rough-surfaced", 0.2, -0.3, 0.1, true},
+	// Non-gel crisp/crunchy family: textures of fried foods, nuts and raw
+	// vegetables. These are the targets of the word2vec relatedness
+	// filter — a mousse topped with nuts may be described as さくさく, but
+	// that says nothing about the gel.
+	{"さく", "saku", "lightly crisp (pastry, nuts)", 0.5, -0.6, 0.0, false},
+	{"かり", "kari", "hard-crisp (deep-fried)", 0.7, -0.5, 0.0, false},
+	{"ぱり", "pari", "thin-crisp (crackers, nori)", 0.6, -0.5, 0.0, false},
+	{"ばり", "bari", "hard cracker crunch", 0.7, -0.5, 0.0, false},
+	{"しゃき", "shaki", "crisp-fresh (raw vegetables)", 0.5, -0.4, 0.0, false},
+	{"しゃり", "shari", "icy-granular (sherbet)", 0.4, -0.4, 0.0, false},
+	{"ざく", "zaku", "coarse crunch (granola)", 0.6, -0.5, 0.0, false},
+	{"がり", "gari", "hard gnawing crunch", 0.8, -0.4, 0.0, false},
+	{"ごり", "gori", "hard and gristly", 0.8, 0.1, 0.0, false},
+	{"ぽき", "poki", "snapping cleanly", 0.7, -0.6, 0.0, false},
+	{"ぱき", "paki", "crisp snap", 0.7, -0.6, 0.0, false},
+}
+
+// irregular entries: lexicalized -ri adverbs, adjectives and texture
+// phrases that do not follow the four-form mimetic paradigm.
+var irregulars = []root{
+	{"ぽってり", "potteri", "thick, resistant to flow", 0.1, -0.2, 0.4, true},
+	{"もったり", "mottari", "thick and viscous, resistant to flow", -0.1, -0.3, 0.5, true},
+	{"ねっとり", "nettori", "sticky, viscous and thick", -0.1, 0.0, 0.9, true},
+	{"ねっちり", "necchiri", "very sticky and viscous", 0.0, 0.1, 0.95, true},
+	{"どっしり", "dossiri", "heavy, dense", 0.8, 0.2, 0.0, true},
+	{"しっとり", "shittori", "moist and smooth", -0.4, 0.1, 0.2, true},
+	{"かっちり", "kacchiri", "firmly set", 0.7, 0.3, 0.0, true},
+	{"がっちり", "gacchiri", "rigidly solid", 0.9, 0.2, 0.0, true},
+	{"もっちり", "mocchiri", "springy and chewy", 0.1, 0.8, 0.4, true},
+	{"むっちり", "mucchiri", "dense and springy", 0.4, 0.7, 0.2, true},
+	{"あっさり", "assari", "light, plain-bodied", -0.3, 0.0, 0.0, true},
+	{"こってり", "kotteri", "heavy and rich", 0.1, -0.1, 0.5, true},
+	{"さっくり", "sakkuri", "lightly crisp through", 0.3, -0.5, 0.0, false},
+	{"ざっくり", "zakkuri", "coarsely crunchy through", 0.5, -0.5, 0.0, false},
+	{"しっかり", "shikkari", "firm, well set", 0.6, 0.4, 0.0, true},
+	{"ふっくら", "fukkura", "plump and soft", -0.7, 0.3, 0.0, true},
+	{"ふんわり", "funwari", "airy and soft", -0.9, 0.2, 0.0, true},
+	{"とろり", "torori", "melting into a thick drop", -0.7, -0.3, 0.3, true},
+	{"どろり", "dorori", "thick muddy drop", -0.5, -0.4, 0.5, true},
+	{"ぬるり", "nururi", "slipping slickly", -0.4, 0.0, 0.6, true},
+	{"つるり", "tsururi", "slipping smoothly", -0.3, 0.3, 0.1, true},
+	{"ほろり", "horori", "crumbling tenderly", -0.3, -0.7, 0.0, true},
+	{"こしがある", "koshi-ga-aru", "having firm body", 0.5, 0.7, 0.0, true},
+	{"はごたえがある", "hagotae-ga-aru", "having a chewy bite", 0.7, 0.5, 0.0, true},
+	{"くちどけがよい", "kuchidoke-ga-yoi", "melting well in the mouth", -0.7, -0.4, 0.0, true},
+	{"なめらか", "nameraka", "smooth", -0.4, 0.2, 0.1, true},
+	{"かたい", "katai", "hard, firm, stiff, tough, rigid", 0.9, 0.1, 0.0, true},
+	{"やわらかい", "yawarakai", "soft", -0.9, 0.0, 0.0, true},
+	{"おもい", "omoi", "heavy", 0.6, 0.0, 0.1, true},
+	{"かるい", "karui", "light", -0.5, -0.1, 0.0, true},
+	{"はじける", "hajikeru", "cracking open, fizzy", 0.3, -0.3, 0.0, true},
+	{"とける", "tokeru", "melting", -0.8, -0.4, 0.1, true},
+	{"みずみずしい", "mizumizushii", "juicy, fresh", -0.5, 0.0, 0.0, true},
+	{"だんりょくがある", "danryoku-ga-aru", "elastic", 0.2, 0.9, 0.0, true},
+	{"はりがある", "hari-ga-aru", "taut", 0.4, 0.6, 0.0, true},
+	{"きめこまかい", "kimekomakai", "fine-textured", -0.2, 0.2, 0.0, true},
+	{"あらい", "arai", "coarse-textured", 0.3, -0.3, 0.0, true},
+	{"べたつく", "betatsuku", "sticking, clinging", -0.2, -0.1, 0.9, true},
+	{"ねばる", "nebaru", "pulling sticky strings", -0.1, 0.3, 0.9, true},
+	{"とろける", "torokeru", "melting away richly", -0.8, -0.3, 0.2, true},
+	{"くずれる", "kuzureru", "collapsing", -0.3, -0.9, 0.0, true},
+	{"くずれやすい", "kuzureyasui", "collapsing easily", -0.3, -0.85, 0.0, true},
+	{"こわれやすい", "kowareyasui", "breaking easily", -0.2, -0.8, 0.0, true},
+	{"かみごたえ", "kamigotae", "chewiness", 0.6, 0.5, 0.0, true},
+	{"のどごしがよい", "nodogoshi-ga-yoi", "sliding smoothly down the throat", -0.4, -0.2, 0.0, true},
+	{"ごわごわ", "gowagowa", "stiff and rough (fibrous)", 0.5, -0.2, 0.0, false},
+	{"ぱさつく", "pasatsuku", "turning dry and crumbly", 0.1, -0.6, 0.0, true},
+	{"ひんやり", "hinyari", "cool to the tongue", -0.2, 0.0, 0.0, true},
+}
+
+// DictionarySize is the number of entries in the default dictionary,
+// matching the size of the paper's dictionary.
+const DictionarySize = 288
+
+// expand produces the full term list: four regular forms per root, then
+// the irregular entries, with dense IDs in deterministic order.
+func expand() []Term {
+	terms := make([]Term, 0, len(roots)*4+len(irregulars))
+	add := func(kana, romaji string, r root) {
+		terms = append(terms, Term{
+			ID:           len(terms),
+			Kana:         kana,
+			Romaji:       romaji,
+			Gloss:        r.gloss,
+			Hardness:     r.hard,
+			Cohesiveness: r.coh,
+			Adhesiveness: r.adh,
+			GelRelated:   r.gel,
+		})
+	}
+	for _, r := range roots {
+		add(r.kana+r.kana, r.romaji+r.romaji, r)                 // ぷるぷる
+		add(r.kana+"っ", r.romaji+"t", r)                         // ぷるっ
+		add(r.kana+"ん", r.romaji+"n", r)                         // ぷるん
+		add(r.kana+"ん"+r.kana+"ん", r.romaji+"n"+r.romaji+"n", r) // ぷるんぷるん
+	}
+	for _, r := range irregulars {
+		add(r.kana, r.romaji, r)
+	}
+	return terms
+}

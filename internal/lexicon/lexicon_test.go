@@ -1,0 +1,247 @@
+package lexicon
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/textseg"
+)
+
+func TestDefaultDictionarySize(t *testing.T) {
+	d := Default()
+	if d.Len() != DictionarySize {
+		t.Fatalf("dictionary has %d terms, want %d (the paper's dictionary size)", d.Len(), DictionarySize)
+	}
+}
+
+func TestDefaultDictionaryConsistency(t *testing.T) {
+	d := Default()
+	for i := 0; i < d.Len(); i++ {
+		term := d.Term(i)
+		if term.ID != i {
+			t.Fatalf("term at %d has ID %d", i, term.ID)
+		}
+		if term.Kana == "" || term.Romaji == "" || term.Gloss == "" {
+			t.Fatalf("term %d has empty fields: %+v", i, term)
+		}
+		if term.Kana != textseg.Normalize(term.Kana) {
+			t.Errorf("term %q not normalized", term.Kana)
+		}
+		if math.Abs(term.Hardness) > 1 || math.Abs(term.Cohesiveness) > 1 ||
+			term.Adhesiveness < 0 || term.Adhesiveness > 1 {
+			t.Errorf("term %q scores out of range: %+v", term.Romaji, term)
+		}
+	}
+}
+
+// The 41 texture terms the paper's tables name (in our canonical kana
+// mapping) must all be present with sensible annotations.
+func TestPaperTermsPresent(t *testing.T) {
+	d := Default()
+	paperTerms := []string{
+		// Table II(a) topic 8, 3
+		"furufuru", "katai", "muchimuchi", "guchat", "potteri", "burunburun",
+		"bosoboso", "botet", "shakushaku", "buruburu",
+		// topic 5, 2
+		"purupuru", "nettori", "purit", "mottari", "horohoro", "necchiri",
+		// topic 6, 1
+		"fuwafuwa", "yuruyuru", "bechat", "fukafuka", "burit",
+		// topic 9
+		"dossiri", "churuchuru", "punipuni", "kutat", "burinburin", "korit",
+		"daradara", "karat", "hajikeru", "omoi",
+		// synthesized fills for the unreadable topics 7/4/0 plus common
+		// gel words used by the corpus generator
+		"torotoro", "tsurun", "purun", "mochimochi", "shikoshiko",
+		"yawarakai", "funwari", "shittori", "tokeru", "nameraka",
+	}
+	if len(paperTerms) != 41 {
+		t.Fatalf("test list has %d terms, want 41", len(paperTerms))
+	}
+	for _, r := range paperTerms {
+		if _, ok := d.ByRomaji(r); !ok {
+			t.Errorf("paper term %q missing from dictionary", r)
+		}
+	}
+}
+
+func TestPaperAnnotationsShape(t *testing.T) {
+	d := Default()
+	// katai is a hard term; furufuru and fuwafuwa are soft.
+	for _, tc := range []struct {
+		romaji string
+		sense  SenseClass
+	}{
+		{"katai", SenseHard}, {"dossiri", SenseHard}, {"kachikachi", SenseHard},
+		{"furufuru", SenseSoft}, {"fuwafuwa", SenseSoft}, {"yuruyuru", SenseSoft},
+	} {
+		term, ok := d.ByRomaji(tc.romaji)
+		if !ok {
+			t.Fatalf("missing %q", tc.romaji)
+		}
+		if got := term.HardnessSense(); got != tc.sense {
+			t.Errorf("%s hardness sense = %v, want %v", tc.romaji, got, tc.sense)
+		}
+	}
+	for _, tc := range []struct {
+		romaji string
+		sense  SenseClass
+	}{
+		{"purupuru", SenseElastic}, {"burunburun", SenseElastic}, {"muchimuchi", SenseElastic},
+		{"horohoro", SenseCohesive}, {"bosoboso", SenseCohesive}, {"guchat", SenseCohesive},
+	} {
+		term, _ := d.ByRomaji(tc.romaji)
+		if got := term.CohesivenessSense(); got != tc.sense {
+			t.Errorf("%s cohesiveness sense = %v, want %v", tc.romaji, got, tc.sense)
+		}
+	}
+	for _, r := range []string{"nettori", "necchiri", "betabeta"} {
+		term, _ := d.ByRomaji(r)
+		if term.AdhesivenessSense() != SenseSticky {
+			t.Errorf("%s should be sticky", r)
+		}
+	}
+}
+
+func TestNonGelTermsFlagged(t *testing.T) {
+	d := Default()
+	for _, r := range []string{"sakusaku", "karikari", "paripari", "shakishaki", "zakuzaku"} {
+		term, ok := d.ByRomaji(r)
+		if !ok {
+			t.Fatalf("missing %q", r)
+		}
+		if term.GelRelated {
+			t.Errorf("%s should be flagged non-gel (word2vec filter target)", r)
+		}
+	}
+	for _, r := range []string{"purupuru", "katai", "nettori"} {
+		term, _ := d.ByRomaji(r)
+		if !term.GelRelated {
+			t.Errorf("%s should be gel-related", r)
+		}
+	}
+	gel := d.GelRelated()
+	if len(gel) == 0 || len(gel) >= d.Len() {
+		t.Errorf("GelRelated returned %d of %d", len(gel), d.Len())
+	}
+}
+
+func TestByKanaNormalizesQuery(t *testing.T) {
+	d := Default()
+	// Katakana query must fold to the hiragana entry.
+	term, ok := d.ByKana("プルプル")
+	if !ok || term.Romaji != "purupuru" {
+		t.Errorf("ByKana(プルプル) = %+v, %v", term, ok)
+	}
+	if _, ok := d.ByKana("そんなことば"); ok {
+		t.Error("unexpected hit")
+	}
+}
+
+func TestExtractTermIDs(t *testing.T) {
+	d := Default()
+	ids := d.ExtractTermIDs("このゼリーはプルプルでねっとりしていて、かたいです。")
+	if len(ids) != 3 {
+		t.Fatalf("extracted %d terms, want 3", len(ids))
+	}
+	want := []string{"purupuru", "nettori", "katai"}
+	for i, id := range ids {
+		if d.Term(id).Romaji != want[i] {
+			t.Errorf("term %d = %s, want %s", i, d.Term(id).Romaji, want[i])
+		}
+	}
+	// Repetitions preserved.
+	ids = d.ExtractTermIDs("ぷるぷるぷるぷる")
+	if len(ids) != 2 {
+		t.Errorf("repeated term extracted %d times, want 2", len(ids))
+	}
+}
+
+func TestLongestMatchPrefersLongerTerm(t *testing.T) {
+	d := Default()
+	// ぷるんぷるん must match as one term, not two ぷるん.
+	ids := d.ExtractTermIDs("ぷるんぷるんのゼリー")
+	if len(ids) != 1 {
+		t.Fatalf("got %d terms", len(ids))
+	}
+	if d.Term(ids[0]).Romaji != "purunpurun" {
+		t.Errorf("matched %s", d.Term(ids[0]).Romaji)
+	}
+}
+
+func TestSenseCounts(t *testing.T) {
+	d := Default()
+	katai, _ := d.ByRomaji("katai")
+	puru, _ := d.ByRomaji("purupuru")
+	fuwa, _ := d.ByRomaji("fuwafuwa")
+	counts := d.SenseCounts([]int{katai.ID, puru.ID, fuwa.ID})
+	if counts[SenseHard] != 1 {
+		t.Errorf("hard = %d, want 1", counts[SenseHard])
+	}
+	if counts[SenseSoft] != 2 {
+		t.Errorf("soft = %d, want 2", counts[SenseSoft])
+	}
+	if counts[SenseElastic] != 1 {
+		t.Errorf("elastic = %d, want 1", counts[SenseElastic])
+	}
+}
+
+func TestAxisScoreAccessor(t *testing.T) {
+	term := Term{Hardness: 0.5, Cohesiveness: -0.3, Adhesiveness: 0.7}
+	if term.Score(Hardness) != 0.5 || term.Score(Cohesiveness) != -0.3 || term.Score(Adhesiveness) != 0.7 {
+		t.Error("Score accessor wrong")
+	}
+	if Hardness.String() != "hardness" || SenseElastic.String() != "elastic" {
+		t.Error("String() wrong")
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New([]Term{{ID: 1, Kana: "あ", Romaji: "a", Gloss: "x"}}); err == nil {
+		t.Error("want error for non-dense ID")
+	}
+	if _, err := New([]Term{
+		{ID: 0, Kana: "ああ", Romaji: "aa", Gloss: "x"},
+		{ID: 1, Kana: "ああ", Romaji: "bb", Gloss: "x"},
+	}); err == nil {
+		t.Error("want error for duplicate kana")
+	}
+	if _, err := New([]Term{{ID: 0, Kana: "プル", Romaji: "p", Gloss: "x"}}); err == nil {
+		t.Error("want error for non-normalized kana")
+	}
+}
+
+// Every mimetic root contributes its four regular morphological forms,
+// and every form inherits the root's annotations.
+func TestRootMorphologyComplete(t *testing.T) {
+	d := Default()
+	base, ok := d.ByRomaji("purupuru")
+	if !ok {
+		t.Fatal("missing purupuru")
+	}
+	for _, form := range []string{"purut", "purun", "purunpurun"} {
+		term, ok := d.ByRomaji(form)
+		if !ok {
+			t.Fatalf("missing form %s", form)
+		}
+		if term.Hardness != base.Hardness || term.Cohesiveness != base.Cohesiveness ||
+			term.Adhesiveness != base.Adhesiveness || term.GelRelated != base.GelRelated {
+			t.Errorf("form %s does not inherit annotations", form)
+		}
+	}
+}
+
+// Sense thresholds behave at the boundary.
+func TestSenseThresholdBoundary(t *testing.T) {
+	at := Term{Hardness: senseThreshold}
+	below := Term{Hardness: senseThreshold - 1e-9}
+	if at.HardnessSense() != SenseHard {
+		t.Error("score at threshold should classify")
+	}
+	if below.HardnessSense() != SenseNone {
+		t.Error("score below threshold should not classify")
+	}
+	negAt := Term{Cohesiveness: -senseThreshold}
+	if negAt.CohesivenessSense() != SenseCohesive {
+		t.Error("negative pole at threshold should classify")
+	}
+}

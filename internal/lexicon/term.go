@@ -1,0 +1,151 @@
+// Package lexicon provides the Japanese sensory texture term dictionary
+// used to mine texture descriptions from recipe text.
+//
+// The paper builds its dictionary from the NARO "Comprehensive Japanese
+// Texture Terms" resource, keeping the 288 terms annotated with the
+// three rheological categories it compares against: hardness,
+// cohesiveness and adhesiveness. That resource is not redistributable,
+// so this package reconstructs a dictionary of the same size and schema:
+// the 41 terms the paper's tables name carry the paper's own
+// annotations, and the remainder are real Japanese texture mimetics and
+// adjectives assembled from the texture-term literature the paper cites
+// (Hayakawa et al. 2013; Nishinari et al. 1989; Drake 1989), expanded
+// through the regular morphology of Japanese mimetics (reduplication,
+// っ-form, ん-form, り-form).
+package lexicon
+
+import "fmt"
+
+// Axis is one of the three rheological measurement axes of the paper.
+type Axis int
+
+// The three axes measured by a rheometer in the paper's Table I.
+const (
+	Hardness Axis = iota
+	Cohesiveness
+	Adhesiveness
+)
+
+// String names the axis.
+func (a Axis) String() string {
+	switch a {
+	case Hardness:
+		return "hardness"
+	case Cohesiveness:
+		return "cohesiveness"
+	case Adhesiveness:
+		return "adhesiveness"
+	default:
+		return fmt.Sprintf("Axis(%d)", int(a))
+	}
+}
+
+// SenseClass is the perceptual bin a term falls into on an axis, used
+// by the paper's Figure 3 (hard/soft histogram, elastic/cohesive
+// histogram) and Figure 4 (hardness × cohesiveness scatter).
+type SenseClass int
+
+// Sense classes. Hard/Soft partition the hardness axis; Elastic and
+// Cohesive partition the cohesiveness axis (the paper treats perceived
+// elasticity/springiness as the positive pole of instrumental
+// cohesiveness and crumbly/easily-collapsing textures as the negative
+// pole); Sticky marks adhesive terms.
+const (
+	SenseNone SenseClass = iota
+	SenseHard
+	SenseSoft
+	SenseElastic
+	SenseCohesive
+	SenseSticky
+)
+
+// String names the sense class.
+func (s SenseClass) String() string {
+	switch s {
+	case SenseHard:
+		return "hard"
+	case SenseSoft:
+		return "soft"
+	case SenseElastic:
+		return "elastic"
+	case SenseCohesive:
+		return "cohesive"
+	case SenseSticky:
+		return "sticky"
+	default:
+		return "none"
+	}
+}
+
+// Term is a dictionary entry: one sensory texture word with its
+// rheological annotations.
+type Term struct {
+	ID     int    // dense index into the dictionary
+	Kana   string // normalized hiragana surface form (lookup key)
+	Romaji string // romanized form, matching the paper's notation
+	Gloss  string // English gloss
+
+	// Axis scores in [−1, 1]: the perceptual direction and strength the
+	// term implies on each instrumental axis. Hardness: −1 very soft …
+	// +1 very hard. Cohesiveness: −1 crumbly/collapsing … +1
+	// springy/elastic. Adhesiveness: 0 not sticky … +1 very sticky.
+	Hardness     float64
+	Cohesiveness float64
+	Adhesiveness float64
+
+	// GelRelated is false for terms that describe non-gel textures
+	// (crispy fried or nutty textures); these are the terms the paper's
+	// word2vec filter is designed to remove from gel recipes.
+	GelRelated bool
+}
+
+// Score returns the term's score on the given axis.
+func (t Term) Score(a Axis) float64 {
+	switch a {
+	case Hardness:
+		return t.Hardness
+	case Cohesiveness:
+		return t.Cohesiveness
+	case Adhesiveness:
+		return t.Adhesiveness
+	default:
+		panic(fmt.Sprintf("lexicon: unknown axis %d", a))
+	}
+}
+
+// HardnessSense classifies the term on the hardness axis.
+func (t Term) HardnessSense() SenseClass {
+	switch {
+	case t.Hardness >= senseThreshold:
+		return SenseHard
+	case t.Hardness <= -senseThreshold:
+		return SenseSoft
+	default:
+		return SenseNone
+	}
+}
+
+// CohesivenessSense classifies the term on the cohesiveness axis.
+func (t Term) CohesivenessSense() SenseClass {
+	switch {
+	case t.Cohesiveness >= senseThreshold:
+		return SenseElastic
+	case t.Cohesiveness <= -senseThreshold:
+		return SenseCohesive
+	default:
+		return SenseNone
+	}
+}
+
+// AdhesivenessSense classifies the term on the adhesiveness axis.
+func (t Term) AdhesivenessSense() SenseClass {
+	if t.Adhesiveness >= senseThreshold {
+		return SenseSticky
+	}
+	return SenseNone
+}
+
+// senseThreshold is the minimum |score| for a term to count as a member
+// of an axis category, mirroring the paper's binary category
+// annotations.
+const senseThreshold = 0.25

@@ -1,0 +1,216 @@
+package linkage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/lexicon"
+	"repro/internal/recipe"
+	"repro/internal/stats"
+)
+
+func exp(x float64) float64 { return math.Exp(x) }
+
+// emulsionKL computes the KL divergence of emulsion concentrations
+// between a dish and a recipe, both given in −log feature space. The
+// concentration vectors are converted back to ratios, smoothed and
+// normalized to distributions, and compared as KL(dish ‖ recipe) —
+// small when the recipe uses emulsions in the dish's proportions.
+func emulsionKL(dishFeat, recipeFeat []float64, eps float64) float64 {
+	d := make([]float64, len(dishFeat))
+	r := make([]float64, len(recipeFeat))
+	for i := range dishFeat {
+		d[i] = clampConc(exp(-dishFeat[i]))
+		r[i] = clampConc(exp(-recipeFeat[i]))
+	}
+	return stats.KLCategorical(stats.NormalizeSmoothed(d, eps), stats.NormalizeSmoothed(r, eps))
+}
+
+// clampConc zeroes concentrations at or below the ε floor of the −log
+// transform, so "absent" stays absent after the round trip.
+func clampConc(c float64) float64 {
+	if c <= recipe.EpsilonConcentration*1.01 {
+		return 0
+	}
+	return c
+}
+
+// smoothingEps is the additive smoothing used when normalizing
+// emulsion concentration vectors into distributions for KL.
+const smoothingEps = 1e-3
+
+// Fig3Bin is one histogram bin of Figure 3: recipes in one band of
+// emulsion-KL order, with sense-class counts of their texture terms.
+type Fig3Bin struct {
+	MeanKL   float64
+	Recipes  int
+	Hard     int // terms in the hardness category (hard pole)
+	Soft     int
+	Elastic  int
+	Cohesive int
+}
+
+// Figure3 is the paper's Figure 3 for one dish: topic-member recipes
+// binned by KL divergence of emulsion concentrations to the dish.
+type Figure3 struct {
+	Dish  string
+	Topic int
+	Bins  []Fig3Bin
+}
+
+// BuildFigure3 reproduces Figure 3: take the recipes assigned to the
+// dish's topic, order them by emulsion-KL to the dish, split them into
+// nbins equal-count bins, and count hard/soft and elastic/cohesive
+// texture terms per bin.
+func BuildFigure3(res *core.Result, docs []recipe.Doc, dict *lexicon.Dictionary,
+	topic int, dishName string, dishEmuFeat []float64, nbins int) (Figure3, error) {
+	if nbins < 2 {
+		return Figure3{}, fmt.Errorf("linkage: need ≥2 bins")
+	}
+	members := topicMembers(res, docs, topic)
+	if len(members) < nbins {
+		return Figure3{}, fmt.Errorf("linkage: topic %d has %d recipes, fewer than %d bins", topic, len(members), nbins)
+	}
+	type scored struct {
+		doc recipe.Doc
+		kl  float64
+	}
+	ss := make([]scored, len(members))
+	for i, d := range members {
+		ss[i] = scored{doc: d, kl: emulsionKL(dishEmuFeat, d.Emulsion, smoothingEps)}
+	}
+	sort.SliceStable(ss, func(i, j int) bool { return ss[i].kl < ss[j].kl })
+
+	fig := Figure3{Dish: dishName, Topic: topic, Bins: make([]Fig3Bin, nbins)}
+	for i, s := range ss {
+		b := i * nbins / len(ss)
+		bin := &fig.Bins[b]
+		bin.Recipes++
+		bin.MeanKL += s.kl
+		counts := dict.SenseCounts(s.doc.TermIDs)
+		bin.Hard += counts[lexicon.SenseHard]
+		bin.Soft += counts[lexicon.SenseSoft]
+		bin.Elastic += counts[lexicon.SenseElastic]
+		bin.Cohesive += counts[lexicon.SenseCohesive]
+	}
+	for i := range fig.Bins {
+		if fig.Bins[i].Recipes > 0 {
+			fig.Bins[i].MeanKL /= float64(fig.Bins[i].Recipes)
+		}
+	}
+	return fig, nil
+}
+
+// HardFraction returns hard/(hard+soft) for a bin, NaN when empty.
+func (b Fig3Bin) HardFraction() float64 {
+	t := b.Hard + b.Soft
+	if t == 0 {
+		return math.NaN()
+	}
+	return float64(b.Hard) / float64(t)
+}
+
+// ElasticFraction returns elastic/(elastic+cohesive), NaN when empty.
+func (b Fig3Bin) ElasticFraction() float64 {
+	t := b.Elastic + b.Cohesive
+	if t == 0 {
+		return math.NaN()
+	}
+	return float64(b.Elastic) / float64(t)
+}
+
+// Fig4Point is one recipe on the hardness × cohesiveness plane,
+// colored by emulsion-KL to the dish. Coordinates follow the paper's
+// consolidation: softness is negative hardness and elasticity is the
+// positive pole of cohesiveness, so each axis is the balance of the
+// recipe's categorized terms: (hard − soft)/(hard + soft) and
+// (elastic − cohesive)/(elastic + cohesive); a recipe with no terms in
+// a category pair sits at zero on that axis.
+type Fig4Point struct {
+	RecipeID     string
+	Hardness     float64 // term-category balance on the hardness axis, in [−1,1]
+	Cohesiveness float64 // term-category balance on the cohesiveness axis, in [−1,1]
+	KL           float64
+}
+
+// Figure4 is the paper's Figure 4 for one dish: the topic's recipes as
+// points plus the topic centroid (the star mark).
+type Figure4 struct {
+	Dish   string
+	Topic  int
+	Points []Fig4Point
+	StarX  float64 // topic centroid hardness
+	StarY  float64 // topic centroid cohesiveness
+}
+
+// BuildFigure4 reproduces Figure 4: each topic recipe scored on the
+// consolidated hardness and cohesiveness axes (softness is negative
+// hardness; elasticity is the positive pole of cohesiveness), colored
+// by emulsion-KL; the star is the topic's mean position.
+func BuildFigure4(res *core.Result, docs []recipe.Doc, dict *lexicon.Dictionary,
+	topic int, dishName string, dishEmuFeat []float64) (Figure4, error) {
+	members := topicMembers(res, docs, topic)
+	if len(members) == 0 {
+		return Figure4{}, fmt.Errorf("linkage: topic %d has no recipes", topic)
+	}
+	fig := Figure4{Dish: dishName, Topic: topic}
+	for _, d := range members {
+		h, c := termAxisBalance(dict, d.TermIDs)
+		fig.Points = append(fig.Points, Fig4Point{
+			RecipeID:     d.RecipeID,
+			Hardness:     h,
+			Cohesiveness: c,
+			KL:           emulsionKL(dishEmuFeat, d.Emulsion, smoothingEps),
+		})
+		fig.StarX += h
+		fig.StarY += c
+	}
+	fig.StarX /= float64(len(fig.Points))
+	fig.StarY /= float64(len(fig.Points))
+	return fig, nil
+}
+
+// termAxisBalance classifies a recipe's terms into the dictionary's
+// sense categories and returns the per-axis balances.
+func termAxisBalance(dict *lexicon.Dictionary, ids []int) (hardness, cohesiveness float64) {
+	counts := dict.SenseCounts(ids)
+	if t := counts[lexicon.SenseHard] + counts[lexicon.SenseSoft]; t > 0 {
+		hardness = float64(counts[lexicon.SenseHard]-counts[lexicon.SenseSoft]) / float64(t)
+	}
+	if t := counts[lexicon.SenseElastic] + counts[lexicon.SenseCohesive]; t > 0 {
+		cohesiveness = float64(counts[lexicon.SenseElastic]-counts[lexicon.SenseCohesive]) / float64(t)
+	}
+	return hardness, cohesiveness
+}
+
+// topicMembers selects the docs assigned (argmax θ) to the topic.
+func topicMembers(res *core.Result, docs []recipe.Doc, topic int) []recipe.Doc {
+	assign := res.Assign()
+	var out []recipe.Doc
+	for i, d := range docs {
+		if i < len(assign) && assign[i] == topic {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// NearMeanKL summarizes a Figure 4: the mean hardness/cohesiveness of
+// the quantile of points nearest the dish (lowest KL), against the
+// topic centroid — the quantitative reading of the paper's "red plots
+// concentrate in the upper right" statement.
+func (f Figure4) NearMeanKL(quantile float64) (hardness, cohesiveness float64) {
+	pts := append([]Fig4Point(nil), f.Points...)
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].KL < pts[j].KL })
+	n := int(float64(len(pts)) * quantile)
+	if n < 1 {
+		n = 1
+	}
+	for _, p := range pts[:n] {
+		hardness += p.Hardness
+		cohesiveness += p.Cohesiveness
+	}
+	return hardness / float64(n), cohesiveness / float64(n)
+}

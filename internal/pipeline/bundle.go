@@ -1,0 +1,89 @@
+package pipeline
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/lexicon"
+	"repro/internal/recipe"
+)
+
+// Bundle is the persistent form of a fitted pipeline: everything the
+// annotation and linkage layers need, without the raw corpus. Bundles
+// let services start from a file instead of refitting at boot.
+type bundle struct {
+	Version       int                 `json:"version"`
+	Docs          []recipe.Doc        `json:"docs"`
+	ExcludedTerms map[string][]string `json:"excluded_terms"`
+	Model         json.RawMessage     `json:"model"`
+}
+
+// bundleVersion guards against format drift.
+const bundleVersion = 1
+
+// SaveBundle writes the fitted state (model, docs, term exclusions) as
+// gzipped JSON.
+func (o *Output) SaveBundle(w io.Writer) error {
+	if o.Model == nil {
+		return fmt.Errorf("pipeline: cannot save an unfitted output")
+	}
+	var modelBuf bytes.Buffer
+	if err := o.Model.WriteJSON(&modelBuf); err != nil {
+		return err
+	}
+	b := bundle{
+		Version:       bundleVersion,
+		Docs:          o.Docs,
+		ExcludedTerms: o.ExcludedTerms,
+		Model:         json.RawMessage(modelBuf.Bytes()),
+	}
+	gz := gzip.NewWriter(w)
+	enc := json.NewEncoder(gz)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(b); err != nil {
+		return fmt.Errorf("pipeline: encoding bundle: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("pipeline: closing bundle: %w", err)
+	}
+	return nil
+}
+
+// LoadBundle reads a bundle written by SaveBundle. The returned Output
+// carries the model, docs, exclusions and dictionary; the raw recipe
+// corpus is not part of a bundle (AllRecipes and Kept are nil).
+func LoadBundle(r io.Reader) (*Output, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: opening bundle: %w", err)
+	}
+	defer gz.Close()
+	var b bundle
+	if err := json.NewDecoder(gz).Decode(&b); err != nil {
+		return nil, fmt.Errorf("pipeline: decoding bundle: %w", err)
+	}
+	if b.Version != bundleVersion {
+		return nil, fmt.Errorf("pipeline: bundle version %d, want %d", b.Version, bundleVersion)
+	}
+	model, err := core.ReadResultJSON(bytes.NewReader(b.Model))
+	if err != nil {
+		return nil, err
+	}
+	if len(b.Docs) != len(model.Theta) {
+		return nil, fmt.Errorf("pipeline: bundle has %d docs but model has %d rows", len(b.Docs), len(model.Theta))
+	}
+	out := &Output{
+		Dict:          lexicon.Default(),
+		Docs:          b.Docs,
+		ExcludedTerms: b.ExcludedTerms,
+		Model:         model,
+	}
+	if out.ExcludedTerms == nil {
+		out.ExcludedTerms = map[string][]string{}
+	}
+	return out, nil
+}

@@ -1,0 +1,254 @@
+// Package pipeline wires the full method end to end, in the order of
+// the paper's Section III: corpus → tokenization → word2vec
+// relatedness filter → dataset filters → feature construction → joint
+// topic model.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/lexicon"
+	"repro/internal/recipe"
+	"repro/internal/textseg"
+	"repro/internal/word2vec"
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	Corpus corpus.Config
+	Model  core.Config
+
+	// UseW2VFilter enables the word2vec gel-relatedness term filter.
+	UseW2VFilter bool
+	W2V          word2vec.Config
+	FilterTopK   int     // neighbours inspected per term
+	FilterMinSim float64 // similarity floor for an offending neighbour
+	FilterMargin float64 // contrastive margin over gel-ingredient similarity
+
+	// MaxUnrelated is the unrelated-ingredient weight-share cutoff
+	// (the paper's 10%).
+	MaxUnrelated float64
+
+	// Restarts > 1 fits that many independent chains and keeps the one
+	// with the best post-burn-in log-likelihood (core.FitBest) — the
+	// remedy for occasional split/merge local optima.
+	Restarts int
+}
+
+// DefaultOptions reproduces the paper's setup.
+func DefaultOptions() Options {
+	w := word2vec.DefaultConfig()
+	// Frequent-word subsampling is counterproductive at recipe-corpus
+	// size: it thins out exactly the topping-word co-occurrences the
+	// relatedness filter needs.
+	w.Subsample = 0
+	m := core.DefaultConfig()
+	// The paper calls emulsion effects subordinate to gel effects; λ=0.5
+	// tempering encodes that and gives the best ground-truth recovery
+	// (see BenchmarkAblationEmulsionWeight).
+	m.EmulsionWeight = 0.5
+	// A small α sharpens the word→y coupling of equation (3): with only
+	// 1-4 texture tokens per recipe, α=0.5 lets the concentration channel
+	// overrule the terms; α=0.1 recovers the ground-truth populations
+	// markedly better.
+	m.Alpha = 0.1
+	return Options{
+		Corpus:       corpus.DefaultConfig(),
+		Model:        m,
+		UseW2VFilter: true,
+		W2V:          w,
+		FilterTopK:   25,
+		FilterMinSim: 0.25,
+		FilterMargin: 0.15,
+		MaxUnrelated: 0.10,
+	}
+}
+
+// Output is everything a run produces.
+type Output struct {
+	Dict        *lexicon.Dictionary
+	AllRecipes  []*recipe.Recipe // the generated corpus
+	Kept        []*recipe.Recipe // recipes surviving the dataset filters
+	Docs        []recipe.Doc     // model input, index-aligned with Model.Theta
+	Model       *core.Result
+	FilterStats recipe.FilterStats
+	// ExcludedTerms is the set of texture-term kana the word2vec filter
+	// removed, with the offending ingredient words.
+	ExcludedTerms map[string][]string
+	W2V           *word2vec.Model
+}
+
+// Run executes the full pipeline.
+func Run(opts Options) (*Output, error) {
+	recipes, err := corpus.Generate(opts.Corpus)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: corpus: %w", err)
+	}
+	return RunOnRecipes(recipes, opts)
+}
+
+// RunOnRecipes executes the pipeline on an existing (resolved) corpus,
+// so callers can bring their own recipe collection.
+func RunOnRecipes(recipes []*recipe.Recipe, opts Options) (*Output, error) {
+	out := &Output{Dict: lexicon.Default(), AllRecipes: recipes, ExcludedTerms: map[string][]string{}}
+
+	// Word2vec relatedness filter, trained on all descriptions.
+	if opts.UseW2VFilter {
+		if err := out.trainFilter(recipes, opts); err != nil {
+			return nil, err
+		}
+	}
+
+	// Dataset filters: gel required, ≤ MaxUnrelated unrelated share,
+	// and at least one surviving texture term.
+	cfg := recipe.FilterConfig{
+		MaxUnrelatedFraction: opts.MaxUnrelated,
+		RequireGel:           true,
+		RequireTexture:       true,
+		HasTexture: func(r *recipe.Recipe) bool {
+			return len(out.termIDs(r)) > 0
+		},
+	}
+	out.Kept, out.FilterStats = recipe.Filter(recipes, cfg)
+
+	// Model input.
+	data := &core.Data{V: out.Dict.Len()}
+	for _, r := range out.Kept {
+		doc := recipe.Doc{
+			RecipeID: r.ID,
+			TermIDs:  out.termIDs(r),
+			Gel:      r.GelFeatures(),
+			Emulsion: r.EmulsionFeatures(),
+			Truth:    r.Truth,
+		}
+		out.Docs = append(out.Docs, doc)
+		data.Words = append(data.Words, doc.TermIDs)
+		data.Gel = append(data.Gel, doc.Gel)
+		data.Emu = append(data.Emu, doc.Emulsion)
+	}
+	if len(out.Docs) == 0 {
+		return nil, fmt.Errorf("pipeline: no recipes survived the filters")
+	}
+
+	restarts := opts.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	res, err := core.FitBest(data, opts.Model, restarts)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: model: %w", err)
+	}
+	out.Model = res
+	return out, nil
+}
+
+// termIDs extracts the recipe's texture-term IDs, dropping terms the
+// word2vec filter excluded.
+func (o *Output) termIDs(r *recipe.Recipe) []int {
+	ids := o.Dict.ExtractTermIDs(r.Description)
+	if len(o.ExcludedTerms) == 0 {
+		return ids
+	}
+	kept := ids[:0:0]
+	for _, id := range ids {
+		if _, excluded := o.ExcludedTerms[o.Dict.Term(id).Kana]; !excluded {
+			kept = append(kept, id)
+		}
+	}
+	return kept
+}
+
+// trainFilter trains word2vec on the tokenized descriptions and marks
+// texture terms whose neighbourhoods contain gel-unrelated ingredient
+// words.
+//
+// The word2vec tokenizer's dictionary holds the texture terms AND all
+// registry ingredient names: without the latter, an ingredient mention
+// glues onto the following particles (なっつをのせて as one token) and
+// the filter can never see the ingredient as a neighbour.
+func (o *Output) trainFilter(recipes []*recipe.Recipe, opts Options) error {
+	trie := o.Dict.Trie()
+	next := o.Dict.Len()
+	for _, info := range recipe.KnownIngredients() {
+		trie.Insert(textseg.Normalize(info.Name), next)
+		next++
+		for _, a := range info.Aliases {
+			trie.Insert(textseg.Normalize(a), next)
+			next++
+		}
+	}
+	tok := textseg.NewTokenizer(trie)
+	sentences := make([][]string, 0, len(recipes))
+	observed := make(map[string]bool)
+	for _, r := range recipes {
+		toks := tok.Tokenize(r.Description)
+		sent := textseg.Surfaces(toks)
+		if len(sent) > 1 {
+			sentences = append(sentences, sent)
+		}
+		for _, t := range toks {
+			if !t.InDict {
+				continue
+			}
+			// Only texture terms count as filter candidates; the combined
+			// trie also matches ingredient names.
+			if _, isTerm := o.Dict.ByKana(t.Surface); isTerm {
+				observed[t.Surface] = true
+			}
+		}
+	}
+	model, err := word2vec.Train(sentences, opts.W2V)
+	if err != nil {
+		return fmt.Errorf("pipeline: word2vec: %w", err)
+	}
+	o.W2V = model
+
+	terms := make([]string, 0, len(observed))
+	for t := range observed {
+		terms = append(terms, t)
+	}
+	results := word2vec.FilterContrastive(model, terms,
+		UnrelatedIngredientWords(), GelIngredientWords(),
+		opts.FilterTopK, opts.FilterMinSim, opts.FilterMargin)
+	for _, res := range results {
+		if res.Excluded {
+			o.ExcludedTerms[res.Term] = res.Offending
+		}
+	}
+	return nil
+}
+
+// GelIngredientWords returns the normalized surface forms of the gel
+// ingredients, the contrast anchors of the relatedness filter.
+func GelIngredientWords() []string {
+	var out []string
+	for _, info := range recipe.KnownIngredients() {
+		if info.Category != recipe.CategoryGel {
+			continue
+		}
+		out = append(out, textseg.Normalize(info.Name))
+		for _, a := range info.Aliases {
+			out = append(out, textseg.Normalize(a))
+		}
+	}
+	return out
+}
+
+// UnrelatedIngredientWords returns the normalized surface forms of all
+// gel-unrelated (CategoryOther) ingredients in the registry — the
+// offending-neighbour vocabulary of the word2vec filter.
+func UnrelatedIngredientWords() []string {
+	var out []string
+	for _, info := range recipe.KnownIngredients() {
+		if info.Category != recipe.CategoryOther {
+			continue
+		}
+		out = append(out, textseg.Normalize(info.Name))
+		for _, a := range info.Aliases {
+			out = append(out, textseg.Normalize(a))
+		}
+	}
+	return out
+}

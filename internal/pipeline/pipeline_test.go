@@ -1,0 +1,233 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/lexicon"
+	"repro/internal/recipe"
+)
+
+// testOptions shrinks the run for test speed.
+func testOptions() Options {
+	opts := DefaultOptions()
+	opts.Corpus.Scale = 0.15
+	opts.Model.Iterations = 150
+	return opts
+}
+
+func runTestPipeline(t *testing.T, opts Options) *Output {
+	t.Helper()
+	out, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRunRecoversTopics(t *testing.T) {
+	out := runTestPipeline(t, testOptions())
+	if len(out.Docs) == 0 || len(out.Docs) != len(out.Kept) {
+		t.Fatalf("docs/kept mismatch: %d vs %d", len(out.Docs), len(out.Kept))
+	}
+	if out.Model.V != out.Dict.Len() {
+		t.Errorf("model vocab %d, dictionary %d", out.Model.V, out.Dict.Len())
+	}
+	truth := make([]int, len(out.Docs))
+	for i, d := range out.Docs {
+		truth[i] = d.Truth
+	}
+	c, err := eval.NewContingency(out.Model.Assign(), truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := c.Purity(); p < 0.75 {
+		t.Errorf("purity = %.3f, want ≥ 0.75", p)
+	}
+	if n := c.NMI(); n < 0.55 {
+		t.Errorf("NMI = %.3f, want ≥ 0.55", n)
+	}
+}
+
+func TestRunDocsAlignWithModel(t *testing.T) {
+	out := runTestPipeline(t, testOptions())
+	if len(out.Model.Theta) != len(out.Docs) {
+		t.Fatalf("θ rows %d, docs %d", len(out.Model.Theta), len(out.Docs))
+	}
+	for i, d := range out.Docs {
+		if d.RecipeID != out.Kept[i].ID {
+			t.Fatalf("doc %d is %s but kept recipe is %s", i, d.RecipeID, out.Kept[i].ID)
+		}
+		if len(d.Gel) != recipe.NumGels || len(d.Emulsion) != recipe.NumEmulsions {
+			t.Fatalf("doc %d feature dims %d/%d", i, len(d.Gel), len(d.Emulsion))
+		}
+		if len(d.TermIDs) == 0 {
+			t.Fatalf("doc %d has no terms", i)
+		}
+	}
+}
+
+func TestRunFiltersFruitHeavy(t *testing.T) {
+	opts := testOptions()
+	opts.Corpus.FruitHeavyRate = 0.5
+	out := runTestPipeline(t, opts)
+	if out.FilterStats.TooUnrelated == 0 {
+		t.Error("fruit-heavy recipes should be dropped by the 10% rule")
+	}
+	for _, r := range out.Kept {
+		if f := r.UnrelatedFraction(); f > opts.MaxUnrelated+1e-9 {
+			t.Errorf("%s survived with unrelated share %.3f", r.ID, f)
+		}
+	}
+}
+
+func TestRunW2VFilterExcludesCrispyTerms(t *testing.T) {
+	// Full corpus scale: word2vec needs text volume before rare terms
+	// embed reliably (the paper trained on its full 63k-recipe crawl).
+	opts := DefaultOptions()
+	opts.Corpus.ConfoundRate = 0.3
+	opts.Model.Iterations = 50
+	out := runTestPipeline(t, opts)
+	found := false
+	for term := range out.ExcludedTerms {
+		t2, ok := out.Dict.ByKana(term)
+		if !ok {
+			t.Errorf("excluded term %q not in dictionary", term)
+			continue
+		}
+		if !t2.GelRelated {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no non-gel term excluded; excluded = %v", out.ExcludedTerms)
+	}
+	// Core single-term topics must survive the filter.
+	for _, protected := range []string{"ぷるぷる", "ふわふわ", "ふるふる"} {
+		if _, excluded := out.ExcludedTerms[protected]; excluded {
+			t.Errorf("filter wrongly excluded %s", protected)
+		}
+	}
+	// And excluded terms must not appear in any doc.
+	for _, d := range out.Docs {
+		for _, id := range d.TermIDs {
+			if _, excluded := out.ExcludedTerms[out.Dict.Term(id).Kana]; excluded {
+				t.Fatalf("excluded term %s still present in doc %s", out.Dict.Term(id).Kana, d.RecipeID)
+			}
+		}
+	}
+}
+
+func TestRunWithoutW2VFilter(t *testing.T) {
+	opts := testOptions()
+	opts.UseW2VFilter = false
+	out := runTestPipeline(t, opts)
+	if out.W2V != nil || len(out.ExcludedTerms) != 0 {
+		t.Error("filter disabled but artifacts present")
+	}
+}
+
+func TestRunOnRecipesCustomCorpus(t *testing.T) {
+	mk := func(id, desc string) *recipe.Recipe {
+		r := &recipe.Recipe{
+			ID:          id,
+			Description: desc,
+			Ingredients: []recipe.Ingredient{
+				{Name: "ゼラチン", Amount: "5g"},
+				{Name: "水", Amount: "400ml"},
+			},
+		}
+		if err := r.Resolve(); err != nil {
+			t.Fatal(err)
+		}
+		r.Truth = -1
+		return r
+	}
+	var recipes []*recipe.Recipe
+	for i := 0; i < 30; i++ {
+		desc := "ぷるぷるのゼリーです。"
+		if i%2 == 0 {
+			desc = "かたいゼリーです。どっしりしています。"
+		}
+		recipes = append(recipes, mk(string(rune('a'+i%26))+"x", desc))
+	}
+	opts := testOptions()
+	opts.UseW2VFilter = false
+	opts.Model.K = 2
+	opts.Model.Iterations = 60
+	out, err := RunOnRecipes(recipes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Docs) != 30 {
+		t.Errorf("kept %d docs", len(out.Docs))
+	}
+}
+
+func TestRunFunnelReproducesCollectionStats(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Corpus = corpus.FunnelConfig(0.04)
+	opts.Model.Iterations = 40
+	out := runTestPipeline(t, opts)
+	// Most generated recipes are untagged or fruit-heavy and must drop.
+	if out.FilterStats.NoTexture == 0 {
+		t.Error("funnel should drop untagged recipes")
+	}
+	if out.FilterStats.TooUnrelated == 0 {
+		t.Error("funnel should drop fruit-heavy recipes")
+	}
+	keptShare := float64(len(out.Kept)) / float64(len(out.AllRecipes))
+	// Paper: 3,000 of 63,000 ≈ 4.8%.
+	if keptShare < 0.01 || keptShare > 0.15 {
+		t.Errorf("kept share = %.3f, want ≈ 0.05", keptShare)
+	}
+}
+
+func TestIngredientWordLists(t *testing.T) {
+	unrel := UnrelatedIngredientWords()
+	gels := GelIngredientWords()
+	if len(unrel) == 0 || len(gels) == 0 {
+		t.Fatal("empty word lists")
+	}
+	seen := make(map[string]bool)
+	for _, w := range gels {
+		seen[w] = true
+	}
+	for _, w := range unrel {
+		if seen[w] {
+			t.Errorf("%q in both gel and unrelated lists", w)
+		}
+	}
+}
+
+func TestTermIDsExclusion(t *testing.T) {
+	dict := lexicon.Default()
+	out := &Output{Dict: dict, ExcludedTerms: map[string][]string{"さくさく": {"なっつ"}}}
+	r := &recipe.Recipe{Description: "ぷるぷるでさくさくです"}
+	ids := out.termIDs(r)
+	if len(ids) != 1 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	if dict.Term(ids[0]).Romaji != "purupuru" {
+		t.Errorf("kept %s", dict.Term(ids[0]).Romaji)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	opts := testOptions()
+	opts.Corpus.Scale = -1
+	if _, err := Run(opts); err == nil {
+		t.Error("bad corpus config should fail")
+	}
+	// All recipes filtered out.
+	opts = testOptions()
+	opts.UseW2VFilter = false
+	empty := &recipe.Recipe{ID: "x", Description: "no terms here", Ingredients: []recipe.Ingredient{{Name: "水", Amount: "100ml"}}}
+	if err := empty.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunOnRecipes([]*recipe.Recipe{empty}, opts); err == nil {
+		t.Error("no survivors should fail")
+	}
+}

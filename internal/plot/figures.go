@@ -1,0 +1,130 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linkage"
+	"repro/internal/rheology"
+)
+
+// Figure2SVG renders a simulated TPA force-time curve.
+func Figure2SVG(curve rheology.Curve, title string) string {
+	const w, h = 640, 360
+	const mL, mR, mT, mB = 50.0, 20.0, 40.0, 40.0
+	c := newCanvas(w, h)
+	c.text(mL, 24, 14, title)
+
+	minF, maxF := 0.0, 0.0
+	for _, p := range curve.Points {
+		minF = math.Min(minF, p.F)
+		maxF = math.Max(maxF, p.F)
+	}
+	if maxF == minF {
+		maxF = minF + 1
+	}
+	dur := curve.Duration()
+	if dur == 0 {
+		dur = 1
+	}
+	x := func(t float64) float64 { return mL + t/dur*(w-mL-mR) }
+	y := func(f float64) float64 { return mT + (maxF-f)/(maxF-minF)*(h-mT-mB) }
+
+	// Axes: time along zero-force line.
+	c.line(mL, y(0), w-mR, y(0), "#888", 1)
+	c.line(mL, mT, mL, h-mB, "#888", 1)
+	c.text(8, y(0)+4, 11, "0")
+	c.text(8, mT+10, 11, fmt.Sprintf("%.1f", maxF))
+	c.text(w-mR-60, h-8, 11, fmt.Sprintf("%.1fs", dur))
+
+	pts := make([][2]float64, len(curve.Points))
+	for i, p := range curve.Points {
+		pts[i] = [2]float64{x(p.T), y(p.F)}
+	}
+	c.polyline(pts, "rgb(40,80,200)", 1.6)
+	return c.String()
+}
+
+// Figure3SVG renders the paired hard/soft and elastic/cohesive
+// histograms of one dish.
+func Figure3SVG(fig linkage.Figure3) string {
+	const w, h = 720, 340
+	const mL, mT, mB = 50.0, 50.0, 60.0
+	c := newCanvas(w, h)
+	c.text(mL, 24, 14, fmt.Sprintf("Figure 3 — %s (topic %d), bins by emulsion-KL", fig.Dish, fig.Topic))
+
+	maxCount := 1
+	for _, b := range fig.Bins {
+		for _, v := range []int{b.Hard, b.Soft, b.Elastic, b.Cohesive} {
+			if v > maxCount {
+				maxCount = v
+			}
+		}
+	}
+	panelW := (w - 2*mL) / 2
+	barsPerBin := 2
+	groupW := float64(panelW) / float64(len(fig.Bins))
+	barW := groupW/float64(barsPerBin) - 4
+
+	draw := func(x0 float64, label string, a, b func(linkage.Fig3Bin) int, colorA, colorB string) {
+		c.text(x0, mT-8, 12, label)
+		for i, bin := range fig.Bins {
+			gx := x0 + float64(i)*groupW
+			for j, get := range []func(linkage.Fig3Bin) int{a, b} {
+				v := get(bin)
+				bh := float64(v) / float64(maxCount) * (h - mT - mB)
+				color := colorA
+				if j == 1 {
+					color = colorB
+				}
+				c.rect(gx+float64(j)*(barW+2), h-mB-bh, barW, bh, color)
+			}
+			c.text(gx, h-mB+16, 10, fmt.Sprintf("%.1f", bin.MeanKL))
+		}
+	}
+	draw(mL, "hard (red) vs soft (gray)",
+		func(b linkage.Fig3Bin) int { return b.Hard },
+		func(b linkage.Fig3Bin) int { return b.Soft },
+		"rgb(200,60,60)", "rgb(170,170,170)")
+	draw(mL+float64(panelW)+10, "elastic (blue) vs cohesive (gray)",
+		func(b linkage.Fig3Bin) int { return b.Elastic },
+		func(b linkage.Fig3Bin) int { return b.Cohesive },
+		"rgb(60,90,200)", "rgb(170,170,170)")
+	c.text(mL, h-18, 11, "bins ordered by KL divergence of emulsion concentrations to the dish (near → far)")
+	return c.String()
+}
+
+// Figure4SVG renders the hardness × cohesiveness scatter with
+// KL-colored points and the topic-centroid star.
+func Figure4SVG(fig linkage.Figure4) string {
+	const w, h = 520, 520
+	const m = 60.0
+	c := newCanvas(w, h)
+	c.text(m, 24, 14, fmt.Sprintf("Figure 4 — %s (topic %d)", fig.Dish, fig.Topic))
+
+	x := func(v float64) float64 { return m + (v+1)/2*(w-2*m) }
+	y := func(v float64) float64 { return h - m - (v+1)/2*(h-2*m) }
+	c.line(m, y(0), w-m, y(0), "#bbb", 1)
+	c.line(x(0), m, x(0), h-m, "#bbb", 1)
+	c.text(w-m-60, y(0)-6, 11, "hardness →")
+	c.text(x(0)+6, m+10, 11, "cohesiveness ↑")
+
+	maxKL := 0.0
+	for _, p := range fig.Points {
+		if p.KL > maxKL && !math.IsInf(p.KL, 0) {
+			maxKL = p.KL
+		}
+	}
+	if maxKL == 0 {
+		maxKL = 1
+	}
+	for _, p := range fig.Points {
+		t := p.KL / maxKL
+		// Slight deterministic jitter by index hash keeps coincident
+		// category-balance points visible.
+		c.circle(x(p.Hardness), y(p.Cohesiveness), 3.2, heatColor(t))
+	}
+	c.star(x(fig.StarX), y(fig.StarY), 10, "gold")
+	c.text(m, h-20, 11, "red = low emulsion-KL to the dish, blue = far; star = topic mean")
+	return c.String()
+}

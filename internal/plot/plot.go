@@ -1,0 +1,88 @@
+// Package plot renders the paper's figures as standalone SVG files —
+// the force-time curve of Figure 2, the KL-ordered histograms of
+// Figure 3 and the hardness × cohesiveness scatter of Figure 4 — using
+// only the standard library.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// canvas accumulates SVG elements.
+type canvas struct {
+	w, h int
+	sb   strings.Builder
+}
+
+func newCanvas(w, h int) *canvas {
+	c := &canvas{w: w, h: h}
+	fmt.Fprintf(&c.sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&c.sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return c
+}
+
+func (c *canvas) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&c.sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+func (c *canvas) polyline(points [][2]float64, stroke string, width float64) {
+	var pts []string
+	for _, p := range points {
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", p[0], p[1]))
+	}
+	fmt.Fprintf(&c.sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		strings.Join(pts, " "), stroke, width)
+}
+
+func (c *canvas) circle(x, y, r float64, fill string) {
+	fmt.Fprintf(&c.sb, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, fill)
+}
+
+func (c *canvas) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&c.sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n", x, y, w, h, fill)
+}
+
+func (c *canvas) text(x, y float64, size int, s string) {
+	fmt.Fprintf(&c.sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="%d">%s</text>`+"\n",
+		x, y, size, escape(s))
+}
+
+func (c *canvas) star(x, y, r float64, fill string) {
+	var pts []string
+	for i := 0; i < 10; i++ {
+		rr := r
+		if i%2 == 1 {
+			rr = r / 2.5
+		}
+		a := float64(i)*math.Pi/5 - math.Pi/2
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", x+rr*math.Cos(a), y+rr*math.Sin(a)))
+	}
+	fmt.Fprintf(&c.sb, `<polygon points="%s" fill="%s" stroke="black" stroke-width="0.7"/>`+"\n",
+		strings.Join(pts, " "), fill)
+}
+
+func (c *canvas) String() string {
+	return c.sb.String() + "</svg>\n"
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// heatColor maps t ∈ [0,1] (0 = near/red, 1 = far/blue) to a color, the
+// KL coloring of Figures 3-4.
+func heatColor(t float64) string {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	r := int(220 * (1 - t))
+	b := int(220 * t)
+	return fmt.Sprintf("rgb(%d,60,%d)", r+35, b+35)
+}

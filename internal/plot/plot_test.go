@@ -1,0 +1,85 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/linkage"
+	"repro/internal/rheology"
+)
+
+func TestFigure2SVG(t *testing.T) {
+	curve := rheology.Simulate(rheology.Attributes{Hardness: 2.78, Cohesiveness: 0.31, Adhesiveness: 0.42})
+	svg := Figure2SVG(curve, "TPA curve")
+	for _, want := range []string{"<svg", "</svg>", "polyline", "TPA curve"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Degenerate curve must not panic or divide by zero.
+	empty := Figure2SVG(rheology.Curve{DT: 0.01}, "empty")
+	if !strings.Contains(empty, "</svg>") {
+		t.Error("degenerate curve render broken")
+	}
+}
+
+func TestFigure3SVG(t *testing.T) {
+	fig := linkage.Figure3{
+		Dish:  "Bavarois",
+		Topic: 3,
+		Bins: []linkage.Fig3Bin{
+			{MeanKL: 0.1, Recipes: 10, Hard: 8, Soft: 1, Elastic: 6, Cohesive: 2},
+			{MeanKL: 0.9, Recipes: 10, Hard: 4, Soft: 4, Elastic: 1, Cohesive: 4},
+		},
+	}
+	svg := Figure3SVG(fig)
+	for _, want := range []string{"<svg", "Bavarois", "hard (red)", "elastic (blue)", "rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// All-zero bins must not panic.
+	zero := Figure3SVG(linkage.Figure3{Dish: "x", Bins: []linkage.Fig3Bin{{}}})
+	if !strings.Contains(zero, "</svg>") {
+		t.Error("zero bins render broken")
+	}
+}
+
+func TestFigure4SVG(t *testing.T) {
+	fig := linkage.Figure4{
+		Dish:  "Milk jelly",
+		Topic: 3,
+		Points: []linkage.Fig4Point{
+			{RecipeID: "a", Hardness: 0.8, Cohesiveness: 0.1, KL: 0.05},
+			{RecipeID: "b", Hardness: -0.3, Cohesiveness: -0.5, KL: 2.0},
+		},
+		StarX: 0.2, StarY: -0.1,
+	}
+	svg := Figure4SVG(fig)
+	for _, want := range []string{"<svg", "Milk jelly", "circle", "polygon"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<circle"); got != 2 {
+		t.Errorf("%d circles, want 2", got)
+	}
+}
+
+func TestHeatColorRange(t *testing.T) {
+	for _, tt := range []float64{-1, 0, 0.5, 1, 2} {
+		c := heatColor(tt)
+		if !strings.HasPrefix(c, "rgb(") {
+			t.Errorf("heatColor(%g) = %q", tt, c)
+		}
+	}
+	if heatColor(0) == heatColor(1) {
+		t.Error("extremes should differ")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b>&c`); got != "a&lt;b&gt;&amp;c" {
+		t.Errorf("escape = %q", got)
+	}
+}

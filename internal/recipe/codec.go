@@ -1,0 +1,46 @@
+package recipe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON streams recipes as a JSON array.
+func WriteJSON(w io.Writer, recipes []*Recipe) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(recipes); err != nil {
+		return fmt.Errorf("recipe: encoding: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON reads a JSON array of recipes, as written by WriteJSON.
+func ReadJSON(r io.Reader) ([]*Recipe, error) {
+	var out []*Recipe
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("recipe: decoding: %w", err)
+	}
+	return out, nil
+}
+
+// WriteDocsJSON streams model-ready docs as a JSON array.
+func WriteDocsJSON(w io.Writer, docs []Doc) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(docs); err != nil {
+		return fmt.Errorf("recipe: encoding docs: %w", err)
+	}
+	return nil
+}
+
+// ReadDocsJSON reads a JSON array of docs.
+func ReadDocsJSON(r io.Reader) ([]Doc, error) {
+	var out []Doc
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("recipe: decoding docs: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package recipe
+
+import "math"
+
+// EpsilonConcentration is the floor applied to zero concentrations
+// before the −log transform. The paper transforms concentrations x to
+// the information quantity −log x but does not say how x = 0 (an absent
+// ingredient) is handled; a floor of 10⁻⁴ (0.01% by weight — an order
+// of magnitude below any functional gel dose) maps absence to a finite
+// feature ≈ 9.21 that is clearly separated from the 2–6 range of
+// functional concentrations. BenchmarkAblationEpsilon sweeps this
+// choice.
+const EpsilonConcentration = 1e-4
+
+// InfoQuantity transforms a concentration ratio to the paper's −log(x)
+// feature, flooring at EpsilonConcentration.
+func InfoQuantity(x float64) float64 {
+	if x < EpsilonConcentration {
+		x = EpsilonConcentration
+	}
+	if x > 1 {
+		x = 1
+	}
+	return -math.Log(x)
+}
+
+// InfoQuantityEps is InfoQuantity with a caller-chosen floor, used by
+// the ablation bench.
+func InfoQuantityEps(x, eps float64) float64 {
+	if x < eps {
+		x = eps
+	}
+	if x > 1 {
+		x = 1
+	}
+	return -math.Log(x)
+}
+
+// Concentration inverts InfoQuantity: feature −log(x) back to the
+// ratio x.
+func Concentration(feature float64) float64 {
+	return math.Exp(-feature)
+}
+
+// FeatureVector applies InfoQuantity elementwise.
+func FeatureVector(conc []float64) []float64 {
+	out := make([]float64, len(conc))
+	for i, x := range conc {
+		out[i] = InfoQuantity(x)
+	}
+	return out
+}
+
+// ConcentrationVector inverts FeatureVector elementwise.
+func ConcentrationVector(feat []float64) []float64 {
+	out := make([]float64, len(feat))
+	for i, f := range feat {
+		out[i] = Concentration(f)
+	}
+	return out
+}
+
+// Doc is the model-ready representation of one recipe: the texture term
+// token sequence plus the gel and emulsion feature vectors in −log
+// space. This is the exact input shape of the paper's joint topic
+// model.
+type Doc struct {
+	RecipeID string    `json:"recipe_id"`
+	TermIDs  []int     `json:"term_ids"` // texture-term tokens, dictionary IDs
+	Gel      []float64 `json:"gel"`      // len NumGels, −log space
+	Emulsion []float64 `json:"emulsion"` // len NumEmulsions, −log space
+	Truth    int       `json:"truth"`    // generator topic label, −1 if unknown
+}
+
+// GelFeatures returns the recipe's gel feature vector in −log space.
+func (r *Recipe) GelFeatures() []float64 {
+	c := r.GelConcentrations()
+	return FeatureVector(c[:])
+}
+
+// EmulsionFeatures returns the recipe's emulsion feature vector in
+// −log space.
+func (r *Recipe) EmulsionFeatures() []float64 {
+	c := r.EmulsionConcentrations()
+	return FeatureVector(c[:])
+}

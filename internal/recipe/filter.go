@@ -1,0 +1,59 @@
+package recipe
+
+// FilterConfig holds the dataset inclusion rules of the paper's
+// Section IV.A.
+type FilterConfig struct {
+	// MaxUnrelatedFraction excludes recipes whose solid, gel-unrelated
+	// ingredients exceed this weight share. The paper uses 0.10.
+	MaxUnrelatedFraction float64
+	// RequireGel excludes recipes without any gel ingredient.
+	RequireGel bool
+	// RequireTexture excludes recipes whose description carries no
+	// dictionary texture term. The check is delegated: HasTexture is
+	// called with the recipe and must report whether terms were found,
+	// keeping this package independent of the lexicon.
+	RequireTexture bool
+	HasTexture     func(*Recipe) bool
+}
+
+// DefaultFilterConfig reproduces the paper's rules.
+func DefaultFilterConfig() FilterConfig {
+	return FilterConfig{
+		MaxUnrelatedFraction: 0.10,
+		RequireGel:           true,
+		RequireTexture:       false,
+	}
+}
+
+// FilterStats reports why recipes were dropped.
+type FilterStats struct {
+	Input        int
+	Kept         int
+	NoGel        int
+	NoTexture    int
+	TooUnrelated int
+}
+
+// Filter applies the config and returns the surviving recipes along
+// with drop statistics. Recipes must be resolved first.
+func Filter(recipes []*Recipe, cfg FilterConfig) ([]*Recipe, FilterStats) {
+	stats := FilterStats{Input: len(recipes)}
+	var kept []*Recipe
+	for _, r := range recipes {
+		if cfg.RequireGel && !r.HasGel() {
+			stats.NoGel++
+			continue
+		}
+		if cfg.RequireTexture && cfg.HasTexture != nil && !cfg.HasTexture(r) {
+			stats.NoTexture++
+			continue
+		}
+		if cfg.MaxUnrelatedFraction > 0 && r.UnrelatedFraction() > cfg.MaxUnrelatedFraction {
+			stats.TooUnrelated++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	stats.Kept = len(kept)
+	return kept, stats
+}

@@ -1,0 +1,209 @@
+// Package recipe models posted recipes and derives the features the
+// paper's pipeline consumes: per-recipe gel and emulsion concentration
+// vectors (as −log information quantities) and the total-weight
+// bookkeeping needed to compute them.
+package recipe
+
+import (
+	"repro/internal/textseg"
+	"repro/internal/units"
+)
+
+// Gel indexes the three gelling agents the paper studies.
+type Gel int
+
+// Gel ingredient axes, in the paper's column order.
+const (
+	Gelatin Gel = iota
+	Kanten
+	Agar
+	NumGels = 3
+)
+
+// String names the gel.
+func (g Gel) String() string {
+	switch g {
+	case Gelatin:
+		return "gelatin"
+	case Kanten:
+		return "kanten"
+	case Agar:
+		return "agar"
+	default:
+		return "?"
+	}
+}
+
+// Emulsion indexes the six emulsion ingredients the paper tracks.
+type Emulsion int
+
+// Emulsion ingredient axes, in the paper's column order (Table II(b)).
+const (
+	Sugar Emulsion = iota
+	EggAlbumen
+	EggYolk
+	RawCream
+	Milk
+	Yogurt
+	NumEmulsions = 6
+)
+
+// String names the emulsion.
+func (e Emulsion) String() string {
+	switch e {
+	case Sugar:
+		return "sugar"
+	case EggAlbumen:
+		return "egg albumen"
+	case EggYolk:
+		return "egg yolk"
+	case RawCream:
+		return "raw cream"
+	case Milk:
+		return "milk"
+	case Yogurt:
+		return "yogurt"
+	default:
+		return "?"
+	}
+}
+
+// Category classifies an ingredient's role in the pipeline.
+type Category int
+
+// Ingredient categories. Water and liquid bases (juice, coffee, tea)
+// dissolve the gel and are not counted as "unrelated"; Other covers
+// solid additions (fruit pieces, nuts, cookies) whose share drives the
+// paper's 10% exclusion rule.
+const (
+	CategoryOther Category = iota
+	CategoryGel
+	CategoryEmulsion
+	CategoryWater
+	CategoryBase
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case CategoryGel:
+		return "gel"
+	case CategoryEmulsion:
+		return "emulsion"
+	case CategoryWater:
+		return "water"
+	case CategoryBase:
+		return "base"
+	default:
+		return "other"
+	}
+}
+
+// Info is the registry entry for a known ingredient.
+type Info struct {
+	Name     string // canonical Japanese name
+	Aliases  []string
+	Category Category
+	Gel      Gel      // valid when Category == CategoryGel
+	Emulsion Emulsion // valid when Category == CategoryEmulsion
+	Profile  units.Profile
+}
+
+// registry lists the ingredient vocabulary of the pipeline. Density
+// values follow the standard Japanese cooking conversion tables; piece
+// weights are the customary ones (M-size egg 50 g, gelatin sheet 1.5 g,
+// kanten stick 8 g).
+var registry = []Info{
+	// Gels.
+	{Name: "ゼラチン", Aliases: []string{"粉ゼラチン", "ゼラチンパウダー"}, Category: CategoryGel, Gel: Gelatin,
+		Profile: units.Profile{DensityGPerML: 0.6, PieceGrams: 5}}, // 1袋 = 5 g stick pack
+	{Name: "板ゼラチン", Aliases: []string{"ゼラチンシート"}, Category: CategoryGel, Gel: Gelatin,
+		Profile: units.Profile{DensityGPerML: 0.6, PieceGrams: 1.5}},
+	{Name: "寒天", Aliases: []string{"粉寒天", "寒天パウダー"}, Category: CategoryGel, Gel: Kanten,
+		Profile: units.Profile{DensityGPerML: 0.5, PieceGrams: 4}}, // 1袋 = 4 g
+	{Name: "棒寒天", Aliases: []string{"角寒天"}, Category: CategoryGel, Gel: Kanten,
+		Profile: units.Profile{DensityGPerML: 0.5, PieceGrams: 8}},
+	{Name: "アガー", Aliases: []string{"あがー", "アガーパウダー"}, Category: CategoryGel, Gel: Agar,
+		Profile: units.Profile{DensityGPerML: 0.6, PieceGrams: 5}},
+	// Emulsions.
+	{Name: "砂糖", Aliases: []string{"グラニュー糖", "上白糖", "きび砂糖"}, Category: CategoryEmulsion, Emulsion: Sugar,
+		Profile: units.Profile{DensityGPerML: 0.6}},
+	{Name: "卵白", Aliases: []string{"らんぱく"}, Category: CategoryEmulsion, Emulsion: EggAlbumen,
+		Profile: units.Profile{DensityGPerML: 1.0, PieceGrams: 30}}, // white of one egg
+	{Name: "卵黄", Aliases: []string{"らんおう", "黄身"}, Category: CategoryEmulsion, Emulsion: EggYolk,
+		Profile: units.Profile{DensityGPerML: 1.0, PieceGrams: 20}},
+	{Name: "生クリーム", Aliases: []string{"クリーム", "ホイップクリーム"}, Category: CategoryEmulsion, Emulsion: RawCream,
+		Profile: units.Profile{DensityGPerML: 1.0, PieceGrams: 200}}, // 1パック = 200 mL
+	{Name: "牛乳", Aliases: []string{"ミルク", "低脂肪乳"}, Category: CategoryEmulsion, Emulsion: Milk,
+		Profile: units.Profile{DensityGPerML: 1.03, PieceGrams: 1000}},
+	{Name: "ヨーグルト", Aliases: []string{"プレーンヨーグルト"}, Category: CategoryEmulsion, Emulsion: Yogurt,
+		Profile: units.Profile{DensityGPerML: 1.03, PieceGrams: 400}},
+	// Water and liquid bases.
+	{Name: "水", Aliases: []string{"お湯", "湯", "熱湯", "冷水"}, Category: CategoryWater, Profile: units.WaterProfile},
+	{Name: "ジュース", Aliases: []string{"オレンジジュース", "りんごジュース", "ぶどうジュース", "果汁"}, Category: CategoryBase,
+		Profile: units.Profile{DensityGPerML: 1.04}},
+	{Name: "コーヒー", Aliases: []string{"珈琲"}, Category: CategoryBase, Profile: units.WaterProfile},
+	{Name: "紅茶", Aliases: []string{"お茶", "緑茶"}, Category: CategoryBase, Profile: units.WaterProfile},
+	{Name: "ワイン", Aliases: []string{"赤ワイン", "白ワイン"}, Category: CategoryBase, Profile: units.WaterProfile},
+	{Name: "豆乳", Aliases: []string{}, Category: CategoryBase, Profile: units.Profile{DensityGPerML: 1.03}},
+	// Other (solid additions — the unrelated-share drivers).
+	{Name: "いちご", Aliases: []string{"苺", "ストロベリー"}, Category: CategoryOther,
+		Profile: units.Profile{DensityGPerML: 0.6, PieceGrams: 15}},
+	{Name: "みかん", Aliases: []string{"みかん缶", "オレンジ"}, Category: CategoryOther,
+		Profile: units.Profile{DensityGPerML: 0.6, PieceGrams: 80}},
+	{Name: "もも", Aliases: []string{"桃", "黄桃缶"}, Category: CategoryOther,
+		Profile: units.Profile{DensityGPerML: 0.6, PieceGrams: 200}},
+	{Name: "バナナ", Aliases: []string{}, Category: CategoryOther,
+		Profile: units.Profile{DensityGPerML: 0.6, PieceGrams: 100}},
+	{Name: "フルーツ", Aliases: []string{"果物", "フルーツ缶"}, Category: CategoryOther,
+		Profile: units.Profile{DensityGPerML: 0.6, PieceGrams: 100}},
+	{Name: "あんこ", Aliases: []string{"こしあん", "つぶあん", "小豆"}, Category: CategoryOther,
+		Profile: units.Profile{DensityGPerML: 1.1, PieceGrams: 200}},
+	{Name: "ナッツ", Aliases: []string{"アーモンド", "くるみ", "ピーナッツ"}, Category: CategoryOther,
+		Profile: units.Profile{DensityGPerML: 0.5, PieceGrams: 1}},
+	{Name: "クッキー", Aliases: []string{"ビスケット", "クラッカー"}, Category: CategoryOther,
+		Profile: units.Profile{DensityGPerML: 0.5, PieceGrams: 8}},
+	{Name: "グラノーラ", Aliases: []string{"コーンフレーク"}, Category: CategoryOther,
+		Profile: units.Profile{DensityGPerML: 0.3}},
+	{Name: "抹茶", Aliases: []string{"ココア", "ココアパウダー"}, Category: CategoryOther,
+		Profile: units.Profile{DensityGPerML: 0.4}},
+	{Name: "チョコレート", Aliases: []string{"チョコ", "板チョコ"}, Category: CategoryOther,
+		Profile: units.Profile{DensityGPerML: 1.2, PieceGrams: 50}},
+	{Name: "クリームチーズ", Aliases: []string{"チーズ"}, Category: CategoryOther,
+		Profile: units.Profile{DensityGPerML: 1.0, PieceGrams: 200}},
+	{Name: "はちみつ", Aliases: []string{"蜂蜜", "メープルシロップ"}, Category: CategoryOther,
+		Profile: units.Profile{DensityGPerML: 1.4}},
+	{Name: "レモン汁", Aliases: []string{"レモン果汁"}, Category: CategoryOther, Profile: units.WaterProfile},
+}
+
+// index maps normalized name → registry position.
+var index = buildIndex()
+
+func buildIndex() map[string]int {
+	idx := make(map[string]int)
+	for i, info := range registry {
+		idx[textseg.Normalize(info.Name)] = i
+		for _, a := range info.Aliases {
+			idx[textseg.Normalize(a)] = i
+		}
+	}
+	return idx
+}
+
+// LookupIngredient resolves an ingredient name (canonical or alias,
+// any script variant) to its registry entry.
+func LookupIngredient(name string) (Info, bool) {
+	i, ok := index[textseg.Normalize(name)]
+	if !ok {
+		return Info{}, false
+	}
+	return registry[i], true
+}
+
+// KnownIngredients returns the canonical names in the registry, for
+// enumeration by the corpus generator and docs.
+func KnownIngredients() []Info {
+	out := make([]Info, len(registry))
+	copy(out, registry)
+	return out
+}

@@ -1,0 +1,137 @@
+package recipe
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Ingredient is one line of a recipe's ingredient list.
+type Ingredient struct {
+	Name   string `json:"name"`   // as written by the poster
+	Amount string `json:"amount"` // as written, e.g. "大さじ2"
+
+	// Resolved fields, filled by Resolve.
+	Grams    float64  `json:"grams,omitempty"`
+	Known    bool     `json:"known,omitempty"`
+	Category Category `json:"-"`
+	Gel      Gel      `json:"-"`
+	Emulsion Emulsion `json:"-"`
+}
+
+// Recipe is a posted recipe.
+type Recipe struct {
+	ID          string       `json:"id"`
+	Title       string       `json:"title"`
+	Description string       `json:"description"` // free text carrying texture terms
+	Ingredients []Ingredient `json:"ingredients"`
+	Steps       []string     `json:"steps,omitempty"` // cooking instructions, in order
+
+	// Truth carries the generator's hidden topic label for synthetic
+	// corpora (−1 when unknown); evaluation-only.
+	Truth int `json:"truth,omitempty"`
+}
+
+// Resolve parses every ingredient amount and converts it to grams using
+// the ingredient registry. Unknown ingredients resolve with Known=false
+// and a best-effort gram value (water density, no piece weight); an
+// unparseable amount is an error, mirroring the paper's preprocessing
+// which drops such recipes upstream.
+func (r *Recipe) Resolve() error {
+	for i := range r.Ingredients {
+		ing := &r.Ingredients[i]
+		q, err := units.Parse(ing.Amount)
+		if err != nil {
+			return fmt.Errorf("recipe %s ingredient %q: %w", r.ID, ing.Name, err)
+		}
+		info, ok := LookupIngredient(ing.Name)
+		profile := units.WaterProfile
+		if ok {
+			profile = info.Profile
+		}
+		g, err := q.Grams(profile)
+		if err != nil {
+			return fmt.Errorf("recipe %s ingredient %q: %w", r.ID, ing.Name, err)
+		}
+		ing.Grams = g
+		ing.Known = ok
+		if ok {
+			ing.Category = info.Category
+			ing.Gel = info.Gel
+			ing.Emulsion = info.Emulsion
+		} else {
+			ing.Category = CategoryOther
+		}
+	}
+	return nil
+}
+
+// TotalGrams sums the resolved weights of all ingredients.
+func (r *Recipe) TotalGrams() float64 {
+	t := 0.0
+	for _, ing := range r.Ingredients {
+		t += ing.Grams
+	}
+	return t
+}
+
+// GelConcentrations returns the weight ratio of each gel against the
+// recipe's total weight.
+func (r *Recipe) GelConcentrations() [NumGels]float64 {
+	var out [NumGels]float64
+	total := r.TotalGrams()
+	if total <= 0 {
+		return out
+	}
+	for _, ing := range r.Ingredients {
+		if ing.Category == CategoryGel {
+			out[ing.Gel] += ing.Grams / total
+		}
+	}
+	return out
+}
+
+// EmulsionConcentrations returns the weight ratio of each emulsion
+// against the recipe's total weight.
+func (r *Recipe) EmulsionConcentrations() [NumEmulsions]float64 {
+	var out [NumEmulsions]float64
+	total := r.TotalGrams()
+	if total <= 0 {
+		return out
+	}
+	for _, ing := range r.Ingredients {
+		if ing.Category == CategoryEmulsion {
+			out[ing.Emulsion] += ing.Grams / total
+		}
+	}
+	return out
+}
+
+// HasGel reports whether any gel ingredient is present with positive
+// weight.
+func (r *Recipe) HasGel() bool {
+	for _, ing := range r.Ingredients {
+		if ing.Category == CategoryGel && ing.Grams > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// UnrelatedFraction returns the weight share of ingredients unrelated
+// to gels and emulsions: solid additions (CategoryOther) and unknown
+// ingredients. Water and liquid bases, which dissolve the gel, do not
+// count as unrelated.
+func (r *Recipe) UnrelatedFraction() float64 {
+	total := r.TotalGrams()
+	if total <= 0 {
+		return 0
+	}
+	u := 0.0
+	for _, ing := range r.Ingredients {
+		if ing.Category == CategoryOther {
+			u += ing.Grams
+		}
+	}
+	return u / total
+}

@@ -1,0 +1,230 @@
+// Package report renders the paper's tables and figures from fitted
+// pipeline outputs: Table I (empirical data vs simulator), Table II(a)
+// (topics with gel concentrations, ranked terms, recipe counts and
+// Table I assignments), Table II(b) with the Bavarois / Milk jelly
+// case study, and Figures 2-4.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lexicon"
+	"repro/internal/linkage"
+	"repro/internal/pipeline"
+	"repro/internal/recipe"
+	"repro/internal/rheology"
+)
+
+// RenderTableI prints the paper's Table I next to the calibrated
+// simulator's predictions for the same compositions.
+func RenderTableI() string {
+	var sb strings.Builder
+	sb.WriteString("Table I — empirical gel settings (measured vs simulator)\n")
+	sb.WriteString("data  gelatin kanten  agar   | H-meas C-meas A-meas | H-sim  C-sim  A-sim\n")
+	for _, m := range rheology.TableI {
+		p := rheology.PredictMeasurement(m)
+		fmt.Fprintf(&sb, "%-5s %.3f   %.3f   %.3f | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f\n",
+			m.ID, m.Gels[recipe.Gelatin], m.Gels[recipe.Kanten], m.Gels[recipe.Agar],
+			m.Attr.Hardness, m.Attr.Cohesiveness, m.Attr.Adhesiveness,
+			p.Hardness, p.Cohesiveness, p.Adhesiveness)
+	}
+	return sb.String()
+}
+
+// TopicRow is one line of Table II(a).
+type TopicRow struct {
+	Topic    int
+	Gels     map[int]float64 // gel axis → mean concentration
+	Terms    []core.TermProb
+	Recipes  int
+	TableIDs []string // Table I rows assigned to this topic
+}
+
+// BuildTableIIa assembles Table II(a): per fitted topic, the mean gel
+// concentrations, the ranked texture terms, the recipe count (argmax
+// θ), and the Table I rows whose settings are nearest this topic.
+func BuildTableIIa(out *pipeline.Output, cfg linkage.Config) ([]TopicRow, []linkage.Assignment, error) {
+	assignments, err := linkage.AssignMeasurements(out.Model, rheology.TableI, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	perTopic := make(map[int][]string)
+	for _, a := range assignments {
+		perTopic[a.Topic] = append(perTopic[a.Topic], a.Measurement.ID)
+	}
+	counts := out.Model.DocsPerTopic()
+	rows := make([]TopicRow, 0, out.Model.K)
+	for k := 0; k < out.Model.K; k++ {
+		row := TopicRow{
+			Topic:    k,
+			Gels:     linkage.TopicMeanConcentrations(out.Model, k, 0.0005),
+			Recipes:  counts[k],
+			TableIDs: perTopic[k],
+		}
+		for _, tp := range out.Model.TopTerms(k, 10) {
+			if tp.Prob < 0.01 {
+				break
+			}
+			row.Terms = append(row.Terms, tp)
+		}
+		rows = append(rows, row)
+	}
+	// Present like the paper: ordered by dominant gel then concentration.
+	sort.SliceStable(rows, func(i, j int) bool {
+		gi, ci := dominantGel(rows[i].Gels)
+		gj, cj := dominantGel(rows[j].Gels)
+		if gi != gj {
+			return gi < gj
+		}
+		return ci < cj
+	})
+	return rows, assignments, nil
+}
+
+func dominantGel(gels map[int]float64) (axis int, conc float64) {
+	axis = int(recipe.NumGels)
+	for a, c := range gels {
+		if c > conc {
+			axis, conc = a, c
+		}
+	}
+	return axis, conc
+}
+
+// RenderTableIIa prints Table II(a).
+func RenderTableIIa(out *pipeline.Output, rows []TopicRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table II(a) — acquired topics and Table I assignment\n")
+	for _, row := range rows {
+		var gels []string
+		for a := 0; a < recipe.NumGels; a++ {
+			if c, ok := row.Gels[a]; ok {
+				gels = append(gels, fmt.Sprintf("%s:%.3f", recipe.Gel(a), c))
+			}
+		}
+		if len(gels) == 0 {
+			gels = append(gels, "(none)")
+		}
+		fmt.Fprintf(&sb, "topic %d  %-32s #recipes=%-5d TableI=%s\n",
+			row.Topic, strings.Join(gels, " "), row.Recipes, strings.Join(row.TableIDs, ","))
+		for _, tp := range row.Terms {
+			term := out.Dict.Term(tp.ID)
+			fmt.Fprintf(&sb, "    %-18s (%.3f) [%s] %s\n", term.Romaji, tp.Prob, term.Kana, term.Gloss)
+		}
+	}
+	return sb.String()
+}
+
+// CaseStudy is the paper's Section V.B experiment: Table II(b) plus
+// Figures 3 and 4 for Bavarois and Milk jelly.
+type CaseStudy struct {
+	Dishes  []rheology.Measurement
+	Assign  []linkage.Assignment // dish → topic (gel KL, like Table I)
+	Figure3 map[string]linkage.Figure3
+	Figure4 map[string]linkage.Figure4
+}
+
+// BuildCaseStudy assigns both dishes to topics and builds their
+// figures with the given histogram bin count.
+func BuildCaseStudy(out *pipeline.Output, cfg linkage.Config, nbins int) (*CaseStudy, error) {
+	dishes := []rheology.Measurement{rheology.Bavarois, rheology.MilkJelly}
+	assign, err := linkage.AssignMeasurements(out.Model, dishes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cs := &CaseStudy{
+		Dishes:  dishes,
+		Assign:  assign,
+		Figure3: make(map[string]linkage.Figure3),
+		Figure4: make(map[string]linkage.Figure4),
+	}
+	for i, dish := range dishes {
+		topic := assign[i].Topic
+		f3, err := linkage.BuildFigure3(out.Model, out.Docs, out.Dict, topic, dish.ID, dish.EmulsionFeatures(), nbins)
+		if err != nil {
+			return nil, fmt.Errorf("report: figure 3 for %s: %w", dish.ID, err)
+		}
+		cs.Figure3[dish.ID] = f3
+		f4, err := linkage.BuildFigure4(out.Model, out.Docs, out.Dict, topic, dish.ID, dish.EmulsionFeatures())
+		if err != nil {
+			return nil, fmt.Errorf("report: figure 4 for %s: %w", dish.ID, err)
+		}
+		cs.Figure4[dish.ID] = f4
+	}
+	return cs, nil
+}
+
+// RenderTableIIb prints Table II(b): the dishes' measured attributes,
+// compositions and assigned topics.
+func RenderTableIIb(cs *CaseStudy) string {
+	var sb strings.Builder
+	sb.WriteString("Table II(b) — Bavarois and Milk jelly\n")
+	sb.WriteString("dish        H      C      A      gelatin sugar  yolk   cream  milk   topic\n")
+	for i, d := range cs.Dishes {
+		fmt.Fprintf(&sb, "%-11s %-6.3f %-6.3f %-6.3f %-7.3f %-6.3f %-6.3f %-6.3f %-6.3f %d\n",
+			d.ID, d.Attr.Hardness, d.Attr.Cohesiveness, d.Attr.Adhesiveness,
+			d.Gels[recipe.Gelatin], d.Emulsions[recipe.Sugar], d.Emulsions[recipe.EggYolk],
+			d.Emulsions[recipe.RawCream], d.Emulsions[recipe.Milk], cs.Assign[i].Topic)
+	}
+	p := rheology.PureGelatin25
+	fmt.Fprintf(&sb, "%-11s %-6.3f %-6.3f %-6.3f %-7.3f (Table I data 3, pure gelatin reference)\n",
+		"data 3", p.Attr.Hardness, p.Attr.Cohesiveness, p.Attr.Adhesiveness, p.Gels[recipe.Gelatin])
+	return sb.String()
+}
+
+// RenderFigure2 prints the simulated rheometer curve for a sample with
+// the given attributes, annotated with the re-extracted values.
+func RenderFigure2(attr rheology.Attributes) string {
+	curve := rheology.Simulate(attr)
+	var sb strings.Builder
+	sb.WriteString("Figure 2 — simulated two-compression rheometer curve\n")
+	sb.WriteString(curve.ASCIIPlot(14, 72))
+	got, err := curve.Extract()
+	if err != nil {
+		fmt.Fprintf(&sb, "extraction failed: %v\n", err)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "input:     H=%.2f C=%.2f A=%.2f\n", attr.Hardness, attr.Cohesiveness, attr.Adhesiveness)
+	fmt.Fprintf(&sb, "extracted: H=%.2f C=%.2f A=%.2f  (F1, c/a, negative area)\n",
+		got.Hardness, got.Cohesiveness, got.Adhesiveness)
+	return sb.String()
+}
+
+// RenderFigure3 prints the histogram pair of Figure 3 for one dish.
+func RenderFigure3(fig linkage.Figure3) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 3 — %s (topic %d), %d KL-ordered bins\n", fig.Dish, fig.Topic, len(fig.Bins))
+	sb.WriteString("bin  meanKL  recipes | hard soft (hard%) | elastic cohesive (elastic%)\n")
+	for i, b := range fig.Bins {
+		fmt.Fprintf(&sb, "%-4d %-7.3f %-7d | %-4d %-4d (%5.1f%%) | %-7d %-8d (%5.1f%%)\n",
+			i, b.MeanKL, b.Recipes, b.Hard, b.Soft, 100*b.HardFraction(),
+			b.Elastic, b.Cohesive, 100*b.ElasticFraction())
+	}
+	return sb.String()
+}
+
+// RenderFigure4 summarizes Figure 4 for one dish: star position and
+// the near-dish quantile means.
+func RenderFigure4(fig linkage.Figure4) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 4 — %s (topic %d), %d recipes\n", fig.Dish, fig.Topic, len(fig.Points))
+	fmt.Fprintf(&sb, "star (topic mean):        hardness=%+.3f cohesiveness=%+.3f\n", fig.StarX, fig.StarY)
+	h, c := fig.NearMeanKL(0.25)
+	fmt.Fprintf(&sb, "nearest quartile by KL:   hardness=%+.3f cohesiveness=%+.3f\n", h, c)
+	h2, c2 := fig.NearMeanKL(1.0)
+	fmt.Fprintf(&sb, "all topic recipes:        hardness=%+.3f cohesiveness=%+.3f\n", h2, c2)
+	return sb.String()
+}
+
+// RenderValidation prints the Texture Profile validation.
+func RenderValidation(val linkage.Validation) string {
+	var sb strings.Builder
+	sb.WriteString("Texture Profile validation (Spearman, measured attribute vs topic term score)\n")
+	for _, axis := range []lexicon.Axis{lexicon.Hardness, lexicon.Cohesiveness, lexicon.Adhesiveness} {
+		fmt.Fprintf(&sb, "  %-13s %+.3f\n", axis, val.Spearman[axis])
+	}
+	return sb.String()
+}

@@ -1,0 +1,239 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lexicon"
+	"repro/internal/linkage"
+	"repro/internal/pipeline"
+	"repro/internal/recipe"
+	"repro/internal/rheology"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureOut  *pipeline.Output
+	fixtureErr  error
+)
+
+// fixture runs the full pipeline once (moderate scale) and shares the
+// output across the package's tests.
+func fixture(t *testing.T) *pipeline.Output {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		// Full paper scale: the firm-gelatin population has only 38
+		// recipes even at scale 1, and the case study needs it recovered
+		// as its own topic.
+		opts := pipeline.DefaultOptions()
+		fixtureOut, fixtureErr = pipeline.Run(opts)
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureOut
+}
+
+func TestRenderTableI(t *testing.T) {
+	s := RenderTableI()
+	if !strings.Contains(s, "Table I") || len(strings.Split(s, "\n")) < 15 {
+		t.Errorf("Table I render too short:\n%s", s)
+	}
+	// Row 5's big adhesiveness must appear.
+	if !strings.Contains(s, "12.6") {
+		t.Error("row 5 adhesiveness missing")
+	}
+}
+
+// The central shape criterion of Table II(a): Table I's soft gelatin
+// rows (1,2), hard gelatin rows (3,4), kanten rows (6-9) and agar rows
+// (10-13) map to topics whose term annotations agree with the measured
+// attributes.
+func TestTableIIaShape(t *testing.T) {
+	out := fixture(t)
+	rows, assignments, err := BuildTableIIa(out, linkage.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != out.Model.K {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byID := make(map[string]linkage.Assignment)
+	for _, a := range assignments {
+		byID[a.Measurement.ID] = a
+	}
+	dict := out.Dict
+
+	topicHardness := func(k int) float64 {
+		return linkage.TopicAxisScore(out.Model, dict, k, lexicon.Hardness)
+	}
+	// Soft gelatin rows must land in softer-term topics than hard rows.
+	softTopic := byID["1"].Topic
+	hardTopic := byID["4"].Topic
+	if softTopic == hardTopic {
+		t.Errorf("rows 1 and 4 share topic %d; gel bands not separated", softTopic)
+	}
+	if !(topicHardness(softTopic) < topicHardness(hardTopic)) {
+		t.Errorf("hardness scores: soft topic %.3f, hard topic %.3f", topicHardness(softTopic), topicHardness(hardTopic))
+	}
+	// Kanten rows map to kanten-dominant topics.
+	for _, id := range []string{"6", "7", "8", "9"} {
+		k := byID[id].Topic
+		gels := linkage.TopicMeanConcentrations(out.Model, k, 0.0005)
+		kc := gels[int(recipe.Kanten)]
+		gc := gels[int(recipe.Gelatin)]
+		ac := gels[int(recipe.Agar)]
+		if kc < gc || kc < ac {
+			t.Errorf("row %s → topic %d not kanten-dominant: %v", id, k, gels)
+		}
+	}
+	// Agar rows map to agar-dominant topics.
+	agarDominant := 0
+	for _, id := range []string{"10", "11", "12", "13"} {
+		k := byID[id].Topic
+		gels := linkage.TopicMeanConcentrations(out.Model, k, 0.0005)
+		if gels[int(recipe.Agar)] > gels[int(recipe.Kanten)] {
+			agarDominant++
+		}
+	}
+	if agarDominant < 3 {
+		t.Errorf("only %d/4 agar rows landed in agar-dominant topics", agarDominant)
+	}
+}
+
+func TestTableIIaRender(t *testing.T) {
+	out := fixture(t)
+	rows, _, err := BuildTableIIa(out, linkage.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RenderTableIIa(out, rows)
+	if !strings.Contains(s, "topic") || !strings.Contains(s, "#recipes=") {
+		t.Errorf("render:\n%s", s)
+	}
+	// Recipe counts must sum to the dataset size.
+	total := 0
+	for _, r := range rows {
+		total += r.Recipes
+	}
+	if total != len(out.Docs) {
+		t.Errorf("topic counts sum to %d, docs %d", total, len(out.Docs))
+	}
+}
+
+func TestValidationPositive(t *testing.T) {
+	out := fixture(t)
+	_, assignments, err := BuildTableIIa(out, linkage.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := linkage.Validate(out.Model, out.Dict, assignments)
+	if r := val.Spearman[lexicon.Hardness]; r < 0.4 {
+		t.Errorf("hardness Spearman = %.3f, want ≥ 0.4 (Texture Profile consistency)", r)
+	}
+	if s := RenderValidation(val); !strings.Contains(s, "hardness") {
+		t.Error("render missing axes")
+	}
+}
+
+// The case study of Section V.B: both dishes → the hard-gelatin topic
+// (same as Table I data 3); near-dish recipes skew hard for both and
+// elastic only for Bavarois.
+func TestCaseStudyShape(t *testing.T) {
+	out := fixture(t)
+	cs, err := BuildCaseStudy(out, linkage.DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both dishes share one topic (they share the 2.5% gelatin dose).
+	if cs.Assign[0].Topic != cs.Assign[1].Topic {
+		t.Errorf("Bavarois → %d, Milk jelly → %d; expected the same topic",
+			cs.Assign[0].Topic, cs.Assign[1].Topic)
+	}
+	// And it is the topic of Table I data 3.
+	rowAssign, err := linkage.AssignMeasurements(out.Model, []rheology.Measurement{rheology.PureGelatin25}, linkage.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Assign[0].Topic != rowAssign[0].Topic {
+		t.Errorf("dishes → topic %d but data 3 → topic %d", cs.Assign[0].Topic, rowAssign[0].Topic)
+	}
+
+	// Figure 4: near-dish recipes are harder than the topic average for
+	// both dishes (paper: "red plots concentrate in the right area").
+	for _, dish := range []string{"Bavarois", "Milk jelly"} {
+		fig := cs.Figure4[dish]
+		h, _ := fig.NearMeanKL(0.25)
+		if h <= fig.StarX {
+			t.Errorf("%s: near-dish hardness %+.3f not right of star %+.3f", dish, h, fig.StarX)
+		}
+	}
+	// Bavarois' near recipes are more cohesive/elastic than Milk
+	// jelly's (paper: "Bavarois concentrate in the upper right while
+	// Milk jelly concentrate in the middle right").
+	_, cBav := cs.Figure4["Bavarois"].NearMeanKL(0.25)
+	_, cMilk := cs.Figure4["Milk jelly"].NearMeanKL(0.25)
+	if cBav <= cMilk {
+		t.Errorf("near-dish cohesiveness: Bavarois %+.3f vs Milk jelly %+.3f", cBav, cMilk)
+	}
+}
+
+func TestCaseStudyRenderings(t *testing.T) {
+	out := fixture(t)
+	cs, err := BuildCaseStudy(out, linkage.DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := RenderTableIIb(cs); !strings.Contains(s, "Bavarois") || !strings.Contains(s, "data 3") {
+		t.Errorf("Table II(b):\n%s", s)
+	}
+	for _, dish := range []string{"Bavarois", "Milk jelly"} {
+		if s := RenderFigure3(cs.Figure3[dish]); !strings.Contains(s, dish) {
+			t.Errorf("figure 3 render missing %s", dish)
+		}
+		if s := RenderFigure4(cs.Figure4[dish]); !strings.Contains(s, "star") {
+			t.Errorf("figure 4 render for %s", dish)
+		}
+	}
+}
+
+func TestFigure3Signal(t *testing.T) {
+	out := fixture(t)
+	cs, err := BuildCaseStudy(out, linkage.DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper, Fig 3(a): recipes nearest each dish by emulsion-KL read
+	// hard — "both the dishes are likely to be harder recipes among the
+	// recipes in topic 3". The nearest bin must be hard-dominated, and
+	// harder than the topic at large (both dishes measure harder than
+	// the pure gel).
+	for _, dish := range []string{"Bavarois", "Milk jelly"} {
+		bins := cs.Figure3[dish].Bins
+		near := bins[0]
+		if f := near.HardFraction(); math.IsNaN(f) || f < 0.6 {
+			t.Errorf("%s: near-dish hard fraction = %.2f, want ≥ 0.6", dish, f)
+		}
+	}
+	// Paper, Fig 3(b): "the smaller the KL is, the more frequent the
+	// bins of elastic in case of Bavarois, but not in the case of milk
+	// jelly" — the elastic signal separates the two dishes.
+	bavNear := cs.Figure3["Bavarois"].Bins[0]
+	milkNear := cs.Figure3["Milk jelly"].Bins[0]
+	be, me := bavNear.ElasticFraction(), milkNear.ElasticFraction()
+	if math.IsNaN(be) {
+		t.Fatal("Bavarois near bin has no elastic/cohesive terms")
+	}
+	if !math.IsNaN(me) && be <= me {
+		t.Errorf("near-dish elastic fraction: Bavarois %.2f vs Milk jelly %.2f; want Bavarois higher", be, me)
+	}
+}
+
+func TestRenderFigure2(t *testing.T) {
+	s := RenderFigure2(rheology.Attributes{Hardness: 2.78, Cohesiveness: 0.31, Adhesiveness: 0.42})
+	if !strings.Contains(s, "extracted") || !strings.Contains(s, "*") {
+		t.Errorf("figure 2:\n%s", s)
+	}
+}

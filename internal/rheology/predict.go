@@ -1,0 +1,169 @@
+package rheology
+
+import (
+	"sort"
+
+	"repro/internal/recipe"
+)
+
+// Predict estimates the texture attributes of a gel/emulsion
+// composition. Per-gel dose-response curves are piecewise-linear
+// interpolations through the Table I measurements (so every Table I
+// composition reproduces its measured attributes exactly); gel mixtures
+// combine additively with the gelatin-agar adhesiveness synergy
+// observed in Table I data 5; emulsion effects are multiplicative
+// factors calibrated to the Bavarois and Milk jelly studies of Table
+// II(b): fat-phase emulsions (cream, yolk, albumen) harden the gel and
+// raise cohesiveness strongly, milk mildly, while both suppress
+// adhesiveness (active-filler behaviour of emulsion-filled gels,
+// Farjami & Madadlou 2019).
+func Predict(gels [recipe.NumGels]float64, emus [recipe.NumEmulsions]float64) Attributes {
+	var a Attributes
+	for g := recipe.Gel(0); g < recipe.NumGels; g++ {
+		c := gels[g]
+		if c <= 0 {
+			continue
+		}
+		a.Hardness += gelCurves[g].hardness.at(c)
+		a.Cohesiveness += gelCurves[g].cohesiveness.at(c) * gelShare(gels, g)
+		a.Adhesiveness += gelCurves[g].adhesiveness.at(c)
+	}
+	// Mixed-gel interactions, calibrated to Table I data 5 (gelatin 0.03
+	// + agar 0.03 → H 3.01, C 0.35, A 12.6): mixing is antagonistic for
+	// hardness (the networks interpenetrate rather than add), mildly
+	// synergistic for cohesiveness, and strongly synergistic for
+	// adhesiveness. mixIdx = 1 − Σ shareᵢ² is zero for a single gel and
+	// ½ for a 50/50 mixture, so single-gel rows stay exact.
+	mix := mixIndex(gels)
+	a.Hardness *= 1 - hardnessAntagonism*mix
+	a.Cohesiveness *= 1 + cohesivenessSynergy*mix
+	a.Adhesiveness += adhesionSynergy * gels[recipe.Gelatin] * gels[recipe.Agar]
+
+	fat := emus[recipe.RawCream] + emus[recipe.EggYolk] + emus[recipe.EggAlbumen]
+	milk := emus[recipe.Milk] + emus[recipe.Yogurt]
+	sugar := emus[recipe.Sugar]
+	a.Hardness *= 1 + hardFat*fat + hardMilk*milk + hardSugar*sugar
+	a.Cohesiveness *= 1 + cohFat*fat + cohMilk*milk
+	// Cohesiveness is the second-to-first compression area ratio c/a,
+	// which cannot exceed 1; the emulsion multipliers are calibrated at
+	// fat shares ≤ 0.28 and would extrapolate past it.
+	if a.Cohesiveness > 1 {
+		a.Cohesiveness = 1
+	}
+	a.Adhesiveness /= 1 + adhFatSuppress*fat + adhMilkSuppress*milk
+	return a
+}
+
+// PredictMeasurement wraps Predict for a Measurement-shaped input.
+func PredictMeasurement(m Measurement) Attributes {
+	return Predict(m.Gels, m.Emulsions)
+}
+
+// Emulsion calibration constants, fitted to Table II(b) against the
+// pure 2.5% gelatin reference (Table I data 3).
+const (
+	hardFat   = 12.8 // Bavarois: ×5.4 hardness at fat share 0.28, milk 0.4
+	hardMilk  = 1.94 // Milk jelly: ×2.54 at milk share 0.787
+	hardSugar = 0.5
+
+	cohFat  = 12.0 // Bavarois: ×4.76 cohesiveness
+	cohMilk = 0.9  // Milk jelly: ×1.7
+
+	adhFatSuppress  = 17.3 // Bavarois: ÷6 adhesiveness
+	adhMilkSuppress = 0.38 // Milk jelly: ÷1.3
+
+	adhesionSynergy = 11000 // RU per (gelatin ratio × agar ratio)
+
+	hardnessAntagonism  = 0.8   // Table I data 5: 4.99 RU additive → 3.01 measured
+	cohesivenessSynergy = 0.745 // Table I data 5: 0.255 blended → 0.35 measured
+)
+
+// mixIndex returns 1 − Σ shareᵢ², the effective mixing degree of the
+// gel doses: 0 for a single gel, ½ for an even two-gel mixture.
+func mixIndex(gels [recipe.NumGels]float64) float64 {
+	total := 0.0
+	for _, c := range gels {
+		total += c
+	}
+	if total <= 0 {
+		return 0
+	}
+	s := 0.0
+	for _, c := range gels {
+		sh := c / total
+		s += sh * sh
+	}
+	return 1 - s
+}
+
+// gelShare returns gel g's fraction of the total gel dose, used to
+// blend cohesiveness (a ratio, not an extensive quantity) across mixed
+// gels.
+func gelShare(gels [recipe.NumGels]float64, g recipe.Gel) float64 {
+	total := 0.0
+	for _, c := range gels {
+		total += c
+	}
+	if total <= 0 {
+		return 0
+	}
+	return gels[g] / total
+}
+
+// curve is a piecewise-linear dose-response curve with linear
+// extrapolation clamped at zero.
+type curve struct {
+	x, y []float64 // strictly increasing x
+}
+
+func (c curve) at(x float64) float64 {
+	n := len(c.x)
+	if n == 0 {
+		return 0
+	}
+	if x <= c.x[0] {
+		// Extrapolate toward zero dose: response vanishes at zero.
+		return c.y[0] * x / c.x[0]
+	}
+	if x >= c.x[n-1] {
+		if n == 1 {
+			return c.y[n-1]
+		}
+		slope := (c.y[n-1] - c.y[n-2]) / (c.x[n-1] - c.x[n-2])
+		v := c.y[n-1] + slope*(x-c.x[n-1])
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	i := sort.SearchFloat64s(c.x, x)
+	if c.x[i] == x {
+		return c.y[i]
+	}
+	t := (x - c.x[i-1]) / (c.x[i] - c.x[i-1])
+	return c.y[i-1] + t*(c.y[i]-c.y[i-1])
+}
+
+// gelCurves holds the per-gel dose-response curves, one per attribute,
+// built from the single-gel rows of Table I. The agar curves exclude
+// data 5 (a gelatin-agar mixture) and use data 13 as the high-dose
+// anchor.
+var gelCurves = [recipe.NumGels]struct {
+	hardness, cohesiveness, adhesiveness curve
+}{
+	recipe.Gelatin: {
+		hardness:     curve{[]float64{0.018, 0.02, 0.025, 0.03}, []float64{0.20, 0.3, 0.72, 2.78}},
+		cohesiveness: curve{[]float64{0.018, 0.02, 0.025, 0.03}, []float64{0.6, 0.59, 0.17, 0.31}},
+		adhesiveness: curve{[]float64{0.018, 0.02, 0.025, 0.03}, []float64{0.1, 0.04, 0.57, 0.42}},
+	},
+	recipe.Kanten: {
+		hardness:     curve{[]float64{0.008, 0.01, 0.012, 0.02}, []float64{2.2, 3.5, 5.0, 5.67}},
+		cohesiveness: curve{[]float64{0.008, 0.01, 0.012, 0.02}, []float64{0.12, 0.1, 0.8, 0.03}},
+		adhesiveness: curve{[]float64{0.008, 0.01, 0.012, 0.02}, []float64{0, 0, 0, 0}},
+	},
+	recipe.Agar: {
+		hardness:     curve{[]float64{0.008, 0.01, 0.012, 0.03}, []float64{1.0, 1.5, 2.7, 2.21}},
+		cohesiveness: curve{[]float64{0.008, 0.01, 0.012, 0.03}, []float64{0.48, 0.33, 0.28, 0.20}},
+		adhesiveness: curve{[]float64{0.008, 0.01, 0.012, 0.03}, []float64{0, 0.01, 0.02, 1.95}},
+	},
+}

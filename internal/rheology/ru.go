@@ -1,0 +1,60 @@
+package rheology
+
+import "fmt"
+
+// ForceUnit is the unit a source study reported its rheometer values
+// in. The paper notes rheometer products do not share a standardized
+// unit and converts everything to RU (rheological units), the unit of
+// the original Friedman texturometer, before comparison.
+type ForceUnit int
+
+// Source units encountered in the cited studies.
+const (
+	RU ForceUnit = iota
+	Newton
+	GramForce
+	KiloPascal // plate pressure for a standard 25 mm probe
+)
+
+// String names the unit.
+func (u ForceUnit) String() string {
+	switch u {
+	case RU:
+		return "RU"
+	case Newton:
+		return "N"
+	case GramForce:
+		return "gf"
+	case KiloPascal:
+		return "kPa"
+	default:
+		return "?"
+	}
+}
+
+// Conversion factors to RU. The texturometer's RU is approximately
+// proportional to force; the factors below follow the calibration
+// constants used when comparing texturometer and universal-testing-
+// machine readings in the sensory-instrumental correlation literature
+// (≈1 RU per newton of peak force for a standard sample geometry).
+const (
+	ruPerNewton    = 1.0
+	ruPerGramForce = 0.00980665         // 1 gf = 9.80665 mN
+	ruPerKPa       = 0.4908738521234052 // 25 mm probe: kPa × area (m²) × 1000 → N
+)
+
+// ToRU converts a value in the given unit to RU.
+func ToRU(value float64, unit ForceUnit) (float64, error) {
+	switch unit {
+	case RU:
+		return value, nil
+	case Newton:
+		return value * ruPerNewton, nil
+	case GramForce:
+		return value * ruPerGramForce, nil
+	case KiloPascal:
+		return value * ruPerKPa, nil
+	default:
+		return 0, fmt.Errorf("rheology: unknown force unit %d", int(unit))
+	}
+}

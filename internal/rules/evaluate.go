@@ -1,0 +1,72 @@
+package rules
+
+import (
+	"fmt"
+	"math"
+)
+
+// RuleScore is a rule's performance on held-out transactions.
+type RuleScore struct {
+	Rule       Rule
+	Precision  float64 // held-out confidence: P(consequent | antecedent)
+	Matched    int     // held-out transactions matching the antecedent
+	Generalize float64 // held-out precision / training confidence
+}
+
+// Evaluate scores mined rules on held-out transactions: held-out
+// precision (the rule's confidence recomputed on unseen data) and the
+// generalization ratio. Rules whose antecedents never fire on the
+// held-out set get NaN precision and zero matches.
+func Evaluate(mined []Rule, heldOut []Transaction) ([]RuleScore, error) {
+	if len(heldOut) == 0 {
+		return nil, fmt.Errorf("rules: no held-out transactions")
+	}
+	sets := make([]map[string]bool, len(heldOut))
+	for i, tx := range heldOut {
+		m := make(map[string]bool, len(tx))
+		for _, item := range tx {
+			m[item] = true
+		}
+		sets[i] = m
+	}
+	out := make([]RuleScore, 0, len(mined))
+	for _, r := range mined {
+		matched, hit := 0, 0
+		for _, tx := range sets {
+			if !containsAll(tx, r.Antecedent) {
+				continue
+			}
+			matched++
+			if tx[r.Consequent] {
+				hit++
+			}
+		}
+		score := RuleScore{Rule: r, Matched: matched, Precision: math.NaN()}
+		if matched > 0 {
+			score.Precision = float64(hit) / float64(matched)
+			if r.Confidence > 0 {
+				score.Generalize = score.Precision / r.Confidence
+			}
+		}
+		out = append(out, score)
+	}
+	return out, nil
+}
+
+// MeanGeneralization averages the generalization ratio over rules that
+// fired on the held-out data at least minMatched times. A value near 1
+// means the rules transfer; well below 1 means they overfit the
+// training corpus.
+func MeanGeneralization(scores []RuleScore, minMatched int) float64 {
+	s, n := 0.0, 0
+	for _, sc := range scores {
+		if sc.Matched >= minMatched && !math.IsNaN(sc.Precision) {
+			s += sc.Generalize
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,246 @@
+// Package rules implements the paper's stated future work: "detect
+// rules bridging between recipe information including ingredient
+// concentrations, cooking steps etc., and sensory textures of
+// consumers". It provides a targeted Apriori association-rule miner
+// over item transactions and a texture-specific featurizer that turns
+// recipes into transactions (gel dose bands, emulsion presence, step
+// keywords) with the texture sense categories as rule consequents.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Transaction is one itemset (one recipe's features plus outcomes).
+type Transaction []string
+
+// Rule is an association rule antecedent ⇒ consequent.
+type Rule struct {
+	Antecedent []string
+	Consequent string
+	Support    float64 // fraction of transactions containing antecedent ∪ consequent
+	Confidence float64 // support / support(antecedent)
+	Lift       float64 // confidence / support(consequent)
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	return fmt.Sprintf("{%s} ⇒ %s  (supp %.3f, conf %.2f, lift %.2f)",
+		strings.Join(r.Antecedent, ", "), r.Consequent, r.Support, r.Confidence, r.Lift)
+}
+
+// Config bounds the search.
+type Config struct {
+	MinSupport    float64 // minimum rule support
+	MinConfidence float64
+	MinLift       float64
+	MaxAntecedent int // maximum antecedent size
+	// Consequents restricts rule heads to these items; antecedents never
+	// contain them. Required: untargeted mining over texture data mostly
+	// rediscovers the featurizer.
+	Consequents []string
+}
+
+// DefaultConfig mines reasonably strong, small rules. Lift 1.05 keeps
+// high-confidence rules whose consequent is common corpus-wide (most
+// gel dishes read soft, so even a near-certain whip ⇒ soft rule has
+// modest lift).
+func DefaultConfig() Config {
+	return Config{MinSupport: 0.01, MinConfidence: 0.6, MinLift: 1.05, MaxAntecedent: 2}
+}
+
+// Mine runs targeted Apriori over the transactions and returns rules
+// sorted by descending lift (ties by confidence, then support, then
+// antecedent order for determinism).
+func Mine(txs []Transaction, cfg Config) ([]Rule, error) {
+	if len(txs) == 0 {
+		return nil, fmt.Errorf("rules: no transactions")
+	}
+	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
+		return nil, fmt.Errorf("rules: min support %g outside (0,1]", cfg.MinSupport)
+	}
+	if cfg.MaxAntecedent < 1 {
+		return nil, fmt.Errorf("rules: max antecedent size %d", cfg.MaxAntecedent)
+	}
+	if len(cfg.Consequents) == 0 {
+		return nil, fmt.Errorf("rules: no consequents given")
+	}
+	isConsequent := make(map[string]bool, len(cfg.Consequents))
+	for _, c := range cfg.Consequents {
+		isConsequent[c] = true
+	}
+
+	// Deduplicate items within each transaction.
+	n := float64(len(txs))
+	sets := make([]map[string]bool, len(txs))
+	for i, tx := range txs {
+		m := make(map[string]bool, len(tx))
+		for _, item := range tx {
+			m[item] = true
+		}
+		sets[i] = m
+	}
+
+	// Frequent antecedent itemsets by level (classic Apriori), over
+	// non-consequent items only.
+	minCount := cfg.MinSupport * n
+	counts := make(map[string]int) // canonical key → count
+	level := [][]string{}
+	for _, tx := range sets {
+		for item := range tx {
+			if isConsequent[item] {
+				continue
+			}
+			counts[item]++
+		}
+	}
+	var frequent [][]string
+	for item, c := range counts {
+		if float64(c) >= minCount {
+			frequent = append(frequent, []string{item})
+		}
+	}
+	sortItemsets(frequent)
+	level = frequent
+	all := append([][]string{}, frequent...)
+
+	for size := 2; size <= cfg.MaxAntecedent && len(level) > 0; size++ {
+		candidates := joinLevel(level)
+		var next [][]string
+		for _, cand := range candidates {
+			c := 0
+			for _, tx := range sets {
+				if containsAll(tx, cand) {
+					c++
+				}
+			}
+			if float64(c) >= minCount {
+				next = append(next, cand)
+			}
+		}
+		sortItemsets(next)
+		level = next
+		all = append(all, next...)
+	}
+
+	// Consequent supports.
+	consSupport := make(map[string]float64)
+	for _, c := range cfg.Consequents {
+		cnt := 0
+		for _, tx := range sets {
+			if tx[c] {
+				cnt++
+			}
+		}
+		consSupport[c] = float64(cnt) / n
+	}
+
+	var out []Rule
+	for _, ante := range all {
+		anteCount := 0
+		jointCounts := make(map[string]int)
+		for _, tx := range sets {
+			if !containsAll(tx, ante) {
+				continue
+			}
+			anteCount++
+			for _, c := range cfg.Consequents {
+				if tx[c] {
+					jointCounts[c]++
+				}
+			}
+		}
+		if anteCount == 0 {
+			continue
+		}
+		for _, c := range cfg.Consequents {
+			joint := float64(jointCounts[c]) / n
+			if joint < cfg.MinSupport {
+				continue
+			}
+			conf := float64(jointCounts[c]) / float64(anteCount)
+			if conf < cfg.MinConfidence {
+				continue
+			}
+			lift := 0.0
+			if consSupport[c] > 0 {
+				lift = conf / consSupport[c]
+			}
+			if lift < cfg.MinLift {
+				continue
+			}
+			out = append(out, Rule{
+				Antecedent: append([]string(nil), ante...),
+				Consequent: c,
+				Support:    joint,
+				Confidence: conf,
+				Lift:       lift,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Lift != out[j].Lift {
+			return out[i].Lift > out[j].Lift
+		}
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return strings.Join(out[i].Antecedent, ",") < strings.Join(out[j].Antecedent, ",")
+	})
+	return out, nil
+}
+
+func containsAll(tx map[string]bool, items []string) bool {
+	for _, it := range items {
+		if !tx[it] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortItemsets(sets [][]string) {
+	for _, s := range sets {
+		sort.Strings(s)
+	}
+	sort.Slice(sets, func(i, j int) bool {
+		return strings.Join(sets[i], ",") < strings.Join(sets[j], ",")
+	})
+}
+
+// joinLevel produces size+1 candidates from frequent size-k itemsets
+// sharing a k−1 prefix (sets are sorted).
+func joinLevel(level [][]string) [][]string {
+	var out [][]string
+	seen := make(map[string]bool)
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			if !samePrefix(a, b) {
+				continue
+			}
+			cand := append(append([]string(nil), a...), b[len(b)-1])
+			sort.Strings(cand)
+			key := strings.Join(cand, ",")
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b []string) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

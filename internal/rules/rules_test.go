@@ -1,0 +1,281 @@
+package rules
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/lexicon"
+	"repro/internal/recipe"
+)
+
+// toyTxs: A strongly implies X; B weakly implies X; C never.
+func toyTxs() []Transaction {
+	var txs []Transaction
+	for i := 0; i < 80; i++ {
+		txs = append(txs, Transaction{"A", "X"})
+	}
+	for i := 0; i < 20; i++ {
+		txs = append(txs, Transaction{"A", "Y"})
+	}
+	for i := 0; i < 50; i++ {
+		txs = append(txs, Transaction{"B", "X"})
+	}
+	for i := 0; i < 50; i++ {
+		txs = append(txs, Transaction{"B"})
+	}
+	for i := 0; i < 100; i++ {
+		txs = append(txs, Transaction{"C", "Y"})
+	}
+	return txs
+}
+
+func TestMineFindsStrongRule(t *testing.T) {
+	cfg := Config{MinSupport: 0.05, MinConfidence: 0.7, MinLift: 1.1, MaxAntecedent: 2,
+		Consequents: []string{"X", "Y"}}
+	rules, err := Mine(toyTxs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Rule{}
+	for _, r := range rules {
+		byKey[strings.Join(r.Antecedent, ",")+"=>"+r.Consequent] = r
+	}
+	ax, ok := byKey["A=>X"]
+	if !ok {
+		t.Fatalf("A⇒X not found; rules = %v", rules)
+	}
+	if math.Abs(ax.Confidence-0.8) > 1e-9 {
+		t.Errorf("conf(A⇒X) = %g, want 0.8", ax.Confidence)
+	}
+	// support(X) = 130/300; lift = 0.8/(130/300).
+	wantLift := 0.8 / (130.0 / 300.0)
+	if math.Abs(ax.Lift-wantLift) > 1e-9 {
+		t.Errorf("lift = %g, want %g", ax.Lift, wantLift)
+	}
+	// B⇒X has confidence 0.5 < 0.7: filtered.
+	if _, ok := byKey["B=>X"]; ok {
+		t.Error("B⇒X should be below confidence threshold")
+	}
+	// C⇒Y is strong.
+	if _, ok := byKey["C=>Y"]; !ok {
+		t.Error("C⇒Y missing")
+	}
+}
+
+func TestMinePairAntecedents(t *testing.T) {
+	var txs []Transaction
+	// X fires only when both A and B are present.
+	for i := 0; i < 50; i++ {
+		txs = append(txs, Transaction{"A", "B", "X"})
+	}
+	for i := 0; i < 50; i++ {
+		txs = append(txs, Transaction{"A", "Y"})
+	}
+	for i := 0; i < 50; i++ {
+		txs = append(txs, Transaction{"B", "Y"})
+	}
+	cfg := Config{MinSupport: 0.05, MinConfidence: 0.9, MinLift: 1.0, MaxAntecedent: 2,
+		Consequents: []string{"X", "Y"}}
+	rules, err := Mine(txs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rules {
+		if len(r.Antecedent) == 2 && r.Antecedent[0] == "A" && r.Antecedent[1] == "B" && r.Consequent == "X" {
+			found = true
+			if r.Confidence != 1 {
+				t.Errorf("conf = %g", r.Confidence)
+			}
+		}
+		if len(r.Antecedent) == 1 && (r.Antecedent[0] == "A" || r.Antecedent[0] == "B") && r.Consequent == "X" {
+			t.Errorf("single-item rule %v should miss the confidence bar", r)
+		}
+	}
+	if !found {
+		t.Error("{A,B}⇒X not found")
+	}
+}
+
+func TestMineSortedByLift(t *testing.T) {
+	rules, err := Mine(toyTxs(), Config{MinSupport: 0.01, MinConfidence: 0.1, MinLift: 0,
+		MaxAntecedent: 2, Consequents: []string{"X", "Y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Lift > rules[i-1].Lift+1e-12 {
+			t.Fatal("rules not sorted by lift")
+		}
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	if _, err := Mine(nil, DefaultConfig()); err == nil {
+		t.Error("empty transactions should fail")
+	}
+	cfg := DefaultConfig()
+	cfg.Consequents = []string{"X"}
+	cfg.MinSupport = 0
+	if _, err := Mine(toyTxs(), cfg); err == nil {
+		t.Error("zero support should fail")
+	}
+	cfg = DefaultConfig()
+	if _, err := Mine(toyTxs(), cfg); err == nil {
+		t.Error("missing consequents should fail")
+	}
+}
+
+func TestFeaturize(t *testing.T) {
+	r := &recipe.Recipe{
+		ID:          "f1",
+		Description: "かたくてどっしりしたおやつ",
+		Ingredients: []recipe.Ingredient{
+			{Name: "粉寒天", Amount: "10g"},
+			{Name: "牛乳", Amount: "100ml"},
+			{Name: "水", Amount: "290ml"},
+		},
+		Steps: []string{"寒天を煮とかし、沸騰させる。", "型にながして常温でかためる。"},
+	}
+	if err := r.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	tx := Featurize(r, lexicon.Default())
+	want := map[string]bool{
+		"gel:kanten-high": true, // 10/405 ≈ 2.5%
+		"emu:milk":        true, // ~25%
+		"step:boil":       true,
+		"step:room-set":   true,
+		"reads:hard":      true,
+	}
+	have := map[string]bool{}
+	for _, item := range tx {
+		have[item] = true
+	}
+	for item := range want {
+		if !have[item] {
+			t.Errorf("missing item %s in %v", item, tx)
+		}
+	}
+	if have["reads:soft"] {
+		t.Error("soft should not fire")
+	}
+}
+
+func TestDoseBand(t *testing.T) {
+	cases := map[float64]string{0: "", 0.0005: "", 0.005: "low", 0.015: "mid", 0.05: "high"}
+	for c, want := range cases {
+		if got := doseBand(c); got != want {
+			t.Errorf("doseBand(%g) = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestMineTextureOnCorpus(t *testing.T) {
+	cfg := corpus.DefaultConfig()
+	cfg.Scale = 0.4
+	rs, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := MineTexture(rs, lexicon.Default(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined) == 0 {
+		t.Fatal("no rules mined")
+	}
+	// The headline food-science facts must surface: high kanten reads
+	// hard; whipping predicts a soft read.
+	var kantenHard, whipSoft bool
+	for _, r := range mined {
+		key := strings.Join(r.Antecedent, ",")
+		if strings.Contains(key, "gel:kanten-high") && r.Consequent == "reads:hard" {
+			kantenHard = true
+		}
+		if strings.Contains(key, "step:whip") && r.Consequent == "reads:soft" {
+			whipSoft = true
+		}
+	}
+	if !kantenHard {
+		t.Errorf("kanten-high ⇒ hard not mined; top rules:\n%s", Render(mined, 15))
+	}
+	if !whipSoft {
+		t.Errorf("whip ⇒ soft not mined; top rules:\n%s", Render(mined, 15))
+	}
+	if s := Render(mined, 5); !strings.Contains(s, "⇒") {
+		t.Error("render")
+	}
+}
+
+func TestEvaluateHeldOutRules(t *testing.T) {
+	// Train and test from the same distribution: rules generalize.
+	train := toyTxs()
+	test := toyTxs()
+	cfg := Config{MinSupport: 0.05, MinConfidence: 0.7, MinLift: 1.1, MaxAntecedent: 2,
+		Consequents: []string{"X", "Y"}}
+	mined, err := Mine(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := Evaluate(mined, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(mined) {
+		t.Fatalf("%d scores for %d rules", len(scores), len(mined))
+	}
+	for _, sc := range scores {
+		if sc.Matched == 0 {
+			t.Errorf("rule %v never fired on identical-distribution data", sc.Rule)
+			continue
+		}
+		if math.Abs(sc.Precision-sc.Rule.Confidence) > 1e-9 {
+			t.Errorf("rule %v precision %g != training confidence %g on identical data",
+				sc.Rule, sc.Precision, sc.Rule.Confidence)
+		}
+	}
+	if g := MeanGeneralization(scores, 1); math.Abs(g-1) > 1e-9 {
+		t.Errorf("generalization = %g, want 1 on identical data", g)
+	}
+	// Validation.
+	if _, err := Evaluate(mined, nil); err == nil {
+		t.Error("empty held-out should fail")
+	}
+	if !math.IsNaN(MeanGeneralization(nil, 1)) {
+		t.Error("no scores should give NaN")
+	}
+}
+
+func TestRulesGeneralizeAcrossCorpusSeeds(t *testing.T) {
+	dict := lexicon.Default()
+	trainCfg := corpus.DefaultConfig()
+	trainCfg.Scale = 0.4
+	trainRecipes, err := corpus.Generate(trainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testCfg := trainCfg
+	testCfg.Seed = 1234
+	testRecipes, err := corpus.Generate(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := MineTexture(trainRecipes, dict, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var testTxs []Transaction
+	for _, r := range testRecipes {
+		testTxs = append(testTxs, Featurize(r, dict))
+	}
+	scores, err := Evaluate(mined, testTxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := MeanGeneralization(scores, 5); math.IsNaN(g) || g < 0.85 {
+		t.Errorf("rules generalize at %.3f, want ≥ 0.85", g)
+	}
+}

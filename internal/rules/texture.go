@@ -1,0 +1,137 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lexicon"
+	"repro/internal/recipe"
+)
+
+// Texture transaction item namespaces.
+const (
+	itemGelPrefix   = "gel:"   // gel:gelatin-low … gel:kanten-high
+	itemEmuPrefix   = "emu:"   // emu:cream (present above threshold)
+	itemStepPrefix  = "step:"  // step:boil, step:whip, step:chill, step:room-set
+	itemReadsPrefix = "reads:" // reads:hard … (consequents)
+)
+
+// emuPresence is the weight share above which an emulsion counts as
+// present.
+const emuPresence = 0.02
+
+// Consequents are the texture outcomes rules may predict.
+func Consequents() []string {
+	return []string{
+		itemReadsPrefix + "hard", itemReadsPrefix + "soft",
+		itemReadsPrefix + "elastic", itemReadsPrefix + "cohesive",
+		itemReadsPrefix + "sticky",
+	}
+}
+
+// Transaction featurizes one resolved recipe: dose-banded gels,
+// emulsion presence, step keywords, and — as consequents — the sense
+// categories of the texture terms in its description.
+func Featurize(r *recipe.Recipe, dict *lexicon.Dictionary) Transaction {
+	var tx Transaction
+	gels := r.GelConcentrations()
+	for g := recipe.Gel(0); g < recipe.NumGels; g++ {
+		if band := doseBand(gels[g]); band != "" {
+			tx = append(tx, itemGelPrefix+g.String()+"-"+band)
+		}
+	}
+	emus := r.EmulsionConcentrations()
+	names := []string{"sugar", "albumen", "yolk", "cream", "milk", "yogurt"}
+	for e := recipe.Emulsion(0); e < recipe.NumEmulsions; e++ {
+		if emus[e] >= emuPresence {
+			tx = append(tx, itemEmuPrefix+names[e])
+		}
+	}
+	for _, kw := range stepKeywords(r.Steps) {
+		tx = append(tx, itemStepPrefix+kw)
+	}
+	counts := dict.SenseCounts(dict.ExtractTermIDs(r.Description))
+	for sense, item := range map[lexicon.SenseClass]string{
+		lexicon.SenseHard:     "hard",
+		lexicon.SenseSoft:     "soft",
+		lexicon.SenseElastic:  "elastic",
+		lexicon.SenseCohesive: "cohesive",
+		lexicon.SenseSticky:   "sticky",
+	} {
+		if counts[sense] > 0 {
+			tx = append(tx, itemReadsPrefix+item)
+		}
+	}
+	return tx
+}
+
+// doseBand discretizes a gel weight ratio. The bands straddle the
+// functional ranges of Table I: below 0.1% is trace, up to 1% low, up
+// to 1.8% mid, above high (the paper's firm-kanten topic sits at 2.1%,
+// so the high band opens just below it).
+func doseBand(c float64) string {
+	switch {
+	case c < 0.001:
+		return ""
+	case c < 0.01:
+		return "low"
+	case c < 0.018:
+		return "mid"
+	default:
+		return "high"
+	}
+}
+
+// stepKeywords maps instruction text to canonical process keywords.
+func stepKeywords(steps []string) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(kw string) {
+		if !seen[kw] {
+			seen[kw] = true
+			out = append(out, kw)
+		}
+	}
+	for _, s := range steps {
+		switch {
+		case strings.Contains(s, "沸騰") || strings.Contains(s, "煮"):
+			add("boil")
+		case strings.Contains(s, "あわだて") || strings.Contains(s, "メレンゲ"):
+			add("whip")
+		case strings.Contains(s, "れいぞうこ") || strings.Contains(s, "ひやし"):
+			add("chill")
+		case strings.Contains(s, "常温でかため"):
+			add("room-set")
+		case strings.Contains(s, "ふやかし"):
+			add("bloom")
+		}
+	}
+	return out
+}
+
+// MineTexture featurizes the recipes and mines texture rules.
+func MineTexture(rs []*recipe.Recipe, dict *lexicon.Dictionary, cfg Config) ([]Rule, error) {
+	if len(cfg.Consequents) == 0 {
+		cfg.Consequents = Consequents()
+	}
+	txs := make([]Transaction, 0, len(rs))
+	for _, r := range rs {
+		if tx := Featurize(r, dict); len(tx) > 0 {
+			txs = append(txs, tx)
+		}
+	}
+	return Mine(txs, cfg)
+}
+
+// Render prints the top rules as a table.
+func Render(rules []Rule, top int) string {
+	var sb strings.Builder
+	sb.WriteString("texture rules (antecedent ⇒ reads, by lift)\n")
+	if top > len(rules) {
+		top = len(rules)
+	}
+	for _, r := range rules[:top] {
+		fmt.Fprintf(&sb, "  %s\n", r)
+	}
+	return sb.String()
+}

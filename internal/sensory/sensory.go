@@ -1,0 +1,263 @@
+// Package sensory simulates sensory evaluation — the questionnaire
+// panels of the food-science studies the paper builds on. The paper's
+// Related Work rests on the tension between sensory panels (intuitive
+// but subjective, small-N, vocabulary-dependent) and instrumental
+// measurement (objective but hard to interpret); this package models a
+// panel of subjects scoring samples and choosing texture words, so the
+// sensory-instrumental correlation experiments of Meullenet et al. and
+// Paula & Conti-Silva can be reproduced against the TPA simulator.
+package sensory
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/lexicon"
+	"repro/internal/rheology"
+	"repro/internal/stats"
+)
+
+// Panel is a set of simulated subjects.
+type Panel struct {
+	// Subjects is the panel size. The cited studies use 8-30.
+	Subjects int
+	// ScaleNoise is the σ of each subject's per-sample scoring noise on
+	// the 9-point intensity scale.
+	ScaleNoise float64
+	// SubjectBias is the σ of each subject's stable offset — some
+	// subjects score everything harder.
+	SubjectBias float64
+	// VocabularySize is how many texture words a subject knows; word
+	// choice varies by speaker (Nishinari et al. 1989's cross-language
+	// observation applies within a language too).
+	VocabularySize int
+
+	Seed uint64
+}
+
+// DefaultPanel mirrors a typical home-economics study panel.
+func DefaultPanel() Panel {
+	return Panel{Subjects: 12, ScaleNoise: 0.8, SubjectBias: 0.5, VocabularySize: 60, Seed: 1}
+}
+
+// Score is one subject's evaluation of one sample.
+type Score struct {
+	Subject  int
+	Hardness float64 // 1..9 intensity
+	Cohesive float64 // 1..9 (perceived elasticity/springiness)
+	Adhesive float64 // 1..9 (perceived stickiness)
+	Words    []int   // texture-term IDs the subject chose
+}
+
+// Evaluation aggregates a panel's scores for one sample.
+type Evaluation struct {
+	Attr   rheology.Attributes // the instrumental ground truth
+	Scores []Score
+}
+
+// MeanHardness returns the panel-mean hardness score.
+func (e Evaluation) MeanHardness() float64 {
+	return e.mean(func(s Score) float64 { return s.Hardness })
+}
+
+// MeanCohesive returns the panel-mean cohesiveness score.
+func (e Evaluation) MeanCohesive() float64 {
+	return e.mean(func(s Score) float64 { return s.Cohesive })
+}
+
+// MeanAdhesive returns the panel-mean adhesiveness score.
+func (e Evaluation) MeanAdhesive() float64 {
+	return e.mean(func(s Score) float64 { return s.Adhesive })
+}
+
+func (e Evaluation) mean(f func(Score) float64) float64 {
+	s := 0.0
+	for _, sc := range e.Scores {
+		s += f(sc)
+	}
+	return s / float64(len(e.Scores))
+}
+
+// Evaluate runs the panel over samples with the given instrumental
+// attributes, returning one Evaluation per sample. Perceived intensity
+// follows a psychophysical power law of the instrumental value
+// (Stevens exponent ≈ 0.6 for oral force perception) plus subject bias
+// and noise; word choice draws from the subject's personal vocabulary,
+// weighted by how well each term's annotation matches the percept.
+func (p Panel) Evaluate(dict *lexicon.Dictionary, samples []rheology.Attributes) ([]Evaluation, error) {
+	if p.Subjects < 2 {
+		return nil, fmt.Errorf("sensory: need ≥2 subjects, have %d", p.Subjects)
+	}
+	if p.VocabularySize < 5 {
+		return nil, fmt.Errorf("sensory: vocabulary size %d too small", p.VocabularySize)
+	}
+	rng := stats.NewRNG(p.Seed, 0x5E4503)
+
+	// Per-subject stable state: bias and personal vocabulary.
+	biases := make([]float64, p.Subjects)
+	vocab := make([][]int, p.Subjects)
+	gelTerms := dict.GelRelated()
+	for s := 0; s < p.Subjects; s++ {
+		biases[s] = rng.Normal(0, p.SubjectBias)
+		perm := rng.Perm(len(gelTerms))
+		n := p.VocabularySize
+		if n > len(perm) {
+			n = len(perm)
+		}
+		for _, idx := range perm[:n] {
+			vocab[s] = append(vocab[s], gelTerms[idx])
+		}
+	}
+
+	out := make([]Evaluation, 0, len(samples))
+	for _, attr := range samples {
+		ev := Evaluation{Attr: attr}
+		for s := 0; s < p.Subjects; s++ {
+			sc := Score{
+				Subject:  s,
+				Hardness: clampScale(perceived(attr.Hardness, 6) + biases[s] + rng.Normal(0, p.ScaleNoise)),
+				Cohesive: clampScale(perceived(attr.Cohesiveness, 1) + biases[s] + rng.Normal(0, p.ScaleNoise)),
+				Adhesive: clampScale(perceived(attr.Adhesiveness, 13) + biases[s] + rng.Normal(0, p.ScaleNoise)),
+			}
+			sc.Words = p.chooseWords(dict, vocab[s], attr, rng)
+			ev.Scores = append(ev.Scores, sc)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// perceived maps an instrumental value to the 9-point scale by a
+// Stevens power law, with `ref` the instrumental value that anchors
+// the scale's top.
+func perceived(v, ref float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return 1 + 8*math.Pow(v/ref, 0.6)
+}
+
+func clampScale(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	if v > 9 {
+		return 9
+	}
+	return v
+}
+
+// chooseWords picks 1-3 terms from the subject's vocabulary, weighted
+// by the squared-exponential match between each term's annotation and
+// the normalized percept.
+func (p Panel) chooseWords(dict *lexicon.Dictionary, vocab []int, attr rheology.Attributes, rng *stats.RNG) []int {
+	// Normalize the percept onto the annotation scales.
+	h := math.Tanh((attr.Hardness - 1.5) / 2) // ±1: soft … hard
+	c := math.Tanh((attr.Cohesiveness - 0.35) * 4)
+	a := math.Tanh(attr.Adhesiveness / 2) // 0..1
+
+	weights := make([]float64, len(vocab))
+	for i, id := range vocab {
+		t := dict.Term(id)
+		d := (t.Hardness-h)*(t.Hardness-h) +
+			(t.Cohesiveness-c)*(t.Cohesiveness-c)*0.5 +
+			(t.Adhesiveness-a)*(t.Adhesiveness-a)*0.5
+		weights[i] = math.Exp(-2 * d)
+	}
+	n := 1 + rng.IntN(3)
+	var words []int
+	for i := 0; i < n; i++ {
+		words = append(words, vocab[rng.Categorical(weights)])
+	}
+	return words
+}
+
+// Correlation is the sensory-instrumental agreement on one axis.
+type Correlation struct {
+	Axis     lexicon.Axis
+	Spearman float64
+	Pearson  float64
+}
+
+// Correlate computes the sensory-instrumental correlations over a set
+// of evaluations — the experiment of the correlation studies the paper
+// cites ([13], [14]).
+func Correlate(evals []Evaluation) []Correlation {
+	inst := map[lexicon.Axis][]float64{}
+	sens := map[lexicon.Axis][]float64{}
+	for _, e := range evals {
+		inst[lexicon.Hardness] = append(inst[lexicon.Hardness], e.Attr.Hardness)
+		inst[lexicon.Cohesiveness] = append(inst[lexicon.Cohesiveness], e.Attr.Cohesiveness)
+		inst[lexicon.Adhesiveness] = append(inst[lexicon.Adhesiveness], e.Attr.Adhesiveness)
+		sens[lexicon.Hardness] = append(sens[lexicon.Hardness], e.MeanHardness())
+		sens[lexicon.Cohesiveness] = append(sens[lexicon.Cohesiveness], e.MeanCohesive())
+		sens[lexicon.Adhesiveness] = append(sens[lexicon.Adhesiveness], e.MeanAdhesive())
+	}
+	var out []Correlation
+	for _, axis := range []lexicon.Axis{lexicon.Hardness, lexicon.Cohesiveness, lexicon.Adhesiveness} {
+		out = append(out, Correlation{
+			Axis:     axis,
+			Spearman: stats.SpearmanCorr(sens[axis], inst[axis]),
+			Pearson:  stats.PearsonCorr(sens[axis], inst[axis]),
+		})
+	}
+	return out
+}
+
+// WordAgreement measures how consistently the panel's chosen words
+// match the dictionary's annotation for the dominant percept: the
+// fraction of chosen words whose hardness sense agrees with the
+// sample's instrumental hardness side (hard ≥ the anchor, soft below).
+func WordAgreement(dict *lexicon.Dictionary, evals []Evaluation, hardAnchor float64) float64 {
+	agree, total := 0, 0
+	for _, e := range evals {
+		wantHard := e.Attr.Hardness >= hardAnchor
+		for _, sc := range e.Scores {
+			for _, id := range sc.Words {
+				sense := dict.Term(id).HardnessSense()
+				if sense == lexicon.SenseNone {
+					continue
+				}
+				total++
+				if (sense == lexicon.SenseHard) == wantHard {
+					agree++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(agree) / float64(total)
+}
+
+// TopWords tallies the panel's most chosen terms across evaluations.
+func TopWords(dict *lexicon.Dictionary, evals []Evaluation, k int) []lexicon.Term {
+	counts := map[int]int{}
+	for _, e := range evals {
+		for _, sc := range e.Scores {
+			for _, id := range sc.Words {
+				counts[id]++
+			}
+		}
+	}
+	ids := make([]int, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if counts[ids[i]] != counts[ids[j]] {
+			return counts[ids[i]] > counts[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	out := make([]lexicon.Term, k)
+	for i := 0; i < k; i++ {
+		out[i] = dict.Term(ids[i])
+	}
+	return out
+}

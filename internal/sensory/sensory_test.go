@@ -1,0 +1,185 @@
+package sensory
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lexicon"
+	"repro/internal/rheology"
+)
+
+// tableISamples evaluates the panel on the paper's 13 empirical
+// settings.
+func tableISamples() []rheology.Attributes {
+	out := make([]rheology.Attributes, len(rheology.TableI))
+	for i, m := range rheology.TableI {
+		out[i] = m.Attr
+	}
+	return out
+}
+
+func TestEvaluateShape(t *testing.T) {
+	p := DefaultPanel()
+	evals, err := p.Evaluate(lexicon.Default(), tableISamples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 13 {
+		t.Fatalf("%d evaluations", len(evals))
+	}
+	for _, e := range evals {
+		if len(e.Scores) != p.Subjects {
+			t.Fatalf("%d scores", len(e.Scores))
+		}
+		for _, s := range e.Scores {
+			if s.Hardness < 1 || s.Hardness > 9 || s.Cohesive < 1 || s.Cohesive > 9 || s.Adhesive < 1 || s.Adhesive > 9 {
+				t.Fatalf("score out of scale: %+v", s)
+			}
+			if len(s.Words) == 0 || len(s.Words) > 3 {
+				t.Fatalf("%d words chosen", len(s.Words))
+			}
+		}
+	}
+}
+
+func TestSensoryInstrumentalCorrelation(t *testing.T) {
+	p := DefaultPanel()
+	evals, err := p.Evaluate(lexicon.Default(), tableISamples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range Correlate(evals) {
+		// The correlation studies the paper cites report strong but
+		// imperfect sensory-instrumental agreement; the simulated panel
+		// should land in that regime on every axis.
+		if c.Spearman < 0.6 {
+			t.Errorf("%v Spearman = %.3f, want ≥ 0.6", c.Axis, c.Spearman)
+		}
+		if c.Spearman > 0.999 {
+			t.Errorf("%v Spearman = %.3f — a human panel is never perfect", c.Axis, c.Spearman)
+		}
+	}
+}
+
+func TestNoiseDegradesCorrelation(t *testing.T) {
+	quiet := DefaultPanel()
+	quiet.ScaleNoise = 0.1
+	quiet.SubjectBias = 0.1
+	noisy := DefaultPanel()
+	noisy.ScaleNoise = 3
+	noisy.SubjectBias = 2
+
+	dict := lexicon.Default()
+	evQuiet, err := quiet.Evaluate(dict, tableISamples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evNoisy, err := noisy.Evaluate(dict, tableISamples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Correlate(evQuiet)[0].Spearman
+	n := Correlate(evNoisy)[0].Spearman
+	if q <= n {
+		t.Errorf("quiet panel %.3f should beat noisy %.3f", q, n)
+	}
+}
+
+func TestWordAgreement(t *testing.T) {
+	p := DefaultPanel()
+	dict := lexicon.Default()
+	evals, err := p.Evaluate(dict, tableISamples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chosen words should agree with the instrumental hardness side far
+	// above chance.
+	if wa := WordAgreement(dict, evals, 1.5); wa < 0.65 {
+		t.Errorf("word agreement = %.3f, want ≥ 0.65", wa)
+	}
+	if got := WordAgreement(dict, nil, 1.5); !math.IsNaN(got) {
+		t.Error("no data should give NaN")
+	}
+}
+
+func TestHardSamplesDrawHardWords(t *testing.T) {
+	p := DefaultPanel()
+	dict := lexicon.Default()
+	soft := rheology.Attributes{Hardness: 0.2, Cohesiveness: 0.6, Adhesiveness: 0.1}
+	hard := rheology.Attributes{Hardness: 5.5, Cohesiveness: 0.1, Adhesiveness: 0}
+	evals, err := p.Evaluate(dict, []rheology.Attributes{soft, hard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanHardScore := func(e Evaluation) float64 {
+		s, n := 0.0, 0
+		for _, sc := range e.Scores {
+			for _, id := range sc.Words {
+				s += dict.Term(id).Hardness
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	if !(meanHardScore(evals[0]) < meanHardScore(evals[1])) {
+		t.Errorf("word hardness: soft sample %.3f vs hard sample %.3f",
+			meanHardScore(evals[0]), meanHardScore(evals[1]))
+	}
+	// Panel-mean scale scores order correctly too.
+	if !(evals[0].MeanHardness() < evals[1].MeanHardness()) {
+		t.Error("scale scores should order soft < hard")
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	p := DefaultPanel()
+	dict := lexicon.Default()
+	a, err := p.Evaluate(dict, tableISamples()[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Evaluate(dict, tableISamples()[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Scores[0].Hardness != b[0].Scores[0].Hardness {
+		t.Error("same seed must give identical panels")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	p := DefaultPanel()
+	p.Subjects = 1
+	if _, err := p.Evaluate(lexicon.Default(), tableISamples()); err == nil {
+		t.Error("tiny panel should fail")
+	}
+	p = DefaultPanel()
+	p.VocabularySize = 2
+	if _, err := p.Evaluate(lexicon.Default(), tableISamples()); err == nil {
+		t.Error("tiny vocabulary should fail")
+	}
+}
+
+func TestTopWords(t *testing.T) {
+	p := DefaultPanel()
+	dict := lexicon.Default()
+	// All samples identical and very sticky: sticky words dominate.
+	sticky := rheology.Attributes{Hardness: 0.5, Cohesiveness: 0.3, Adhesiveness: 8}
+	evals, err := p.Evaluate(dict, []rheology.Attributes{sticky, sticky, sticky, sticky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := TopWords(dict, evals, 5)
+	if len(top) != 5 {
+		t.Fatalf("%d top words", len(top))
+	}
+	stickyCount := 0
+	for _, term := range top {
+		if term.AdhesivenessSense() == lexicon.SenseSticky {
+			stickyCount++
+		}
+	}
+	if stickyCount < 2 {
+		t.Errorf("only %d/5 top words are sticky for a very sticky sample: %v", stickyCount, top)
+	}
+}

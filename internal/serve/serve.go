@@ -1,0 +1,108 @@
+// Package serve exposes the texture annotator over HTTP — the shape a
+// recipe-sharing site would deploy: POST a recipe, get its texture
+// card; browse the fitted topics.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/annotate"
+	"repro/internal/linkage"
+	"repro/internal/pipeline"
+	"repro/internal/recipe"
+)
+
+// Server handles texture annotation requests on a fitted model.
+type Server struct {
+	out *pipeline.Output
+	ann *annotate.Annotator
+
+	mu sync.Mutex // the fold-in sampler mutates per-call state; serialize annotations
+}
+
+// New builds a server from a fitted pipeline output.
+func New(out *pipeline.Output) (*Server, error) {
+	ann, err := annotate.New(out)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{out: out, ann: ann}, nil
+}
+
+// Handler returns the HTTP routes:
+//
+//	POST /annotate   body: one recipe JSON object → texture card JSON
+//	GET  /topics     the fitted topics with gel doses and top terms
+//	GET  /healthz    liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /annotate", s.handleAnnotate)
+	mux.HandleFunc("GET /topics", s.handleTopics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	var rec recipe.Recipe
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		http.Error(w, "bad recipe JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	card, err := s.ann.Annotate(&rec)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, card.Wire())
+}
+
+// topicInfo is the wire form of one fitted topic.
+type topicInfo struct {
+	Topic   int                 `json:"topic"`
+	Recipes int                 `json:"recipes"`
+	Gels    map[string]float64  `json:"gels"`
+	Terms   []annotate.WireTerm `json:"terms"`
+}
+
+func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
+	counts := s.out.Model.DocsPerTopic()
+	var topics []topicInfo
+	for k := 0; k < s.out.Model.K; k++ {
+		info := topicInfo{Topic: k, Recipes: counts[k], Gels: map[string]float64{}}
+		for axis, conc := range linkage.TopicMeanConcentrations(s.out.Model, k, 0.0005) {
+			info.Gels[recipe.Gel(axis).String()] = conc
+		}
+		for _, tp := range s.out.Model.TopTerms(k, 5) {
+			if tp.Prob < 0.01 {
+				break
+			}
+			term := s.out.Dict.Term(tp.ID)
+			info.Terms = append(info.Terms, annotate.WireTerm{
+				Romaji: term.Romaji, Kana: term.Kana, Gloss: term.Gloss, Prob: tp.Prob,
+			})
+		}
+		topics = append(topics, info)
+	}
+	writeJSON(w, topics)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		// Headers are already out; nothing more to do than log-worthy
+		// territory, which the caller owns.
+		return
+	}
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/annotate"
+	"repro/internal/pipeline"
+)
+
+var (
+	srvOnce sync.Once
+	srv     *Server
+	srvErr  error
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	srvOnce.Do(func() {
+		opts := pipeline.DefaultOptions()
+		opts.Corpus.Scale = 0.2
+		opts.Model.Iterations = 150
+		out, err := pipeline.Run(opts)
+		if err != nil {
+			srvErr = err
+			return
+		}
+		srv, srvErr = New(out)
+	})
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	return srv
+}
+
+const jellyJSON = `{
+	"id": "web-1",
+	"title": "ゼリー",
+	"description": "ぷるぷるです",
+	"ingredients": [
+		{"name": "ゼラチン", "amount": "5g"},
+		{"name": "水", "amount": "400ml"}
+	]
+}`
+
+func TestAnnotateEndpoint(t *testing.T) {
+	h := testServer(t).Handler()
+	req := httptest.NewRequest("POST", "/annotate", strings.NewReader(jellyJSON))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var card annotate.WireCard
+	if err := json.Unmarshal(rec.Body.Bytes(), &card); err != nil {
+		t.Fatal(err)
+	}
+	if card.RecipeID != "web-1" || len(card.Expected) == 0 {
+		t.Errorf("card = %+v", card)
+	}
+	if card.Attr.Hardness <= 0 {
+		t.Error("no rheology on card")
+	}
+}
+
+func TestAnnotateEndpointRejectsBadInput(t *testing.T) {
+	h := testServer(t).Handler()
+	for _, body := range []string{
+		"not json",
+		`{"unknown_field": 1}`,
+		`{"id":"x","ingredients":[{"name":"水","amount":"100ml"}]}`, // no gel
+	} {
+		req := httptest.NewRequest("POST", "/annotate", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code == http.StatusOK {
+			t.Errorf("body %q should be rejected", body)
+		}
+	}
+	// Wrong method.
+	req := httptest.NewRequest("GET", "/annotate", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code == http.StatusOK {
+		t.Error("GET /annotate should fail")
+	}
+}
+
+func TestTopicsEndpoint(t *testing.T) {
+	h := testServer(t).Handler()
+	req := httptest.NewRequest("GET", "/topics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var topics []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &topics); err != nil {
+		t.Fatal(err)
+	}
+	if len(topics) != 10 {
+		t.Errorf("%d topics", len(topics))
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	h := testServer(t).Handler()
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("status %d", rec.Code)
+	}
+}
+
+func TestConcurrentAnnotations(t *testing.T) {
+	h := testServer(t).Handler()
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := httptest.NewRequest("POST", "/annotate", bytes.NewReader([]byte(jellyJSON)))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				errs <- rec.Body.String()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(&pipeline.Output{}); err == nil {
+		t.Error("unfitted output should fail")
+	}
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization fails.
+var ErrNotPositiveDefinite = errors.New("stats: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ.
+type Cholesky struct {
+	L *Mat
+}
+
+// NewCholesky factorizes the symmetric positive definite matrix a.
+func NewCholesky(a *Mat) (*Cholesky, error) {
+	a.assertSquare()
+	n := a.R
+	l := NewMat(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w (pivot %d = %g)", ErrNotPositiveDefinite, j, d)
+		}
+		root := math.Sqrt(d)
+		l.Set(j, j, root)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/root)
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// MustCholesky is NewCholesky that panics on failure; for use where the
+// caller guarantees positive definiteness (e.g. freshly regularized priors).
+func MustCholesky(a *Mat) *Cholesky {
+	c, err := NewCholesky(a)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SolveVec solves A·x = b and returns x.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	n := c.L.R
+	if len(b) != n {
+		panic("stats: dim mismatch in SolveVec")
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.L.At(i, k) * y[k]
+		}
+		y[i] = s / c.L.At(i, i)
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.L.At(k, i) * x[k]
+		}
+		x[i] = s / c.L.At(i, i)
+	}
+	return x
+}
+
+// Inverse returns A⁻¹.
+func (c *Cholesky) Inverse() *Mat {
+	n := c.L.R
+	inv := NewMat(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col := c.SolveVec(e)
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	inv.Symmetrize()
+	return inv
+}
+
+// LogDet returns log|A| = 2·Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	s := 0.0
+	for i := 0; i < c.L.R; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}
+
+// HalfQuadratic returns the quadratic form xᵀ·A⁻¹·x computed via the
+// factor: ‖L⁻¹x‖². Used in Gaussian log-densities.
+func (c *Cholesky) HalfQuadratic(x []float64) float64 {
+	n := c.L.R
+	if len(x) != n {
+		panic("stats: dim mismatch in HalfQuadratic")
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= c.L.At(i, k) * y[k]
+		}
+		y[i] = s / c.L.At(i, i)
+	}
+	return Dot(y, y)
+}
+
+// Inverse returns the inverse of a symmetric positive definite matrix,
+// or an error if it is not positive definite.
+func Inverse(a *Mat) (*Mat, error) {
+	c, err := NewCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return c.Inverse(), nil
+}
+
+// LogDetSPD returns log determinant of a symmetric positive definite matrix.
+func LogDetSPD(a *Mat) (float64, error) {
+	c, err := NewCholesky(a)
+	if err != nil {
+		return 0, err
+	}
+	return c.LogDet(), nil
+}
+
+// RegularizeSPD adds jitter·I until the matrix factorizes, doubling the
+// jitter each attempt. It mutates and returns a copy, never the input.
+// This guards the sampler against near-singular scatter matrices that
+// arise when a topic holds very few, near-identical observations.
+func RegularizeSPD(a *Mat, jitter float64) *Mat {
+	out := a.Clone()
+	out.Symmetrize()
+	for attempt := 0; attempt < 60; attempt++ {
+		if _, err := NewCholesky(out); err == nil {
+			return out
+		}
+		for i := 0; i < out.R; i++ {
+			out.Set(i, i, out.At(i, i)+jitter)
+		}
+		jitter *= 2
+	}
+	panic("stats: RegularizeSPD failed to produce a positive definite matrix")
+}

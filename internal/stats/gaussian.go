@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+const log2Pi = 1.8378770664093453 // log(2π)
+
+// Gaussian is a multivariate normal distribution parameterized by its
+// mean and *precision* matrix Λ (inverse covariance), matching the
+// parameterization of the paper's Normal-Wishart components.
+type Gaussian struct {
+	Mean      []float64
+	Precision *Mat
+
+	chol   *Cholesky // factor of the precision
+	logDet float64   // log|Λ|
+}
+
+// NewGaussian builds a Gaussian from a mean and a positive definite
+// precision matrix.
+func NewGaussian(mean []float64, precision *Mat) (*Gaussian, error) {
+	if precision.R != len(mean) || precision.C != len(mean) {
+		return nil, fmt.Errorf("stats: precision is %d×%d but mean has dim %d", precision.R, precision.C, len(mean))
+	}
+	c, err := NewCholesky(precision)
+	if err != nil {
+		return nil, fmt.Errorf("stats: precision matrix: %w", err)
+	}
+	return &Gaussian{Mean: CloneVec(mean), Precision: precision.Clone(), chol: c, logDet: c.LogDet()}, nil
+}
+
+// NewGaussianCov builds a Gaussian from a mean and a covariance matrix.
+func NewGaussianCov(mean []float64, cov *Mat) (*Gaussian, error) {
+	prec, err := Inverse(RegularizeSPD(cov, 1e-12))
+	if err != nil {
+		return nil, err
+	}
+	return NewGaussian(mean, prec)
+}
+
+// Dim returns the dimensionality.
+func (g *Gaussian) Dim() int { return len(g.Mean) }
+
+// Cov returns the covariance matrix Λ⁻¹.
+func (g *Gaussian) Cov() *Mat { return g.chol.Inverse() }
+
+// LogPdf returns the log density at x. It is allocation-free and safe
+// for concurrent use — it sits on the Gibbs sampler's innermost loop.
+func (g *Gaussian) LogPdf(x []float64) float64 {
+	if len(x) != len(g.Mean) {
+		panic("stats: dim mismatch in Gaussian.LogPdf")
+	}
+	return 0.5*(g.logDet-float64(g.Dim())*log2Pi) - 0.5*g.quadForm(x)
+}
+
+// quadForm computes (x−μ)ᵀ·Λ·(x−μ) without temporaries.
+func (g *Gaussian) quadForm(x []float64) float64 {
+	d := len(g.Mean)
+	q := 0.0
+	for i := 0; i < d; i++ {
+		di := x[i] - g.Mean[i]
+		if di == 0 {
+			continue
+		}
+		row := g.Precision.Data[i*d : (i+1)*d]
+		s := 0.0
+		for j := 0; j < d; j++ {
+			s += row[j] * (x[j] - g.Mean[j])
+		}
+		q += di * s
+	}
+	return q
+}
+
+// Mahalanobis returns the Mahalanobis distance sqrt((x−μ)ᵀΛ(x−μ)).
+func (g *Gaussian) Mahalanobis(x []float64) float64 {
+	return math.Sqrt(g.quadForm(x))
+}
+
+// Sample draws one sample.
+func (g *Gaussian) Sample(r *RNG) []float64 {
+	return r.MVNormal(g.Mean, g.Cov())
+}
+
+// KLGaussian returns KL(p‖q) for multivariate normals:
+//
+//	½ [ tr(Λq Σp) + (μq−μp)ᵀ Λq (μq−μp) − d + log|Σq|/|Σp| ].
+func KLGaussian(p, q *Gaussian) float64 {
+	if p.Dim() != q.Dim() {
+		panic("stats: dim mismatch in KLGaussian")
+	}
+	d := float64(p.Dim())
+	sp := p.Cov()
+	tr := q.Precision.Mul(sp).Trace()
+	diff := SubVec(q.Mean, p.Mean)
+	quad := Dot(diff, q.Precision.MulVec(diff))
+	// log|Σq| − log|Σp| = log|Λp| − log|Λq|
+	logRatio := p.logDet - q.logDet
+	return 0.5 * (tr + quad - d + logRatio)
+}
+
+// SymKLGaussian returns the symmetrized divergence KL(p‖q)+KL(q‖p).
+func SymKLGaussian(p, q *Gaussian) float64 {
+	return KLGaussian(p, q) + KLGaussian(q, p)
+}
+
+// StudentT is a multivariate Student-t distribution, the posterior
+// predictive of a Normal-Wishart model; used by the collapsed sampler.
+type StudentT struct {
+	Mean []float64
+	// Scale is the scale matrix Σ (not covariance; covariance is
+	// ν/(ν−2)·Σ when ν > 2).
+	Scale *Mat
+	Nu    float64
+
+	chol   *Cholesky // factor of Scale
+	logDet float64
+}
+
+// NewStudentT constructs a multivariate Student-t.
+func NewStudentT(mean []float64, scale *Mat, nu float64) (*StudentT, error) {
+	if nu <= 0 {
+		return nil, fmt.Errorf("stats: Student-t needs ν > 0, got %g", nu)
+	}
+	c, err := NewCholesky(RegularizeSPD(scale, 1e-12))
+	if err != nil {
+		return nil, fmt.Errorf("stats: Student-t scale: %w", err)
+	}
+	return &StudentT{Mean: CloneVec(mean), Scale: scale.Clone(), Nu: nu, chol: c, logDet: c.LogDet()}, nil
+}
+
+// LogPdf returns the log density at x.
+func (t *StudentT) LogPdf(x []float64) float64 {
+	d := float64(len(t.Mean))
+	diff := SubVec(x, t.Mean)
+	q := t.chol.HalfQuadratic(diff)
+	return LGamma((t.Nu+d)/2) - LGamma(t.Nu/2) -
+		0.5*(d*math.Log(t.Nu*math.Pi)+t.logDet) -
+		(t.Nu+d)/2*math.Log1p(q/t.Nu)
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// NormalWishart is the conjugate prior NW(μ₀, β, ν, S) over the mean and
+// precision (μ, Λ) of a multivariate Gaussian:
+//
+//	Λ ~ Wishart(ν, S)          (E[Λ] = ν·S)
+//	μ | Λ ~ N(μ₀, (β·Λ)⁻¹)
+//
+// This matches the paper's hyperparameterization (μ₀, βᵍ, νᵍ, Sᵍ) for
+// the gel components and (m₀, βᵉ, νᵉ, Sᵉ) for the emulsion components.
+type NormalWishart struct {
+	Mu0  []float64
+	Beta float64
+	Nu   float64
+	S    *Mat // scale matrix of the Wishart
+}
+
+// NewNormalWishart validates and constructs a Normal-Wishart prior.
+func NewNormalWishart(mu0 []float64, beta, nu float64, s *Mat) (*NormalWishart, error) {
+	d := len(mu0)
+	if s.R != d || s.C != d {
+		return nil, fmt.Errorf("stats: NW scale is %d×%d but mean has dim %d", s.R, s.C, d)
+	}
+	if beta <= 0 {
+		return nil, fmt.Errorf("stats: NW needs β > 0, got %g", beta)
+	}
+	if nu <= float64(d-1) {
+		return nil, fmt.Errorf("stats: NW needs ν > dim−1 = %d, got %g", d-1, nu)
+	}
+	if _, err := NewCholesky(s); err != nil {
+		return nil, fmt.Errorf("stats: NW scale matrix: %w", err)
+	}
+	return &NormalWishart{Mu0: CloneVec(mu0), Beta: beta, Nu: nu, S: s.Clone()}, nil
+}
+
+// Dim returns the dimensionality.
+func (nw *NormalWishart) Dim() int { return len(nw.Mu0) }
+
+// Posterior returns the Normal-Wishart posterior given observations xs.
+// With n observations, sample mean x̄ and scatter Σᵢ(xᵢ−x̄)(xᵢ−x̄)ᵀ:
+//
+//	β' = β + n,   ν' = ν + n,   μ' = (β·μ₀ + n·x̄)/(β+n)
+//	S'⁻¹ = S⁻¹ + scatter + (β·n/(β+n))·(x̄−μ₀)(x̄−μ₀)ᵀ
+//
+// These are the update formulas the paper states under equation (4).
+func (nw *NormalWishart) Posterior(xs [][]float64) *NormalWishart {
+	d := nw.Dim()
+	n := len(xs)
+	if n == 0 {
+		return &NormalWishart{Mu0: CloneVec(nw.Mu0), Beta: nw.Beta, Nu: nw.Nu, S: nw.S.Clone()}
+	}
+	mean := make([]float64, d)
+	for _, x := range xs {
+		if len(x) != d {
+			panic("stats: dim mismatch in NormalWishart.Posterior")
+		}
+		for i, v := range x {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(n)
+	}
+	scatter := NewMat(d, d)
+	for _, x := range xs {
+		diff := SubVec(x, mean)
+		scatter.AddOuterScaled(1, diff, diff)
+	}
+	fn := float64(n)
+	betaC := nw.Beta + fn
+	nuC := nw.Nu + fn
+	muC := make([]float64, d)
+	for i := range muC {
+		muC[i] = (nw.Beta*nw.Mu0[i] + fn*mean[i]) / betaC
+	}
+	sInv, err := Inverse(RegularizeSPD(nw.S, 1e-12))
+	if err != nil {
+		panic(err) // prior validated at construction
+	}
+	diff0 := SubVec(mean, nw.Mu0)
+	sInv.AddInPlace(scatter)
+	sInv.AddOuterScaled(nw.Beta*fn/betaC, diff0, diff0)
+	sC, err := Inverse(RegularizeSPD(sInv, 1e-12))
+	if err != nil {
+		panic(err)
+	}
+	return &NormalWishart{Mu0: muC, Beta: betaC, Nu: nuC, S: sC}
+}
+
+// Sample draws (μ, Λ) from the Normal-Wishart.
+func (nw *NormalWishart) Sample(r *RNG) (mu []float64, lambda *Mat) {
+	lambda = r.Wishart(nw.Nu, nw.S)
+	lambda = RegularizeSPD(lambda, 1e-10)
+	cov := MustCholesky(lambda.Scale(nw.Beta)).Inverse()
+	mu = r.MVNormal(nw.Mu0, cov)
+	return mu, lambda
+}
+
+// Mode returns the MAP (μ, Λ): μ = μ₀ and Λ = (ν−d)·S for ν > d.
+func (nw *NormalWishart) Mode() (mu []float64, lambda *Mat) {
+	d := float64(nw.Dim())
+	f := nw.Nu - d
+	if f <= 0 {
+		f = nw.Nu // fall back to the mean scale when the mode is undefined
+	}
+	return CloneVec(nw.Mu0), nw.S.Scale(f)
+}
+
+// MeanParams returns the posterior-mean parameters: E[μ] = μ₀ and
+// E[Λ] = ν·S.
+func (nw *NormalWishart) MeanParams() (mu []float64, lambda *Mat) {
+	return CloneVec(nw.Mu0), nw.S.Scale(nw.Nu)
+}
+
+// PredictiveT returns the posterior predictive distribution of a new
+// observation, a multivariate Student-t:
+//
+//	t_{ν−d+1}( μ₀, (β+1)/(β·(ν−d+1)) · S⁻¹ ).
+func (nw *NormalWishart) PredictiveT() (*StudentT, error) {
+	d := float64(nw.Dim())
+	dof := nw.Nu - d + 1
+	if dof <= 0 {
+		return nil, fmt.Errorf("stats: predictive dof %g ≤ 0", dof)
+	}
+	sInv, err := Inverse(RegularizeSPD(nw.S, 1e-12))
+	if err != nil {
+		return nil, err
+	}
+	scale := sInv.Scale((nw.Beta + 1) / (nw.Beta * dof))
+	return NewStudentT(nw.Mu0, scale, dof)
+}
+
+// LogMarginalLikelihood returns log p(xs) under the Normal-Wishart
+// model with all parameters integrated out:
+//
+//	log Z(posterior) − log Z(prior) − (n·d/2)·log(2π)
+//
+// where log Z(β,ν,S) = (ν·d/2)·log 2 + log Γ_d(ν/2) + (ν/2)·log|S| − (d/2)·log β.
+func (nw *NormalWishart) LogMarginalLikelihood(xs [][]float64) float64 {
+	post := nw.Posterior(xs)
+	d := nw.Dim()
+	n := float64(len(xs))
+	return post.logZ() - nw.logZ() - n*float64(d)/2*log2Pi
+}
+
+func (nw *NormalWishart) logZ() float64 {
+	d := float64(nw.Dim())
+	ld, err := LogDetSPD(nw.S)
+	if err != nil {
+		ld, _ = LogDetSPD(RegularizeSPD(nw.S, 1e-12))
+	}
+	return nw.Nu*d/2*math.Ln2 + MvLGamma(nw.Dim(), nw.Nu/2) +
+		nw.Nu/2*ld - d/2*math.Log(nw.Beta)
+}

@@ -1,0 +1,112 @@
+package stats
+
+// NWAccum maintains the sufficient statistics of a set of observations
+// under a Normal-Wishart prior — count, sum vector and sum of outer
+// products — supporting O(d²) add/remove and cached posterior
+// predictive evaluation. Collapsed Gibbs samplers use it to avoid
+// recomputing the posterior from the full member list at every step.
+type NWAccum struct {
+	prior *NormalWishart
+	n     float64
+	sum   []float64
+	outer *Mat
+
+	cached *StudentT // posterior predictive; nil when stale
+}
+
+// NewNWAccum returns an empty accumulator over the prior.
+func NewNWAccum(prior *NormalWishart) *NWAccum {
+	d := prior.Dim()
+	return &NWAccum{prior: prior, sum: make([]float64, d), outer: NewMat(d, d)}
+}
+
+// N returns the number of accumulated observations.
+func (a *NWAccum) N() int { return int(a.n + 0.5) }
+
+// Add incorporates x.
+func (a *NWAccum) Add(x []float64) {
+	a.n++
+	for i, v := range x {
+		a.sum[i] += v
+	}
+	a.outer.AddOuterScaled(1, x, x)
+	a.cached = nil
+}
+
+// Remove deletes a previously added x.
+func (a *NWAccum) Remove(x []float64) {
+	if a.n < 1 {
+		panic("stats: NWAccum.Remove on empty accumulator")
+	}
+	a.n--
+	for i, v := range x {
+		a.sum[i] -= v
+	}
+	a.outer.AddOuterScaled(-1, x, x)
+	a.cached = nil
+}
+
+// Posterior computes the Normal-Wishart posterior from the
+// accumulated statistics. With sample mean x̄ = sum/n and scatter
+// Σxxᵀ − n·x̄x̄ᵀ the update matches NormalWishart.Posterior.
+func (a *NWAccum) Posterior() *NormalWishart {
+	d := a.prior.Dim()
+	if a.n == 0 {
+		return &NormalWishart{Mu0: CloneVec(a.prior.Mu0), Beta: a.prior.Beta, Nu: a.prior.Nu, S: a.prior.S.Clone()}
+	}
+	mean := make([]float64, d)
+	for i := range mean {
+		mean[i] = a.sum[i] / a.n
+	}
+	scatter := a.outer.Clone()
+	scatter.AddOuterScaled(-a.n, mean, mean)
+	scatter.Symmetrize()
+	// Rank-one cancellation can leave slightly negative diagonals.
+	for i := 0; i < d; i++ {
+		if scatter.At(i, i) < 0 {
+			scatter.Set(i, i, 0)
+		}
+	}
+
+	betaC := a.prior.Beta + a.n
+	nuC := a.prior.Nu + a.n
+	muC := make([]float64, d)
+	for i := range muC {
+		muC[i] = (a.prior.Beta*a.prior.Mu0[i] + a.n*mean[i]) / betaC
+	}
+	sInv, err := Inverse(RegularizeSPD(a.prior.S, 1e-12))
+	if err != nil {
+		panic(err) // prior validated at construction
+	}
+	diff := SubVec(mean, a.prior.Mu0)
+	sInv.AddInPlace(scatter)
+	sInv.AddOuterScaled(a.prior.Beta*a.n/betaC, diff, diff)
+	sC, err := Inverse(RegularizeSPD(sInv, 1e-12))
+	if err != nil {
+		panic(err)
+	}
+	return &NormalWishart{Mu0: muC, Beta: betaC, Nu: nuC, S: sC}
+}
+
+// LogMarginalLikelihood returns log p(accumulated data) with all
+// parameters integrated out, matching
+// NormalWishart.LogMarginalLikelihood.
+func (a *NWAccum) LogMarginalLikelihood() float64 {
+	return a.Posterior().logZ() - a.prior.logZ() - a.n*float64(a.prior.Dim())/2*log2Pi
+}
+
+// PredictiveLogPdf evaluates the posterior predictive density at x,
+// caching the Student-t between mutations.
+func (a *NWAccum) PredictiveLogPdf(x []float64) float64 {
+	if a.cached == nil {
+		st, err := a.Posterior().PredictiveT()
+		if err != nil {
+			st, err = a.prior.PredictiveT()
+			if err != nil {
+				panic("stats: prior predictive undefined: " + err.Error())
+			}
+		}
+		a.cached = st
+	}
+	return a.cached.LogPdf(x)
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogSumExp(t *testing.T) {
+	got := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if want := math.Log(6); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogSumExp = %g, want %g", got, want)
+	}
+	// Stability with huge offsets.
+	got = LogSumExp([]float64{-1000, -1000})
+	if want := -1000 + math.Ln2; math.Abs(got-want) > 1e-9 {
+		t.Errorf("LogSumExp offset = %g, want %g", got, want)
+	}
+	if !math.IsInf(LogSumExp([]float64{math.Inf(-1)}), -1) {
+		t.Error("LogSumExp of -Inf should be -Inf")
+	}
+}
+
+func TestLogSumExpShiftInvariance(t *testing.T) {
+	r := NewRNG(40, 1)
+	f := func(seed uint8) bool {
+		_ = seed
+		x := randomVec(r, 5)
+		c := r.Normal(0, 100)
+		shifted := make([]float64, len(x))
+		for i := range x {
+			shifted[i] = x[i] + c
+		}
+		return math.Abs(LogSumExp(shifted)-(LogSumExp(x)+c)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLGamma(t *testing.T) {
+	// Γ(5) = 24.
+	if got := LGamma(5); math.Abs(got-math.Log(24)) > 1e-12 {
+		t.Errorf("LGamma(5) = %g", got)
+	}
+	// Γ(0.5) = √π.
+	if got := LGamma(0.5); math.Abs(got-0.5*math.Log(math.Pi)) > 1e-12 {
+		t.Errorf("LGamma(0.5) = %g", got)
+	}
+}
+
+func TestMvLGammaReducesTo1D(t *testing.T) {
+	for _, x := range []float64{0.7, 1.5, 4.2} {
+		if got, want := MvLGamma(1, x), LGamma(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("MvLGamma(1,%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestMvLGammaRecurrence(t *testing.T) {
+	// Γ_2(x) = √π · Γ(x) · Γ(x − 1/2)
+	x := 3.0
+	got := MvLGamma(2, x)
+	want := 0.5*math.Log(math.Pi) + LGamma(x) + LGamma(x-0.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MvLGamma(2,3) = %g, want %g", got, want)
+	}
+}
+
+func TestDigamma(t *testing.T) {
+	const gamma = 0.5772156649015329 // Euler–Mascheroni
+	if got := Digamma(1); math.Abs(got+gamma) > 1e-10 {
+		t.Errorf("ψ(1) = %g, want %g", got, -gamma)
+	}
+	// Recurrence ψ(x+1) = ψ(x) + 1/x.
+	for _, x := range []float64{0.3, 1.7, 5.5} {
+		if d := Digamma(x+1) - Digamma(x) - 1/x; math.Abs(d) > 1e-9 {
+			t.Errorf("ψ recurrence at %g off by %g", x, d)
+		}
+	}
+	if !math.IsNaN(Digamma(-1)) {
+		t.Error("ψ of non-positive should be NaN")
+	}
+}
+
+func TestLogBeta(t *testing.T) {
+	// B(1,1) = 1, B(2,3) = 1/12.
+	if got := LogBeta(1, 1); math.Abs(got) > 1e-12 {
+		t.Errorf("LogBeta(1,1) = %g", got)
+	}
+	if got := LogBeta(2, 3); math.Abs(got-math.Log(1.0/12)) > 1e-12 {
+		t.Errorf("LogBeta(2,3) = %g", got)
+	}
+}
+
+func TestSigmoidAndLog1pExp(t *testing.T) {
+	if got := Sigmoid(0); got != 0.5 {
+		t.Errorf("Sigmoid(0) = %g", got)
+	}
+	if got := Sigmoid(100); got < 0.999999 {
+		t.Errorf("Sigmoid(100) = %g", got)
+	}
+	if got := Sigmoid(-100); got > 1e-6 {
+		t.Errorf("Sigmoid(-100) = %g", got)
+	}
+	for _, x := range []float64{-50, -1, 0, 1, 50} {
+		want := math.Log(1 + math.Exp(x))
+		if x > 30 {
+			want = x
+		}
+		if d := math.Abs(Log1pExp(x) - want); d > 1e-9 {
+			t.Errorf("Log1pExp(%g) off by %g", x, d)
+		}
+	}
+}

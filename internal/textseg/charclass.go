@@ -1,0 +1,73 @@
+// Package textseg segments unsegmented Japanese recipe text into
+// tokens. Japanese is written without spaces, so the tokenizer combines
+// dictionary-driven longest-match (for known texture terms and
+// ingredient names) with character-class chunking for everything else —
+// the standard fallback used by morphological analyzers when a word is
+// out of vocabulary.
+package textseg
+
+// Class is the writing-system class of a rune.
+type Class int
+
+// Character classes, ordered roughly by how they appear in recipe text.
+const (
+	ClassOther    Class = iota
+	ClassSpace          // ASCII and ideographic spaces
+	ClassPunct          // ASCII punctuation plus Japanese brackets and marks
+	ClassDigit          // ASCII digits (after normalization)
+	ClassLatin          // ASCII letters
+	ClassHiragana       // ぁ..ゖ plus prolonged sound mark
+	ClassKatakana       // ァ..ヺ plus middle dot
+	ClassKanji          // CJK unified ideographs
+)
+
+// String names the class for diagnostics.
+func (c Class) String() string {
+	switch c {
+	case ClassSpace:
+		return "space"
+	case ClassPunct:
+		return "punct"
+	case ClassDigit:
+		return "digit"
+	case ClassLatin:
+		return "latin"
+	case ClassHiragana:
+		return "hiragana"
+	case ClassKatakana:
+		return "katakana"
+	case ClassKanji:
+		return "kanji"
+	default:
+		return "other"
+	}
+}
+
+// ClassOf classifies a rune. Input is assumed to be already normalized
+// (see Normalize), so full-width ASCII has been folded to half-width.
+func ClassOf(r rune) Class {
+	switch {
+	case r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '　':
+		return ClassSpace
+	case r >= '0' && r <= '9':
+		return ClassDigit
+	case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		return ClassLatin
+	case r >= 0x3041 && r <= 0x3096 || r == 'ー' || r == 0x309D || r == 0x309E:
+		// ー (the prolonged sound mark) glues to the preceding kana, so it
+		// is treated as hiragana after katakana folding.
+		return ClassHiragana
+	case r >= 0x30A1 && r <= 0x30FA || r == 0x30FD || r == 0x30FE:
+		return ClassKatakana
+	case r >= 0x4E00 && r <= 0x9FFF || r >= 0x3400 && r <= 0x4DBF || r == '々':
+		return ClassKanji
+	case r >= '!' && r <= '/' || r >= ':' && r <= '@' || r >= '[' && r <= '`' ||
+		r >= '{' && r <= '~' ||
+		r == '、' || r == '。' || r == '「' || r == '」' || r == '『' || r == '』' ||
+		r == '（' || r == '）' || r == '・' || r == '！' || r == '？' || r == '…' ||
+		r == '〜' || r == '♪' || r == '☆' || r == '★' || r == '♡' || r == '♥':
+		return ClassPunct
+	default:
+		return ClassOther
+	}
+}

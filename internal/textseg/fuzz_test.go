@@ -1,0 +1,47 @@
+package textseg
+
+import "testing"
+
+// FuzzTokenize checks the tokenizer's core invariants on arbitrary
+// input: no panics, idempotent normalization, and no non-space rune of
+// the normalized input lost or duplicated.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"とてもぷるぷるなゼリーです。",
+		"プルプル！ＡＢＣ123",
+		"ｶﾞｷﾞｸﾞけ゜",
+		"寒天を煮とかして、常温でかためる",
+		"", " 　\n", "ーーー", "a1あアー漢!？",
+	} {
+		f.Add(seed)
+	}
+	tr := NewTrie()
+	for i, w := range []string{"ぷるぷる", "かたい", "ぜりー", "かんてん"} {
+		tr.Insert(w, i)
+	}
+	tok := NewTokenizer(tr)
+	tok.KeepPunct = true
+	f.Fuzz(func(t *testing.T, s string) {
+		norm := Normalize(s)
+		if Normalize(norm) != norm {
+			t.Fatalf("Normalize not idempotent on %q", s)
+		}
+		toks := tok.Tokenize(s)
+		kept := 0
+		for _, r := range norm {
+			if ClassOf(r) != ClassSpace {
+				kept++
+			}
+		}
+		total := 0
+		for _, tk := range toks {
+			if tk.Surface == "" {
+				t.Fatalf("empty token for %q", s)
+			}
+			total += len([]rune(tk.Surface))
+		}
+		if total != kept {
+			t.Fatalf("Tokenize(%q): %d runes in tokens, %d non-space in input", s, total, kept)
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package textseg
+
+import "strings"
+
+// Normalize canonicalizes recipe text before segmentation:
+//
+//   - full-width ASCII (letters, digits, punctuation) folds to half-width
+//   - katakana folds to hiragana, so クリーム and くりーむ match the same
+//     dictionary entry
+//   - ASCII letters are lower-cased
+//   - half-width katakana folds to (full-width, then hiragana) kana
+//
+// The folding is deliberately lossy: the tokenizer keeps the original
+// surface form alongside the normalized form, so display is unaffected.
+func Normalize(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	rs := []rune(s)
+	for i := 0; i < len(rs); i++ {
+		r := rs[i]
+		switch {
+		case r >= 0xFF01 && r <= 0xFF5E: // full-width ASCII block
+			r = r - 0xFF01 + '!'
+		case r >= 0x30A1 && r <= 0x30F6: // katakana → hiragana
+			r = r - 0x30A1 + 0x3041
+		case r == 0x30FD: // katakana iteration marks → hiragana ones
+			r = 0x309D
+		case r == 0x30FE:
+			r = 0x309E
+		case r >= 0xFF66 && r <= 0xFF9D: // half-width katakana
+			r = halfWidthKana(rs, &i)
+		}
+		if r >= 'A' && r <= 'Z' {
+			r += 'a' - 'A'
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}
+
+// halfWidthKana maps a half-width katakana rune (possibly followed by a
+// voicing mark) to its hiragana equivalent, advancing *i past the mark.
+func halfWidthKana(rs []rune, i *int) rune {
+	base, ok := halfToHiragana[rs[*i]]
+	if !ok {
+		return rs[*i]
+	}
+	if *i+1 < len(rs) {
+		switch rs[*i+1] {
+		case 0xFF9E: // dakuten
+			if v, ok := voiced[base]; ok {
+				*i++
+				return v
+			}
+		case 0xFF9F: // handakuten
+			if v, ok := semiVoiced[base]; ok {
+				*i++
+				return v
+			}
+		}
+	}
+	return base
+}
+
+var halfToHiragana = map[rune]rune{
+	0xFF66: 'を', 0xFF67: 'ぁ', 0xFF68: 'ぃ', 0xFF69: 'ぅ', 0xFF6A: 'ぇ', 0xFF6B: 'ぉ',
+	0xFF6C: 'ゃ', 0xFF6D: 'ゅ', 0xFF6E: 'ょ', 0xFF6F: 'っ', 0xFF70: 'ー',
+	0xFF71: 'あ', 0xFF72: 'い', 0xFF73: 'う', 0xFF74: 'え', 0xFF75: 'お',
+	0xFF76: 'か', 0xFF77: 'き', 0xFF78: 'く', 0xFF79: 'け', 0xFF7A: 'こ',
+	0xFF7B: 'さ', 0xFF7C: 'し', 0xFF7D: 'す', 0xFF7E: 'せ', 0xFF7F: 'そ',
+	0xFF80: 'た', 0xFF81: 'ち', 0xFF82: 'つ', 0xFF83: 'て', 0xFF84: 'と',
+	0xFF85: 'な', 0xFF86: 'に', 0xFF87: 'ぬ', 0xFF88: 'ね', 0xFF89: 'の',
+	0xFF8A: 'は', 0xFF8B: 'ひ', 0xFF8C: 'ふ', 0xFF8D: 'へ', 0xFF8E: 'ほ',
+	0xFF8F: 'ま', 0xFF90: 'み', 0xFF91: 'む', 0xFF92: 'め', 0xFF93: 'も',
+	0xFF94: 'や', 0xFF95: 'ゆ', 0xFF96: 'よ',
+	0xFF97: 'ら', 0xFF98: 'り', 0xFF99: 'る', 0xFF9A: 'れ', 0xFF9B: 'ろ',
+	0xFF9C: 'わ', 0xFF9D: 'ん',
+}
+
+var voiced = map[rune]rune{
+	'か': 'が', 'き': 'ぎ', 'く': 'ぐ', 'け': 'げ', 'こ': 'ご',
+	'さ': 'ざ', 'し': 'じ', 'す': 'ず', 'せ': 'ぜ', 'そ': 'ぞ',
+	'た': 'だ', 'ち': 'ぢ', 'つ': 'づ', 'て': 'で', 'と': 'ど',
+	'は': 'ば', 'ひ': 'び', 'ふ': 'ぶ', 'へ': 'べ', 'ほ': 'ぼ',
+	'う': 'ゔ',
+}
+
+var semiVoiced = map[rune]rune{
+	'は': 'ぱ', 'ひ': 'ぴ', 'ふ': 'ぷ', 'へ': 'ぺ', 'ほ': 'ぽ',
+}

@@ -1,0 +1,94 @@
+package textseg
+
+// Token is one segment of input text.
+type Token struct {
+	Surface string // normalized surface form
+	Class   Class  // writing-system class of the first rune
+	DictID  int    // dictionary ID when InDict
+	InDict  bool   // true when the token matched a dictionary entry
+}
+
+// Tokenizer segments normalized text by dictionary longest-match with
+// character-class chunking as fallback.
+type Tokenizer struct {
+	dict *Trie
+	// KeepPunct controls whether punctuation tokens are emitted; spaces
+	// are never emitted.
+	KeepPunct bool
+}
+
+// NewTokenizer returns a tokenizer over the given dictionary trie.
+// A nil dict is treated as an empty dictionary.
+func NewTokenizer(dict *Trie) *Tokenizer {
+	if dict == nil {
+		dict = NewTrie()
+	}
+	return &Tokenizer{dict: dict}
+}
+
+// Tokenize normalizes and segments text.
+//
+// At each position the longest dictionary match wins. Otherwise a
+// maximal run of the same character class is emitted as an unknown
+// token — except that a dictionary match is allowed to interrupt the
+// run, so "とてもぷるぷるです" yields とても / ぷるぷる / です even
+// though all three are hiragana.
+func (t *Tokenizer) Tokenize(text string) []Token {
+	rs := []rune(Normalize(text))
+	var out []Token
+	i := 0
+	for i < len(rs) {
+		c := ClassOf(rs[i])
+		if c == ClassSpace {
+			i++
+			continue
+		}
+		if c == ClassPunct {
+			if t.KeepPunct {
+				out = append(out, Token{Surface: string(rs[i]), Class: c})
+			}
+			i++
+			continue
+		}
+		if id, n, ok := t.dict.LongestMatch(rs, i); ok {
+			out = append(out, Token{Surface: string(rs[i : i+n]), Class: c, DictID: id, InDict: true})
+			i += n
+			continue
+		}
+		// Unknown run of the same class, stopping early if a dictionary
+		// word begins mid-run.
+		j := i + 1
+		for j < len(rs) && ClassOf(rs[j]) == c {
+			if _, _, ok := t.dict.LongestMatch(rs, j); ok {
+				break
+			}
+			j++
+		}
+		out = append(out, Token{Surface: string(rs[i:j]), Class: c})
+		i = j
+	}
+	return out
+}
+
+// DictTokens returns only the dictionary-matched tokens of text, in
+// order. This is the operation the mining pipeline uses to extract
+// texture-term sequences from recipe descriptions.
+func (t *Tokenizer) DictTokens(text string) []Token {
+	all := t.Tokenize(text)
+	out := all[:0:0]
+	for _, tok := range all {
+		if tok.InDict {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// Surfaces projects tokens to their surface strings.
+func Surfaces(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Surface
+	}
+	return out
+}

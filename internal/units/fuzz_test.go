@@ -1,0 +1,33 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse checks that Parse never panics and that successful parses
+// obey basic sanity: non-negative values and convertible units.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"100g", "大さじ2", "小さじ1/2", "1/2カップ", "カップ3", "200cc",
+		"２００ｍｌ", "3個", "少々", "ひとつまみ", "1と1/2カップ", "0.5kg",
+		"", "大さじ", "g", "ナン", "9999999999999個", "1/0", "-5g", "１.５枚",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(q.Value) {
+			t.Fatalf("Parse(%q) produced NaN", s)
+		}
+		// Whatever parsed must convert to grams (or return a clean error
+		// for pieces without weight / negative values).
+		g, err := q.Grams(Profile{DensityGPerML: 1, PieceGrams: 10})
+		if err == nil && (math.IsNaN(g) || math.IsInf(g, 0)) {
+			t.Fatalf("Parse(%q) → %v grams", s, g)
+		}
+	})
+}

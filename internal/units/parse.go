@@ -1,0 +1,156 @@
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/textseg"
+)
+
+// Parse reads a quantity expression as it appears in a recipe
+// ingredient line. Accepted shapes, after normalization:
+//
+//	"100g" "0.5kg" "200cc" "200ml" "1l"
+//	"大さじ2" "小さじ1/2" "大さじ1と1/2"
+//	"2カップ" "カップ2" "1/2カップ"
+//	"3個" "2枚" "1本" "1袋" "1玉" "1パック"
+//	"少々" "ひとつまみ" "適量" (the last parses as a pinch)
+//
+// Numbers may be integers, decimals, fractions (1/2) or mixed numbers
+// with と ("1と1/2"). Full-width digits are folded by normalization.
+func Parse(s string) (Quantity, error) {
+	orig := s
+	s = strings.TrimSpace(textseg.Normalize(s))
+	if s == "" {
+		return Quantity{}, fmt.Errorf("units: empty quantity")
+	}
+
+	// Whole-string word quantities.
+	switch s {
+	case "少々", "ひとつまみ", "てきりょう", "適量":
+		return Quantity{Value: 1, Unit: UnitPinch}, nil
+	}
+
+	// Leading-unit form: カップ2, おおさじ1 …
+	for _, pu := range prefixUnits {
+		if rest, ok := strings.CutPrefix(s, pu.name); ok {
+			v, err := parseNumber(strings.TrimSpace(rest))
+			if err != nil {
+				return Quantity{}, fmt.Errorf("units: %q: %w", orig, err)
+			}
+			return Quantity{Value: v, Unit: pu.unit}, nil
+		}
+	}
+
+	// Trailing-unit form: 100g, 2カップ, 3個 …
+	for _, su := range suffixUnits {
+		if rest, ok := strings.CutSuffix(s, su.name); ok {
+			rest = strings.TrimSpace(rest)
+			if rest == "" {
+				return Quantity{Value: 1, Unit: su.unit}, nil
+			}
+			v, err := parseNumber(rest)
+			if err != nil {
+				return Quantity{}, fmt.Errorf("units: %q: %w", orig, err)
+			}
+			return Quantity{Value: v, Unit: su.unit}, nil
+		}
+	}
+
+	// Bare number: grams by convention of the sites' ingredient fields.
+	if v, err := parseNumber(s); err == nil {
+		return Quantity{Value: v, Unit: UnitGram}, nil
+	}
+	return Quantity{}, fmt.Errorf("units: cannot parse quantity %q", orig)
+}
+
+type unitName struct {
+	name string
+	unit Unit
+}
+
+// prefixUnits are tried before suffix units; note normalization has
+// already lower-cased ASCII and folded katakana to hiragana.
+var prefixUnits = []unitName{
+	{"おおさじ", UnitTablespoon},
+	{"大さじ", UnitTablespoon},
+	{"大匙", UnitTablespoon},
+	{"こさじ", UnitTeaspoon},
+	{"小さじ", UnitTeaspoon},
+	{"小匙", UnitTeaspoon},
+	{"かっぷ", UnitCup},
+}
+
+// suffixUnits: longer names first so "ml" wins over "l" and "かっぷ"
+// over nothing.
+var suffixUnits = []unitName{
+	{"かっぷ", UnitCup},
+	{"ぱっく", UnitPiece},
+	{"ml", UnitMilliliter},
+	{"cc", UnitMilliliter},
+	{"kg", UnitKilogram},
+	{"g", UnitGram},
+	{"l", UnitLiter},
+	{"個", UnitPiece},
+	{"枚", UnitPiece},
+	{"本", UnitPiece},
+	{"袋", UnitPiece},
+	{"玉", UnitPiece},
+	{"丁", UnitPiece},
+	{"杯", UnitTablespoon}, // bare 杯 in recipes almost always means 大さじ
+}
+
+// parseNumber reads integers, decimals, fractions "a/b", mixed
+// numbers "xとa/b", and ranges "2~3" / "2〜3" (interpreted as their
+// midpoint, the convention when converting posted recipes to weights).
+func parseNumber(s string) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("missing number")
+	}
+	for _, sep := range []string{"~", "〜", "-"} {
+		lo, hi, ok := strings.Cut(s, sep)
+		if !ok || lo == "" || hi == "" {
+			continue
+		}
+		a, err := parseNumber(lo)
+		if err != nil {
+			return 0, err
+		}
+		b, err := parseNumber(hi)
+		if err != nil {
+			return 0, err
+		}
+		if b < a {
+			return 0, fmt.Errorf("descending range %q", s)
+		}
+		return (a + b) / 2, nil
+	}
+	if whole, frac, ok := strings.Cut(s, "と"); ok {
+		w, err := parseNumber(whole)
+		if err != nil {
+			return 0, err
+		}
+		f, err := parseNumber(frac)
+		if err != nil {
+			return 0, err
+		}
+		return w + f, nil
+	}
+	if num, den, ok := strings.Cut(s, "/"); ok {
+		n, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad fraction numerator %q", num)
+		}
+		d, err := strconv.ParseFloat(strings.TrimSpace(den), 64)
+		if err != nil || d == 0 {
+			return 0, fmt.Errorf("bad fraction denominator %q", den)
+		}
+		return n / d, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,141 @@
+// Package units parses the heterogeneous quantity notations found in
+// Japanese recipe text ("大さじ2", "１００ｇ", "1/2カップ", "200cc",
+// "2個", "少々") and converts them to grams.
+//
+// The conversion follows the paper's procedure: volumes use the
+// Japanese standardized measuring utensils (小さじ = 5 mL, 大さじ =
+// 15 mL, 1カップ = 200 mL) and a per-ingredient specific weight against
+// water; counted pieces use a per-ingredient piece weight (a sheet of
+// gelatin, an egg, a stick of kanten).
+package units
+
+import "fmt"
+
+// Unit is a recipe quantity unit.
+type Unit int
+
+// Supported units.
+const (
+	UnitUnknown    Unit = iota
+	UnitGram            // g
+	UnitKilogram        // kg
+	UnitMilliliter      // mL / cc
+	UnitLiter           // L
+	UnitTeaspoon        // 小さじ, 5 mL (JIS standard)
+	UnitTablespoon      // 大さじ, 15 mL (JIS standard)
+	UnitCup             // カップ, 200 mL (the Japanese kitchen cup)
+	UnitPiece           // 個 / 枚 / 本 / 袋 / 玉 — needs a piece weight
+	UnitPinch           // 少々 / ひとつまみ, treated as 0.5 g
+)
+
+// Standard Japanese measuring capacities in milliliters.
+const (
+	TeaspoonML   = 5.0
+	TablespoonML = 15.0
+	CupML        = 200.0
+	PinchGrams   = 0.5
+)
+
+// String names the unit.
+func (u Unit) String() string {
+	switch u {
+	case UnitGram:
+		return "g"
+	case UnitKilogram:
+		return "kg"
+	case UnitMilliliter:
+		return "mL"
+	case UnitLiter:
+		return "L"
+	case UnitTeaspoon:
+		return "tsp"
+	case UnitTablespoon:
+		return "tbsp"
+	case UnitCup:
+		return "cup"
+	case UnitPiece:
+		return "piece"
+	case UnitPinch:
+		return "pinch"
+	default:
+		return "unknown"
+	}
+}
+
+// IsVolume reports whether the unit measures volume.
+func (u Unit) IsVolume() bool {
+	switch u {
+	case UnitMilliliter, UnitLiter, UnitTeaspoon, UnitTablespoon, UnitCup:
+		return true
+	}
+	return false
+}
+
+// Milliliters returns the unit's capacity in mL; only valid for volume
+// units.
+func (u Unit) Milliliters() float64 {
+	switch u {
+	case UnitMilliliter:
+		return 1
+	case UnitLiter:
+		return 1000
+	case UnitTeaspoon:
+		return TeaspoonML
+	case UnitTablespoon:
+		return TablespoonML
+	case UnitCup:
+		return CupML
+	default:
+		panic(fmt.Sprintf("units: %v is not a volume unit", u))
+	}
+}
+
+// Quantity is a parsed amount with its unit.
+type Quantity struct {
+	Value float64
+	Unit  Unit
+}
+
+// Profile carries the per-ingredient physical constants needed for
+// conversion to grams.
+type Profile struct {
+	// DensityGPerML is the specific weight against water used when a
+	// quantity is a volume. For powders measured by spoon this is the
+	// effective bulk density of the Japanese standard tables (e.g.
+	// granulated sugar: 大さじ1 = 9 g → 0.6 g/mL).
+	DensityGPerML float64
+	// PieceGrams is the weight of one counted piece (egg: 50 g, gelatin
+	// sheet: 1.5 g). Zero means the ingredient cannot be counted.
+	PieceGrams float64
+}
+
+// WaterProfile converts volumes one-to-one and has no piece weight.
+var WaterProfile = Profile{DensityGPerML: 1}
+
+// Grams converts the quantity to grams using the ingredient profile.
+func (q Quantity) Grams(p Profile) (float64, error) {
+	if q.Value < 0 {
+		return 0, fmt.Errorf("units: negative quantity %g", q.Value)
+	}
+	switch {
+	case q.Unit == UnitGram:
+		return q.Value, nil
+	case q.Unit == UnitKilogram:
+		return q.Value * 1000, nil
+	case q.Unit == UnitPinch:
+		return q.Value * PinchGrams, nil
+	case q.Unit.IsVolume():
+		d := p.DensityGPerML
+		if d == 0 {
+			d = 1 // fall back to water
+		}
+		return q.Value * q.Unit.Milliliters() * d, nil
+	case q.Unit == UnitPiece:
+		if p.PieceGrams <= 0 {
+			return 0, fmt.Errorf("units: ingredient has no piece weight for %g pieces", q.Value)
+		}
+		return q.Value * p.PieceGrams, nil
+	default:
+		return 0, fmt.Errorf("units: cannot convert unknown unit")
+	}
+}

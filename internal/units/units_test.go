@@ -1,0 +1,198 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, s string) Quantity {
+	t.Helper()
+	q, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return q
+}
+
+func TestParseBasicForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		val  float64
+		unit Unit
+	}{
+		{"100g", 100, UnitGram},
+		{"100 g", 100, UnitGram},
+		{"0.5kg", 0.5, UnitKilogram},
+		{"200cc", 200, UnitMilliliter},
+		{"200ml", 200, UnitMilliliter},
+		{"1l", 1, UnitLiter},
+		{"大さじ2", 2, UnitTablespoon},
+		{"大匙1", 1, UnitTablespoon},
+		{"小さじ1/2", 0.5, UnitTeaspoon},
+		{"大さじ1と1/2", 1.5, UnitTablespoon},
+		{"2カップ", 2, UnitCup},
+		{"カップ2", 2, UnitCup},
+		{"1/2カップ", 0.5, UnitCup},
+		{"3個", 3, UnitPiece},
+		{"2枚", 2, UnitPiece},
+		{"1本", 1, UnitPiece},
+		{"1袋", 1, UnitPiece},
+		{"1パック", 1, UnitPiece},
+		{"少々", 1, UnitPinch},
+		{"ひとつまみ", 1, UnitPinch},
+		{"適量", 1, UnitPinch},
+		{"100", 100, UnitGram},  // bare numbers are grams
+		{"１００ｇ", 100, UnitGram}, // full-width folds
+		{"袋", 1, UnitPiece},     // bare unit means one
+	}
+	for _, c := range cases {
+		q := mustParse(t, c.in)
+		if math.Abs(q.Value-c.val) > 1e-12 || q.Unit != c.unit {
+			t.Errorf("Parse(%q) = %+v, want {%g %v}", c.in, q, c.val, c.unit)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "abc", "大さじx", "1/0カップ", "//g"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestGramsMass(t *testing.T) {
+	g, err := Quantity{Value: 250, Unit: UnitGram}.Grams(Profile{})
+	if err != nil || g != 250 {
+		t.Errorf("g → %g, %v", g, err)
+	}
+	g, _ = Quantity{Value: 1.2, Unit: UnitKilogram}.Grams(Profile{})
+	if g != 1200 {
+		t.Errorf("kg → %g", g)
+	}
+	g, _ = Quantity{Value: 2, Unit: UnitPinch}.Grams(Profile{})
+	if g != 1 {
+		t.Errorf("pinch → %g", g)
+	}
+}
+
+func TestGramsVolumeUsesDensity(t *testing.T) {
+	// 大さじ1 of granulated sugar (0.6 g/mL) = 9 g, the JIS table value.
+	sugar := Profile{DensityGPerML: 0.6}
+	g, err := Quantity{Value: 1, Unit: UnitTablespoon}.Grams(sugar)
+	if err != nil || math.Abs(g-9) > 1e-12 {
+		t.Errorf("tbsp sugar = %g, want 9", g)
+	}
+	// 1 cup of water = 200 g.
+	g, _ = Quantity{Value: 1, Unit: UnitCup}.Grams(WaterProfile)
+	if g != 200 {
+		t.Errorf("cup water = %g, want 200", g)
+	}
+	// Density 0 falls back to water.
+	g, _ = Quantity{Value: 10, Unit: UnitMilliliter}.Grams(Profile{})
+	if g != 10 {
+		t.Errorf("mL default = %g, want 10", g)
+	}
+	// 小さじ = 5 mL.
+	g, _ = Quantity{Value: 2, Unit: UnitTeaspoon}.Grams(WaterProfile)
+	if g != 10 {
+		t.Errorf("2 tsp water = %g, want 10", g)
+	}
+}
+
+func TestGramsPieces(t *testing.T) {
+	egg := Profile{PieceGrams: 50}
+	g, err := Quantity{Value: 2, Unit: UnitPiece}.Grams(egg)
+	if err != nil || g != 100 {
+		t.Errorf("2 eggs = %g, %v", g, err)
+	}
+	// Gelatin sheet: 1.5 g each.
+	sheet := Profile{PieceGrams: 1.5}
+	g, _ = Quantity{Value: 4, Unit: UnitPiece}.Grams(sheet)
+	if g != 6 {
+		t.Errorf("4 sheets = %g, want 6", g)
+	}
+	if _, err := (Quantity{Value: 1, Unit: UnitPiece}).Grams(Profile{}); err == nil {
+		t.Error("pieces without piece weight should fail")
+	}
+}
+
+func TestGramsRejectsNegative(t *testing.T) {
+	if _, err := (Quantity{Value: -1, Unit: UnitGram}).Grams(Profile{}); err == nil {
+		t.Error("negative quantity should fail")
+	}
+}
+
+func TestUnitPredicates(t *testing.T) {
+	for _, u := range []Unit{UnitMilliliter, UnitLiter, UnitTeaspoon, UnitTablespoon, UnitCup} {
+		if !u.IsVolume() {
+			t.Errorf("%v should be volume", u)
+		}
+	}
+	for _, u := range []Unit{UnitGram, UnitKilogram, UnitPiece, UnitPinch, UnitUnknown} {
+		if u.IsVolume() {
+			t.Errorf("%v should not be volume", u)
+		}
+	}
+	if UnitTablespoon.Milliliters() != 15 || UnitTeaspoon.Milliliters() != 5 || UnitCup.Milliliters() != 200 {
+		t.Error("standard capacities wrong")
+	}
+}
+
+func TestUnitStrings(t *testing.T) {
+	if UnitGram.String() != "g" || UnitCup.String() != "cup" || Unit(99).String() != "unknown" {
+		t.Error("String() wrong")
+	}
+}
+
+// Round-trip property: for volume quantities, grams scale linearly with
+// value and density.
+func TestGramsLinearityProperty(t *testing.T) {
+	f := func(v uint8, d uint8) bool {
+		val := float64(v%100) + 0.5
+		den := (float64(d%20) + 1) / 10
+		p := Profile{DensityGPerML: den}
+		g1, err1 := Quantity{Value: val, Unit: UnitMilliliter}.Grams(p)
+		g2, err2 := Quantity{Value: 2 * val, Unit: UnitMilliliter}.Grams(p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(g2-2*g1) < 1e-9 && math.Abs(g1-val*den) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNumberMixedAndFraction(t *testing.T) {
+	q := mustParse(t, "小さじ2と2/4")
+	if math.Abs(q.Value-2.5) > 1e-12 {
+		t.Errorf("2と2/4 = %g", q.Value)
+	}
+}
+
+func TestParseRanges(t *testing.T) {
+	cases := []struct {
+		in  string
+		val float64
+	}{
+		{"2~3個", 2.5},
+		{"2〜3個", 2.5},
+		{"100~150g", 125},
+		{"大さじ1~2", 1.5},
+		{"1/2~1カップ", 0.75},
+	}
+	for _, c := range cases {
+		q := mustParse(t, c.in)
+		if math.Abs(q.Value-c.val) > 1e-12 {
+			t.Errorf("Parse(%q) = %g, want %g", c.in, q.Value, c.val)
+		}
+	}
+	// Descending and open ranges fail.
+	for _, s := range []string{"3~2個", "~3個", "2~個"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package word2vec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Config controls SGNS training.
+type Config struct {
+	Dim       int     // embedding dimensionality
+	Window    int     // max context offset
+	Negatives int     // negative samples per positive pair
+	Epochs    int     // passes over the corpus
+	LR        float64 // initial learning rate, decays linearly to LR/100
+	MinCount  int     // vocabulary frequency cutoff
+	Subsample float64 // frequent-word subsampling threshold (0 disables)
+	Seed      uint64  // RNG seed
+}
+
+// DefaultConfig is sized for recipe-description corpora (small
+// vocabulary, short sentences).
+func DefaultConfig() Config {
+	return Config{
+		Dim:       48,
+		Window:    4,
+		Negatives: 5,
+		Epochs:    8,
+		LR:        0.05,
+		MinCount:  2,
+		Subsample: 1e-3,
+		Seed:      1,
+	}
+}
+
+// Model is a trained SGNS model.
+type Model struct {
+	Vocab *Vocab
+	Dim   int
+	in    []float64 // input vectors, V×Dim
+	out   []float64 // output (context) vectors, V×Dim
+}
+
+// Vector returns the input embedding of word, or ok=false if the word
+// is out of vocabulary. The returned slice aliases model memory and
+// must not be modified.
+func (m *Model) Vector(word string) ([]float64, bool) {
+	id, ok := m.Vocab.ID(word)
+	if !ok {
+		return nil, false
+	}
+	return m.in[id*m.Dim : (id+1)*m.Dim], true
+}
+
+// Similarity returns the cosine similarity of two words, or an error
+// if either is out of vocabulary.
+func (m *Model) Similarity(a, b string) (float64, error) {
+	va, ok := m.Vector(a)
+	if !ok {
+		return 0, fmt.Errorf("word2vec: %q not in vocabulary", a)
+	}
+	vb, ok := m.Vector(b)
+	if !ok {
+		return 0, fmt.Errorf("word2vec: %q not in vocabulary", b)
+	}
+	return cosine(va, vb), nil
+}
+
+// WordScore pairs a word with a similarity score.
+type WordScore struct {
+	Word  string
+	Score float64
+}
+
+// MostSimilar returns the k nearest words to word by cosine
+// similarity, excluding the word itself.
+func (m *Model) MostSimilar(word string, k int) ([]WordScore, error) {
+	id, ok := m.Vocab.ID(word)
+	if !ok {
+		return nil, fmt.Errorf("word2vec: %q not in vocabulary", word)
+	}
+	v := m.in[id*m.Dim : (id+1)*m.Dim]
+	scores := make([]WordScore, 0, m.Vocab.Size()-1)
+	for j := 0; j < m.Vocab.Size(); j++ {
+		if j == id {
+			continue
+		}
+		scores = append(scores, WordScore{
+			Word:  m.Vocab.Words[j],
+			Score: cosine(v, m.in[j*m.Dim:(j+1)*m.Dim]),
+		})
+	}
+	sort.Slice(scores, func(a, b int) bool { return scores[a].Score > scores[b].Score })
+	if k > len(scores) {
+		k = len(scores)
+	}
+	return scores[:k], nil
+}
+
+func cosine(a, b []float64) float64 {
+	na, nb := stats.Norm2(a), stats.Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return stats.Dot(a, b) / (na * nb)
+}
+
+// Train fits an SGNS model on the sentences. Training is
+// single-threaded and deterministic for a given seed.
+func Train(sentences [][]string, cfg Config) (*Model, error) {
+	if cfg.Dim <= 0 || cfg.Window <= 0 || cfg.Negatives <= 0 || cfg.Epochs <= 0 || cfg.LR <= 0 {
+		return nil, fmt.Errorf("word2vec: invalid config %+v", cfg)
+	}
+	vocab := BuildVocab(sentences, cfg.MinCount)
+	if vocab.Size() == 0 {
+		return nil, fmt.Errorf("word2vec: empty vocabulary (min count %d)", cfg.MinCount)
+	}
+	r := stats.NewRNG(cfg.Seed, 0x77325)
+	m := &Model{Vocab: vocab, Dim: cfg.Dim}
+	m.in = make([]float64, vocab.Size()*cfg.Dim)
+	m.out = make([]float64, vocab.Size()*cfg.Dim)
+	for i := range m.in {
+		m.in[i] = (r.Float64() - 0.5) / float64(cfg.Dim)
+	}
+
+	encoded := make([][]int, 0, len(sentences))
+	totalTokens := 0
+	for _, s := range sentences {
+		ids := vocab.Encode(s)
+		if len(ids) > 1 {
+			encoded = append(encoded, ids)
+			totalTokens += len(ids)
+		}
+	}
+	if totalTokens == 0 {
+		return nil, fmt.Errorf("word2vec: no trainable sentences")
+	}
+
+	grad := make([]float64, cfg.Dim)
+	steps := 0
+	totalSteps := cfg.Epochs * totalTokens
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, sent := range encoded {
+			// Subsample frequent words per sentence pass.
+			kept := kept(sent, vocab, cfg.Subsample, r)
+			for i, center := range kept {
+				steps++
+				lr := cfg.LR * (1 - float64(steps)/float64(totalSteps+1))
+				if lr < cfg.LR/100 {
+					lr = cfg.LR / 100
+				}
+				w := 1 + r.IntN(cfg.Window) // dynamic window
+				for j := i - w; j <= i+w; j++ {
+					if j < 0 || j >= len(kept) || j == i {
+						continue
+					}
+					m.trainPair(center, kept[j], cfg.Negatives, lr, r, grad)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+func kept(sent []int, v *Vocab, t float64, r *stats.RNG) []int {
+	if t <= 0 {
+		return sent
+	}
+	out := make([]int, 0, len(sent))
+	for _, id := range sent {
+		if r.Float64() < v.subsampleKeepProb(id, t) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// trainPair performs one SGNS update: the context word is the positive
+// target for the center word's input vector; negatives come from the
+// smoothed unigram distribution.
+func (m *Model) trainPair(center, context, negatives int, lr float64, r *stats.RNG, grad []float64) {
+	vc := m.in[center*m.Dim : (center+1)*m.Dim]
+	for i := range grad {
+		grad[i] = 0
+	}
+	update := func(target int, label float64) {
+		vo := m.out[target*m.Dim : (target+1)*m.Dim]
+		score := stats.Sigmoid(stats.Dot(vc, vo))
+		g := lr * (label - score)
+		for i := range vo {
+			grad[i] += g * vo[i]
+			vo[i] += g * vc[i]
+		}
+	}
+	update(context, 1)
+	for n := 0; n < negatives; n++ {
+		neg := m.Vocab.sampleNegative(r)
+		if neg == context {
+			continue
+		}
+		update(neg, 0)
+	}
+	for i := range vc {
+		vc[i] += grad[i]
+	}
+}

@@ -1,0 +1,67 @@
+package word2vec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonModel is the wire form of a trained model. Only the input
+// vectors are persisted — similarity queries never touch the output
+// (context) vectors, and dropping them halves the file.
+type jsonModel struct {
+	Version int       `json:"version"`
+	Dim     int       `json:"dim"`
+	Words   []string  `json:"words"`
+	Counts  []int     `json:"counts"`
+	In      []float64 `json:"in"`
+}
+
+const modelVersion = 1
+
+// WriteJSON persists the model.
+func (m *Model) WriteJSON(w io.Writer) error {
+	jm := jsonModel{
+		Version: modelVersion,
+		Dim:     m.Dim,
+		Words:   m.Vocab.Words,
+		Counts:  m.Vocab.Counts,
+		In:      m.in,
+	}
+	if err := json.NewEncoder(w).Encode(jm); err != nil {
+		return fmt.Errorf("word2vec: encoding model: %w", err)
+	}
+	return nil
+}
+
+// ReadModelJSON loads a model written by WriteJSON. The loaded model
+// answers Vector/Similarity/MostSimilar/Filter queries; it cannot be
+// trained further (the output vectors are not persisted).
+func ReadModelJSON(r io.Reader) (*Model, error) {
+	var jm jsonModel
+	if err := json.NewDecoder(r).Decode(&jm); err != nil {
+		return nil, fmt.Errorf("word2vec: decoding model: %w", err)
+	}
+	if jm.Version != modelVersion {
+		return nil, fmt.Errorf("word2vec: model version %d, want %d", jm.Version, modelVersion)
+	}
+	if jm.Dim <= 0 || len(jm.Words) == 0 {
+		return nil, fmt.Errorf("word2vec: empty model")
+	}
+	if len(jm.Counts) != len(jm.Words) {
+		return nil, fmt.Errorf("word2vec: %d counts for %d words", len(jm.Counts), len(jm.Words))
+	}
+	if len(jm.In) != len(jm.Words)*jm.Dim {
+		return nil, fmt.Errorf("word2vec: vector block has %d floats, want %d", len(jm.In), len(jm.Words)*jm.Dim)
+	}
+	v := &Vocab{Words: jm.Words, Counts: jm.Counts, index: make(map[string]int, len(jm.Words))}
+	for i, w := range jm.Words {
+		if _, dup := v.index[w]; dup {
+			return nil, fmt.Errorf("word2vec: duplicate word %q", w)
+		}
+		v.index[w] = i
+		v.total += jm.Counts[i]
+	}
+	v.buildUnigramTable()
+	return &Model{Vocab: v, Dim: jm.Dim, in: jm.In}, nil
+}

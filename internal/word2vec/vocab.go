@@ -1,0 +1,138 @@
+// Package word2vec implements skip-gram with negative sampling (SGNS)
+// over tokenized recipe descriptions. The paper trains word2vec on all
+// retrieved recipe text and excludes texture terms whose nearest
+// neighbours include ingredients unrelated to gels (a nut topping
+// making a mousse "crispy"); Filter reproduces that rule.
+package word2vec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Vocab maps words to dense IDs with corpus frequencies.
+type Vocab struct {
+	Words  []string
+	Counts []int
+	index  map[string]int
+	total  int
+
+	unigramTable []int // negative-sampling table, counts^(3/4)
+}
+
+// negTableSize is the size of the unigram negative-sampling table.
+// Small relative to classic word2vec because recipe vocabularies are
+// small.
+const negTableSize = 1 << 16
+
+// BuildVocab scans sentences and keeps words with count ≥ minCount,
+// ordered by descending frequency (ties by first appearance).
+func BuildVocab(sentences [][]string, minCount int) *Vocab {
+	if minCount < 1 {
+		minCount = 1
+	}
+	counts := make(map[string]int)
+	first := make(map[string]int)
+	pos := 0
+	for _, s := range sentences {
+		for _, w := range s {
+			if _, seen := counts[w]; !seen {
+				first[w] = pos
+			}
+			counts[w]++
+			pos++
+		}
+	}
+	var words []string
+	for w, c := range counts {
+		if c >= minCount {
+			words = append(words, w)
+		}
+	}
+	sort.Slice(words, func(i, j int) bool {
+		if counts[words[i]] != counts[words[j]] {
+			return counts[words[i]] > counts[words[j]]
+		}
+		return first[words[i]] < first[words[j]]
+	})
+	v := &Vocab{Words: words, index: make(map[string]int, len(words))}
+	v.Counts = make([]int, len(words))
+	for i, w := range words {
+		v.index[w] = i
+		v.Counts[i] = counts[w]
+		v.total += counts[w]
+	}
+	v.buildUnigramTable()
+	return v
+}
+
+// Size returns the vocabulary size.
+func (v *Vocab) Size() int { return len(v.Words) }
+
+// ID returns the dense ID of word.
+func (v *Vocab) ID(word string) (int, bool) {
+	id, ok := v.index[word]
+	return id, ok
+}
+
+// buildUnigramTable fills the negative-sampling table with word IDs in
+// proportion to count^(3/4), the smoothing of Mikolov et al.
+func (v *Vocab) buildUnigramTable() {
+	if v.Size() == 0 {
+		return
+	}
+	powTotal := 0.0
+	for _, c := range v.Counts {
+		powTotal += math.Pow(float64(c), 0.75)
+	}
+	v.unigramTable = make([]int, negTableSize)
+	w := 0
+	cum := math.Pow(float64(v.Counts[0]), 0.75) / powTotal
+	for i := 0; i < negTableSize; i++ {
+		v.unigramTable[i] = w
+		if float64(i+1)/negTableSize > cum && w < v.Size()-1 {
+			w++
+			cum += math.Pow(float64(v.Counts[w]), 0.75) / powTotal
+		}
+	}
+}
+
+// sampleNegative draws a word ID from the smoothed unigram
+// distribution.
+func (v *Vocab) sampleNegative(r *stats.RNG) int {
+	return v.unigramTable[r.IntN(len(v.unigramTable))]
+}
+
+// subsampleKeepProb is the word-discard rule of Mikolov et al.: very
+// frequent words are randomly dropped with probability depending on
+// their corpus frequency and the threshold t.
+func (v *Vocab) subsampleKeepProb(id int, t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	f := float64(v.Counts[id]) / float64(v.total)
+	p := math.Sqrt(t/f) + t/f
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Encode converts a sentence to IDs, dropping out-of-vocabulary words.
+func (v *Vocab) Encode(sentence []string) []int {
+	out := make([]int, 0, len(sentence))
+	for _, w := range sentence {
+		if id, ok := v.index[w]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// String summarizes the vocabulary.
+func (v *Vocab) String() string {
+	return fmt.Sprintf("vocab{%d words, %d tokens}", v.Size(), v.total)
+}
