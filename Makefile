@@ -1,0 +1,24 @@
+# Development targets. `make verify` is the gate a change must pass:
+# vet plus the full test suite under the race detector (the serving
+# runtime is concurrent by design — races are correctness bugs here).
+
+GO ?= go
+
+.PHONY: build test verify bench-serve bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+verify:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+# The pooled serve-path benchmark: tracks end-to-end /annotate
+# latency and shed count across PRs.
+bench-serve:
+	$(GO) test -run '^$$' -bench BenchmarkServeAnnotate -benchtime 2x .
+
+bench:
+	$(GO) test -run '^$$' -bench . .

@@ -7,9 +7,13 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -22,6 +26,7 @@ import (
 	"repro/internal/rheology"
 	"repro/internal/rules"
 	"repro/internal/sensory"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/textseg"
 	"repro/internal/word2vec"
@@ -613,6 +618,48 @@ func BenchmarkFoldInPlacement(b *testing.B) {
 	}
 	b.ReportMetric(acc, "placementAcc")
 	b.ReportMetric(float64(len(fresh)), "recipes")
+}
+
+// BenchmarkServeAnnotate measures the pooled HTTP serve path end to
+// end — JSON decode, admission gate, annotator checkout, fold-in
+// Gibbs chain, response encode — with the benchmark's parallelism
+// driving all pool slots. The shed metric counts requests lost to
+// admission; with the roomy wait budget here it should stay 0, so a
+// regression in pool turnover shows up in the metrics, not just the
+// latency.
+func BenchmarkServeAnnotate(b *testing.B) {
+	out := fixture(b)
+	opts := serve.DefaultOptions()
+	opts.AdmitWait = time.Minute
+	opts.RequestTimeout = time.Minute
+	srv, err := serve.NewWithOptions(out, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	body := []byte(`{
+		"id": "bench-1",
+		"title": "ゼリー",
+		"description": "ぷるぷるです",
+		"ingredients": [
+			{"name": "ゼラチン", "amount": "5g"},
+			{"name": "水", "amount": "400ml"}
+		]
+	}`)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest("POST", "/annotate", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+	st := srv.Stats()
+	b.ReportMetric(float64(st.Served), "served")
+	b.ReportMetric(float64(st.Shed), "shed")
 }
 
 // BenchmarkConvergence reports the Geweke diagnostic and effective

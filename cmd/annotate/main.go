@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -95,7 +96,7 @@ func main() {
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetEscapeHTML(false)
-	cards, errs := ann.AnnotateAll(recipes)
+	cards, errs := ann.AnnotateAll(context.Background(), recipes)
 	for i, card := range cards {
 		if errs[i] != nil {
 			fmt.Fprintf(os.Stderr, "annotate: %s: %v\n", recipes[i].ID, errs[i])

@@ -1,13 +1,19 @@
-// Command textureserver serves texture cards over HTTP: it fits the
-// topic model once at startup, then answers
+// Command textureserver serves texture cards over HTTP. It binds its
+// port immediately, fits the topic model in the background (answering
+// 503 on model-backed routes until ready), and drains gracefully on
+// SIGINT/SIGTERM:
 //
 //	POST /annotate   {recipe JSON}  → texture card
 //	GET  /topics                    → the fitted topics
-//	GET  /healthz                   → liveness
+//	GET  /healthz                   → liveness (process is up)
+//	GET  /readyz                    → readiness (model fitted, not draining)
+//	GET  /statusz                   → runtime counters
 //
 // Usage:
 //
 //	textureserver [-addr :8080] [-scale 1.0] [-iters 300]
+//	              [-pool N] [-request-timeout 5s] [-drain-timeout 10s]
+//	              [-admit-wait 250ms]
 //
 // Example:
 //
@@ -18,10 +24,14 @@
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/pipeline"
@@ -30,33 +40,53 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		scale = flag.Float64("scale", 1.0, "training corpus scale")
-		iters = flag.Int("iters", 300, "Gibbs sweeps for the startup fit")
+		addr         = flag.String("addr", ":8080", "listen address")
+		scale        = flag.Float64("scale", 1.0, "training corpus scale")
+		iters        = flag.Int("iters", 300, "Gibbs sweeps for the startup fit")
+		pool         = flag.Int("pool", runtime.GOMAXPROCS(0), "concurrent fold-in annotators")
+		reqTimeout   = flag.Duration("request-timeout", 5*time.Second, "per-request deadline (504 past it; 0 disables)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "shutdown budget for in-flight requests")
+		admitWait    = flag.Duration("admit-wait", 250*time.Millisecond, "max wait for an annotator before shedding with 429")
 	)
 	flag.Parse()
 
-	log.Printf("fitting topic model (scale %.2f, %d sweeps)…", *scale, *iters)
-	start := time.Now()
-	opts := pipeline.DefaultOptions()
-	opts.Corpus.Scale = *scale
-	opts.Model.Iterations = *iters
-	out, err := pipeline.Run(opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("model ready in %v: %d recipes, %d topics", time.Since(start).Round(time.Millisecond),
-		len(out.Docs), out.Model.K)
+	opts := serve.DefaultOptions()
+	opts.Pool = *pool
+	opts.RequestTimeout = *reqTimeout
+	opts.AdmitWait = *admitWait
+	srv := serve.NewPending(opts)
 
-	srv, err := serve.New(out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	server := &http.Server{
+	// Bind first, fit later: /healthz and /readyz answer while the
+	// Gibbs fit runs, so orchestrators see a live-but-not-ready pod
+	// instead of a connection refused.
+	go func() {
+		log.Printf("fitting topic model (scale %.2f, %d sweeps)…", *scale, *iters)
+		start := time.Now()
+		popts := pipeline.DefaultOptions()
+		popts.Corpus.Scale = *scale
+		popts.Model.Iterations = *iters
+		out, err := pipeline.Run(popts)
+		if err != nil {
+			log.Fatalf("model fit failed; the server can never become ready: %v", err)
+		}
+		if err := srv.SetOutput(out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("model ready in %v: %d recipes, %d topics",
+			time.Since(start).Round(time.Millisecond), len(out.Docs), out.Model.K)
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Println("listening on", *addr)
-	log.Fatal(server.ListenAndServe())
+	log.Printf("listening on %s (pool %d, request timeout %v, admit wait %v)",
+		*addr, *pool, *reqTimeout, *admitWait)
+	if err := serve.ListenAndServe(ctx, hs, srv, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
+	log.Println("drained cleanly")
 }

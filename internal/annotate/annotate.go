@@ -7,6 +7,8 @@
 package annotate
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,6 +20,12 @@ import (
 	"repro/internal/rheology"
 	"repro/internal/stats"
 )
+
+// ErrRecipe marks annotation failures caused by the recipe itself —
+// unparseable amounts, no gel ingredient — as opposed to model or
+// infrastructure failures. HTTP layers map it to a 4xx; everything
+// else is the server's fault.
+var ErrRecipe = errors.New("recipe not annotatable")
 
 // TermEstimate is one expected texture term with its probability under
 // the recipe's dominant topic.
@@ -89,12 +97,16 @@ func New(out *pipeline.Output) (*Annotator, error) {
 // Annotate resolves the recipe and builds its texture card. Resolve
 // always runs (it is deterministic and cheap) because recipes loaded
 // from JSON carry grams but not the derived category fields.
-func (a *Annotator) Annotate(r *recipe.Recipe) (*Card, error) {
+//
+// The context bounds the fold-in chain: when ctx ends mid-inference
+// the returned error matches core.ErrCanceled and the context error.
+// Recipe-caused failures match ErrRecipe.
+func (a *Annotator) Annotate(ctx context.Context, r *recipe.Recipe) (*Card, error) {
 	if err := r.Resolve(); err != nil {
-		return nil, fmt.Errorf("annotate: %w", err)
+		return nil, fmt.Errorf("annotate: %w: %w", ErrRecipe, err)
 	}
 	if !r.HasGel() {
-		return nil, fmt.Errorf("annotate: recipe %s has no gel ingredient; the model covers gel dishes", r.ID)
+		return nil, fmt.Errorf("annotate: %w: recipe %s has no gel ingredient; the model covers gel dishes", ErrRecipe, r.ID)
 	}
 
 	var mined []lexicon.Term
@@ -108,7 +120,7 @@ func (a *Annotator) Annotate(r *recipe.Recipe) (*Card, error) {
 		wordIDs = append(wordIDs, id)
 	}
 
-	theta, err := a.model.FoldIn(wordIDs, r.GelFeatures(), r.EmulsionFeatures(), a.FoldInIters, a.Seed)
+	theta, err := a.model.FoldInCtx(ctx, wordIDs, r.GelFeatures(), r.EmulsionFeatures(), a.FoldInIters, a.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("annotate: %w", err)
 	}
@@ -146,12 +158,14 @@ func (a *Annotator) Annotate(r *recipe.Recipe) (*Card, error) {
 
 // AnnotateAll builds cards for a batch, skipping recipes the model
 // cannot cover and reporting them in errs (index-aligned with the
-// input; nil for successes).
-func (a *Annotator) AnnotateAll(rs []*recipe.Recipe) (cards []*Card, errs []error) {
+// input; nil for successes). A dead context fails the remaining
+// recipes with the cancellation error rather than burning sweeps on
+// work nobody will read.
+func (a *Annotator) AnnotateAll(ctx context.Context, rs []*recipe.Recipe) (cards []*Card, errs []error) {
 	cards = make([]*Card, len(rs))
 	errs = make([]error, len(rs))
 	for i, r := range rs {
-		cards[i], errs[i] = a.Annotate(r)
+		cards[i], errs[i] = a.Annotate(ctx, r)
 	}
 	return cards, errs
 }

@@ -1,10 +1,13 @@
 package annotate
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/lexicon"
 	"repro/internal/pipeline"
 	"repro/internal/recipe"
@@ -59,11 +62,11 @@ func jelly(t *testing.T, gelatinGrams string, desc string) *recipe.Recipe {
 func TestAnnotateSoftVsHard(t *testing.T) {
 	a := newAnnotator(t)
 	// ~1% gelatin: expected soft vocabulary; ~5.5%: hard vocabulary.
-	soft, err := a.Annotate(jelly(t, "4g", ""))
+	soft, err := a.Annotate(context.Background(), jelly(t, "4g", ""))
 	if err != nil {
 		t.Fatal(err)
 	}
-	hard, err := a.Annotate(jelly(t, "26g", ""))
+	hard, err := a.Annotate(context.Background(), jelly(t, "26g", ""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +87,7 @@ func TestAnnotateSoftVsHard(t *testing.T) {
 
 func TestAnnotateUsesMinedTerms(t *testing.T) {
 	a := newAnnotator(t)
-	card, err := a.Annotate(jelly(t, "4g", "ぷるぷるでとてもおいしい"))
+	card, err := a.Annotate(context.Background(), jelly(t, "4g", "ぷるぷるでとてもおいしい"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +113,7 @@ func TestAnnotateRejectsGelFree(t *testing.T) {
 	if err := r.Resolve(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.Annotate(r); err == nil {
+	if _, err := a.Annotate(context.Background(), r); err == nil {
 		t.Error("gel-free recipe should be rejected")
 	}
 }
@@ -125,7 +128,7 @@ func TestAnnotateResolvesLazily(t *testing.T) {
 			{Name: "水", Amount: "400ml"},
 		},
 	}
-	card, err := a.Annotate(r) // not resolved by the caller
+	card, err := a.Annotate(context.Background(), r) // not resolved by the caller
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +137,7 @@ func TestAnnotateResolvesLazily(t *testing.T) {
 	}
 	// And unparseable amounts surface as errors.
 	bad := &recipe.Recipe{ID: "bad", Ingredients: []recipe.Ingredient{{Name: "ゼラチン", Amount: "たっぷり"}}}
-	if _, err := a.Annotate(bad); err == nil {
+	if _, err := a.Annotate(context.Background(), bad); err == nil {
 		t.Error("unparseable amount should fail")
 	}
 }
@@ -156,7 +159,7 @@ func TestAnnotateNearestMeasurement(t *testing.T) {
 	if err := r.Resolve(); err != nil {
 		t.Fatal(err)
 	}
-	card, err := a.Annotate(r)
+	card, err := a.Annotate(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +177,7 @@ func TestAnnotateAll(t *testing.T) {
 	if err := bad.Resolve(); err != nil {
 		t.Fatal(err)
 	}
-	cards, errs := a.AnnotateAll([]*recipe.Recipe{good, bad})
+	cards, errs := a.AnnotateAll(context.Background(), []*recipe.Recipe{good, bad})
 	if cards[0] == nil || errs[0] != nil {
 		t.Errorf("good recipe: %v", errs[0])
 	}
@@ -185,7 +188,7 @@ func TestAnnotateAll(t *testing.T) {
 
 func TestCardRenderAndWire(t *testing.T) {
 	a := newAnnotator(t)
-	card, err := a.Annotate(jelly(t, "5g", "ぷるぷる"))
+	card, err := a.Annotate(context.Background(), jelly(t, "5g", "ぷるぷる"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,6 +207,29 @@ func TestCardRenderAndWire(t *testing.T) {
 		t.Error("no sense summary")
 	}
 	_ = lexicon.SenseHard
+}
+
+func TestAnnotateErrorClasses(t *testing.T) {
+	a := newAnnotator(t)
+	// Recipe-caused failures carry ErrRecipe so HTTP layers answer 4xx.
+	nogel := &recipe.Recipe{ID: "salad", Ingredients: []recipe.Ingredient{{Name: "水", Amount: "100ml"}}}
+	if _, err := a.Annotate(context.Background(), nogel); !errors.Is(err, ErrRecipe) {
+		t.Errorf("gel-free recipe error = %v, want ErrRecipe", err)
+	}
+	unparseable := &recipe.Recipe{ID: "bad", Ingredients: []recipe.Ingredient{{Name: "ゼラチン", Amount: "たっぷり"}}}
+	if _, err := a.Annotate(context.Background(), unparseable); !errors.Is(err, ErrRecipe) {
+		t.Errorf("unparseable amount error = %v, want ErrRecipe", err)
+	}
+	// A dead context surfaces as cancellation, not a recipe fault.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := a.Annotate(ctx, jelly(t, "5g", ""))
+	if !errors.Is(err, core.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled annotate = %v, want core.ErrCanceled", err)
+	}
+	if errors.Is(err, ErrRecipe) {
+		t.Error("cancellation must not read as a recipe fault")
+	}
 }
 
 func TestNewValidation(t *testing.T) {

@@ -1,11 +1,34 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/stats"
 )
+
+// ErrCanceled marks a fold-in abandoned because its context ended.
+// Match it with errors.Is; the concrete error also unwraps to the
+// context error (context.Canceled or context.DeadlineExceeded), so
+// callers can tell a vanished client from an expired deadline.
+var ErrCanceled = errors.New("core: fold-in canceled")
+
+// CanceledError reports how far a canceled fold-in got before it was
+// abandoned.
+type CanceledError struct {
+	Sweeps int   // completed Gibbs sweeps
+	Cause  error // the context error that stopped the chain
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("core: fold-in canceled after %d sweeps: %v", e.Sweeps, e.Cause)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
 
 // FoldIn infers the topic mixture θ of an unseen recipe under a fitted
 // model, holding φ and the concentration components fixed — the
@@ -17,6 +40,14 @@ import (
 // Gibbs sweeps over the recipe's latent z and y and returns the
 // averaged θ of the second half of the chain.
 func (r *Result) FoldIn(words []int, gel, emu []float64, iters int, seed uint64) ([]float64, error) {
+	return r.FoldInCtx(context.Background(), words, gel, emu, iters, seed)
+}
+
+// FoldInCtx is FoldIn under a context: cancellation is checked
+// between Gibbs sweeps, and an abandoned chain returns a
+// *CanceledError matching ErrCanceled. This is what lets a serving
+// layer stop paying for a request whose deadline already passed.
+func (r *Result) FoldInCtx(ctx context.Context, words []int, gel, emu []float64, iters int, seed uint64) ([]float64, error) {
 	if iters <= 0 {
 		return nil, fmt.Errorf("core: fold-in needs positive iterations")
 	}
@@ -67,6 +98,9 @@ func (r *Result) FoldIn(words []int, gel, emu []float64, iters int, seed uint64)
 	weights := make([]float64, r.K)
 	logw := make([]float64, r.K)
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, &CanceledError{Sweeps: it, Cause: err}
+		}
 		for n, w := range words {
 			ndk[z[n]]--
 			for k := 0; k < r.K; k++ {

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -103,6 +106,47 @@ func TestFoldInDeterministic(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("same seed must give identical fold-in")
+		}
+	}
+}
+
+func TestFoldInCtxCancellation(t *testing.T) {
+	res, _ := fitSynth(t, smallCfg(), 60)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead before the first sweep
+	_, err := res.FoldInCtx(ctx, []int{0, 1}, []float64{3, 9}, []float64{2, 8}, 30, 7)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled fold-in = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled fold-in should unwrap to the context error, got %v", err)
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) || ce.Sweeps != 0 {
+		t.Errorf("canceled error detail = %+v", ce)
+	}
+	// Deadline-shaped causes survive unwrapping too.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	_, err = res.FoldInCtx(dctx, nil, []float64{3, 9}, []float64{2, 8}, 30, 7)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired fold-in = %v", err)
+	}
+}
+
+func TestFoldInCtxMatchesFoldIn(t *testing.T) {
+	res, _ := fitSynth(t, smallCfg(), 60)
+	a, err := res.FoldIn([]int{0, 1}, []float64{3, 9}, []float64{2, 8}, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.FoldInCtx(context.Background(), []int{0, 1}, []float64{3, 9}, []float64{2, 8}, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("FoldIn and FoldInCtx diverge on the same seed")
 		}
 	}
 }

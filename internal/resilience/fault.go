@@ -1,0 +1,101 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Fault is one injected failure: an added delay, then optionally a
+// panic or an error. The zero Fault is "no fault".
+type Fault struct {
+	// Delay stalls the operation, honouring context cancellation.
+	Delay time.Duration
+	// Panic, when non-empty, panics with this value after the delay —
+	// exercising the Recover middleware path.
+	Panic string
+	// Err, when set, is returned after the delay.
+	Err error
+}
+
+func (f Fault) zero() bool { return f.Delay == 0 && f.Panic == "" && f.Err == nil }
+
+// Injector decides the fault (if any) for one named operation. A nil
+// Injector injects nothing; production code passes nil, tests pass a
+// Script.
+type Injector interface {
+	Fault(op string) Fault
+}
+
+// Inject applies the injector's fault for op under ctx: it waits out
+// the delay (returning the context error if ctx ends first), then
+// panics or returns the scripted error. With a nil injector or no
+// scripted fault it is a cheap no-op, safe to leave on hot paths.
+func Inject(ctx context.Context, inj Injector, op string) error {
+	if inj == nil {
+		return nil
+	}
+	f := inj.Fault(op)
+	if f.zero() {
+		return nil
+	}
+	if f.Delay > 0 {
+		timer := time.NewTimer(f.Delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if f.Panic != "" {
+		panic(f.Panic)
+	}
+	return f.Err
+}
+
+// Script is a deterministic Injector: each op name carries a queue of
+// faults consumed one per call, so a test can say "the second
+// annotation panics" and nothing else does. Safe for concurrent use.
+type Script struct {
+	mu     sync.Mutex
+	queues map[string][]scripted
+}
+
+type scripted struct {
+	f     Fault
+	times int // remaining fires; <0 means every call
+}
+
+// NewScript builds an empty script (injects nothing until Queue).
+func NewScript() *Script { return &Script{queues: map[string][]scripted{}} }
+
+// Queue schedules f to fire the next times calls for op. times < 0
+// fires on every call forever (a standing fault).
+func (s *Script) Queue(op string, times int, f Fault) {
+	if times == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queues[op] = append(s.queues[op], scripted{f: f, times: times})
+}
+
+// Fault pops the next scheduled fault for op, or the zero Fault.
+func (s *Script) Fault(op string) Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[op]
+	if len(q) == 0 {
+		return Fault{}
+	}
+	head := &q[0]
+	f := head.f
+	if head.times > 0 {
+		head.times--
+		if head.times == 0 {
+			s.queues[op] = q[1:]
+		}
+	}
+	return f
+}

@@ -1,0 +1,81 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInjectNilAndEmptyAreNoOps(t *testing.T) {
+	if err := Inject(context.Background(), nil, "op"); err != nil {
+		t.Errorf("nil injector: %v", err)
+	}
+	if err := Inject(context.Background(), NewScript(), "op"); err != nil {
+		t.Errorf("empty script: %v", err)
+	}
+}
+
+func TestScriptQueueConsumesInOrder(t *testing.T) {
+	boom := errors.New("boom")
+	s := NewScript()
+	s.Queue("annotate", 2, Fault{Err: boom})
+	s.Queue("annotate", 1, Fault{Panic: "kaboom"})
+
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := Inject(ctx, s, "annotate"); !errors.Is(err, boom) {
+			t.Errorf("call %d: %v, want boom", i, err)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() != "kaboom" {
+				t.Error("third call should panic")
+			}
+		}()
+		Inject(ctx, s, "annotate")
+	}()
+	if err := Inject(ctx, s, "annotate"); err != nil {
+		t.Errorf("drained script still fires: %v", err)
+	}
+	// Other ops are untouched.
+	if err := Inject(ctx, s, "topics"); err != nil {
+		t.Errorf("unscripted op: %v", err)
+	}
+}
+
+func TestScriptStandingFault(t *testing.T) {
+	boom := errors.New("boom")
+	s := NewScript()
+	s.Queue("op", -1, Fault{Err: boom})
+	for i := 0; i < 5; i++ {
+		if err := Inject(context.Background(), s, "op"); !errors.Is(err, boom) {
+			t.Fatalf("standing fault stopped firing at call %d: %v", i, err)
+		}
+	}
+}
+
+func TestInjectDelayHonoursContext(t *testing.T) {
+	s := NewScript()
+	s.Queue("slow", -1, Fault{Delay: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Inject(ctx, s, "slow")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("stalled inject = %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("inject did not abandon the delay on context death")
+	}
+}
+
+func TestInjectDelayThenError(t *testing.T) {
+	boom := errors.New("boom")
+	s := NewScript()
+	s.Queue("op", 1, Fault{Delay: time.Millisecond, Err: boom})
+	if err := Inject(context.Background(), s, "op"); !errors.Is(err, boom) {
+		t.Errorf("delayed error = %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package resilience
+
+import (
+	"context"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// Recover converts handler panics into 500s so one poisoned request
+// cannot take the whole server down. The panic value and stack are
+// reported through logf (one call per panic); when the handler had
+// already started writing a response, nothing more can be sent and
+// the panic is only logged. http.ErrAbortHandler keeps its net/http
+// meaning and is re-raised.
+func Recover(next http.Handler, logf func(format string, args ...any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &sniffWriter{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			if logf != nil {
+				logf("resilience: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			}
+			if !sw.wrote {
+				http.Error(sw.ResponseWriter, "internal server error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// Timeout attaches a per-request deadline to the request context.
+// It deliberately does not write the timeout response itself:
+// handlers own their status mapping (the serve package answers 504),
+// and the context guarantees the work below them actually stops.
+func Timeout(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// sniffWriter records whether the response has started, which decides
+// if a recovered panic can still send a 500.
+type sniffWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (s *sniffWriter) WriteHeader(code int) {
+	s.wrote = true
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *sniffWriter) Write(p []byte) (int, error) {
+	s.wrote = true
+	return s.ResponseWriter.Write(p)
+}

@@ -1,0 +1,103 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecoverTurnsPanicInto500(t *testing.T) {
+	var logged string
+	h := Recover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			panic("poisoned request")
+		}
+		w.WriteHeader(http.StatusOK)
+	}), func(format string, args ...any) { logged = fmt.Sprintf(format, args...) })
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("panic status = %d", rec.Code)
+	}
+	if !strings.Contains(logged, "poisoned request") || !strings.Contains(logged, "/boom") {
+		t.Errorf("panic log = %q", logged)
+	}
+	// The server keeps serving after the panic.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fine", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("post-panic status = %d", rec.Code)
+	}
+}
+
+func TestRecoverAfterPartialWriteOnlyLogs(t *testing.T) {
+	logged := false
+	h := Recover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		panic("late panic")
+	}), func(string, ...any) { logged = true })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Errorf("started response was rewritten to %d", rec.Code)
+	}
+	if !logged {
+		t.Error("late panic not logged")
+	}
+}
+
+func TestRecoverReRaisesAbortHandler(t *testing.T) {
+	h := Recover(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}), nil)
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Error("ErrAbortHandler should pass through")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}
+
+func TestTimeoutAttachesDeadline(t *testing.T) {
+	var deadline time.Time
+	var ok bool
+	h := Timeout(50*time.Millisecond, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		deadline, ok = r.Context().Deadline()
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if !ok {
+		t.Fatal("no deadline on request context")
+	}
+	if until := time.Until(deadline); until > 50*time.Millisecond {
+		t.Errorf("deadline %v out", until)
+	}
+}
+
+func TestTimeoutExpiresDuringHandler(t *testing.T) {
+	var err error
+	h := Timeout(time.Millisecond, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			err = r.Context().Err()
+		case <-time.After(time.Second):
+		}
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if err != context.DeadlineExceeded {
+		t.Errorf("handler saw %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestTimeoutZeroIsPassThrough(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := r.Context().Deadline(); ok {
+			t.Error("zero timeout should not attach a deadline")
+		}
+	})
+	Timeout(0, inner).ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}

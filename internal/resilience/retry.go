@@ -1,0 +1,92 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Backoff describes a jittered exponential retry schedule. The zero
+// value retries once with no delay; fill in what matters.
+type Backoff struct {
+	// Attempts is the total number of tries, including the first.
+	// Values below 1 are treated as 1.
+	Attempts int
+	// Base is the nominal delay before the second try; each further
+	// delay grows by Factor and is capped at Max.
+	Base time.Duration
+	// Max caps a single delay. Zero means uncapped.
+	Max time.Duration
+	// Factor is the per-attempt growth; values below 1 mean 2.
+	Factor float64
+	// Seed drives the deterministic jitter stream, so a given seed
+	// always produces the same schedule — retries stay reproducible
+	// in tests and staggered across callers in production (give each
+	// caller its own seed).
+	Seed uint64
+}
+
+// delays materialises the full schedule: Attempts-1 equal-jitter
+// delays (half fixed, half uniform-random), deterministic in Seed.
+func (b Backoff) delays() []time.Duration {
+	n := b.Attempts
+	if n < 1 {
+		n = 1
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	rng := stats.NewRNG(b.Seed, 0xB0FF)
+	out := make([]time.Duration, 0, n-1)
+	d := float64(b.Base)
+	for i := 1; i < n; i++ {
+		capped := d
+		if b.Max > 0 && capped > float64(b.Max) {
+			capped = float64(b.Max)
+		}
+		out = append(out, time.Duration(capped/2+rng.Float64()*capped/2))
+		d *= factor
+	}
+	return out
+}
+
+// Retry runs op until it returns nil, the schedule is exhausted, or
+// ctx ends mid-wait. The final failure wraps the last error from op;
+// a context death surfaces as the context error wrapping the last op
+// error seen (if any), so callers can distinguish "gave up" from
+// "was told to stop".
+func Retry(ctx context.Context, b Backoff, op func(ctx context.Context) error) error {
+	delays := b.delays()
+	var last error
+	for i := 0; ; i++ {
+		if err := ctx.Err(); err != nil {
+			return canceledRetry(err, last)
+		}
+		last = op(ctx)
+		if last == nil {
+			return nil
+		}
+		if i >= len(delays) {
+			return fmt.Errorf("resilience: %d attempts exhausted: %w", len(delays)+1, last)
+		}
+		if delays[i] > 0 {
+			timer := time.NewTimer(delays[i])
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return canceledRetry(ctx.Err(), last)
+			}
+		}
+	}
+}
+
+func canceledRetry(ctxErr, last error) error {
+	if last == nil {
+		return ctxErr
+	}
+	return fmt.Errorf("resilience: retry stopped (%w) after: %w", ctxErr, last)
+}

@@ -1,0 +1,92 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), Backoff{Attempts: 5, Base: time.Microsecond}, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Retry(context.Background(), Backoff{Attempts: 3}, func(context.Context) error {
+		calls++
+		return boom
+	})
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("exhausted error %v should wrap the last failure", err)
+	}
+}
+
+func TestRetryStopsOnContext(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	calls := 0
+	err := Retry(ctx, Backoff{Attempts: 100, Base: 20 * time.Millisecond}, func(context.Context) error {
+		calls++
+		return boom
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 before the context died mid-wait", calls)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) || !errors.Is(err, boom) {
+		t.Errorf("err = %v, want both the context error and the last failure", err)
+	}
+}
+
+func TestRetryZeroValueRunsOnce(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	if err := Retry(context.Background(), Backoff{}, func(context.Context) error {
+		calls++
+		return boom
+	}); !errors.Is(err, boom) || calls != 1 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestBackoffScheduleDeterministicAndBounded(t *testing.T) {
+	b := Backoff{Attempts: 5, Base: 100 * time.Millisecond, Max: 300 * time.Millisecond, Seed: 7}
+	d1, d2 := b.delays(), b.delays()
+	if len(d1) != 4 {
+		t.Fatalf("%d delays for 5 attempts", len(d1))
+	}
+	nominal := []time.Duration{100, 200, 300, 300} // capped at Max
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Errorf("delay %d not deterministic: %v vs %v", i, d1[i], d2[i])
+		}
+		n := nominal[i] * time.Millisecond
+		if d1[i] < n/2 || d1[i] > n {
+			t.Errorf("delay %d = %v outside jitter band [%v, %v]", i, d1[i], n/2, n)
+		}
+	}
+	other := Backoff{Attempts: 5, Base: 100 * time.Millisecond, Max: 300 * time.Millisecond, Seed: 8}.delays()
+	same := true
+	for i := range d1 {
+		same = same && d1[i] == other[i]
+	}
+	if same {
+		t.Error("different seeds produced an identical schedule")
+	}
+}

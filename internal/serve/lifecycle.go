@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve runs hs on ln until ctx is canceled, then drains gracefully:
+// readiness flips off first (so /readyz tells load balancers to stop
+// routing here), then http.Server.Shutdown waits up to drain for
+// in-flight requests to complete. Connections still open past the
+// deadline are force-closed and the overrun is reported.
+//
+// A server error (failed accept loop, port stolen) is returned as-is;
+// a clean drain returns nil.
+func Serve(ctx context.Context, hs *http.Server, s *Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	s.BeginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("serve: drain incomplete after %v: %w", drain, err)
+	}
+	return nil
+}
+
+// ListenAndServe is Serve with the listener taken from hs.Addr.
+func ListenAndServe(ctx context.Context, hs *http.Server, s *Server, drain time.Duration) error {
+	addr := hs.Addr
+	if addr == "" {
+		addr = ":http"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, hs, s, ln, drain)
+}

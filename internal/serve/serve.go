@@ -1,42 +1,200 @@
 // Package serve exposes the texture annotator over HTTP — the shape a
 // recipe-sharing site would deploy: POST a recipe, get its texture
 // card; browse the fitted topics.
+//
+// The serving runtime is built for degradation, not just the happy
+// path: a pool of independent fold-in annotators bounds concurrency,
+// an admission gate sheds overload with 429 + Retry-After instead of
+// queueing it, every request carries a deadline that propagates down
+// into the Gibbs sweeps, panics become 500s without killing the
+// process, and liveness (/healthz) is split from readiness (/readyz)
+// so a load balancer can route around a server that is still fitting
+// its model or draining for shutdown.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/annotate"
+	"repro/internal/core"
 	"repro/internal/linkage"
 	"repro/internal/pipeline"
 	"repro/internal/recipe"
+	"repro/internal/resilience"
 )
+
+// Options tunes the serving runtime. The zero value is not useful;
+// start from DefaultOptions.
+type Options struct {
+	// Pool is the number of independent fold-in annotators — the hard
+	// bound on concurrent annotations.
+	Pool int
+	// AdmitWait is how long an /annotate request may wait for a pool
+	// slot before it is shed with 429 Too Many Requests.
+	AdmitWait time.Duration
+	// RequestTimeout bounds one request end to end; past it the
+	// fold-in chain is abandoned and the client gets 504.
+	// Zero disables the deadline.
+	RequestTimeout time.Duration
+	// MaxBody caps the /annotate request body; larger bodies get 413.
+	MaxBody int64
+	// FoldInIters overrides the Gibbs sweeps per annotation when
+	// positive (the annotator default otherwise).
+	FoldInIters int
+	// Seed drives the pool's fold-in chains; pool member i uses
+	// Seed+i so concurrent chains are decorrelated but reproducible.
+	Seed uint64
+	// Injector, when non-nil, injects deterministic faults into the
+	// annotate path (op "annotate") — the test hook that makes the
+	// degraded paths exercisable without real overload.
+	Injector resilience.Injector
+	// Logf sinks one-line diagnostics; log.Printf when nil.
+	Logf func(format string, args ...any)
+}
+
+// DefaultOptions is the production-shaped configuration.
+func DefaultOptions() Options {
+	return Options{
+		Pool:           runtime.GOMAXPROCS(0),
+		AdmitWait:      250 * time.Millisecond,
+		RequestTimeout: 5 * time.Second,
+		MaxBody:        1 << 20,
+		Seed:           1,
+	}
+}
 
 // Server handles texture annotation requests on a fitted model.
 type Server struct {
-	out *pipeline.Output
-	ann *annotate.Annotator
+	opts Options
+	logf func(format string, args ...any)
+	gate *resilience.Gate
 
-	mu sync.Mutex // the fold-in sampler mutates per-call state; serialize annotations
+	mu   sync.RWMutex // guards out and pool installation
+	out  *pipeline.Output
+	pool chan *annotate.Annotator
+
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	served atomic.Int64
+	panics atomic.Int64
 }
 
-// New builds a server from a fitted pipeline output.
+// NewPending builds a server with no model yet: /healthz answers,
+// everything model-backed answers 503 until SetOutput installs a
+// fitted pipeline. This is what lets the process bind its port
+// immediately and fit in the background.
+func NewPending(opts Options) *Server {
+	if opts.Pool < 1 {
+		opts.Pool = 1
+	}
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = 1 << 20
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Server{
+		opts: opts,
+		logf: logf,
+		gate: resilience.NewGate(opts.Pool, opts.AdmitWait),
+	}
+}
+
+// SetOutput installs the fitted model, builds the annotator pool, and
+// flips the server ready. It may be called once.
+func (s *Server) SetOutput(out *pipeline.Output) error {
+	pool := make(chan *annotate.Annotator, s.opts.Pool)
+	for i := 0; i < s.opts.Pool; i++ {
+		ann, err := annotate.New(out)
+		if err != nil {
+			return err
+		}
+		ann.Seed = s.opts.Seed + uint64(i)
+		if s.opts.FoldInIters > 0 {
+			ann.FoldInIters = s.opts.FoldInIters
+		}
+		pool <- ann
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.out != nil {
+		return fmt.Errorf("serve: model already installed")
+	}
+	s.out = out
+	s.pool = pool
+	s.ready.Store(true)
+	return nil
+}
+
+// New builds a ready server from a fitted pipeline output with
+// default options.
 func New(out *pipeline.Output) (*Server, error) {
-	ann, err := annotate.New(out)
-	if err != nil {
+	return NewWithOptions(out, DefaultOptions())
+}
+
+// NewWithOptions builds a ready server from a fitted pipeline output.
+func NewWithOptions(out *pipeline.Output, opts Options) (*Server, error) {
+	s := NewPending(opts)
+	if err := s.SetOutput(out); err != nil {
 		return nil, err
 	}
-	return &Server{out: out, ann: ann}, nil
+	return s, nil
 }
 
-// Handler returns the HTTP routes:
+// BeginDrain flips readiness off ahead of shutdown: /readyz answers
+// 503 so load balancers stop routing here, while in-flight and
+// already-routed requests still complete.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Ready reports whether the model is installed and the server is not
+// draining.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// Stats is a point-in-time snapshot of the serving runtime, served on
+// /statusz.
+type Stats struct {
+	Ready    bool  `json:"ready"`
+	Draining bool  `json:"draining"`
+	Pool     int   `json:"pool"`
+	InFlight int   `json:"in_flight"`
+	Served   int64 `json:"served"`
+	Shed     int64 `json:"shed"`
+	Panics   int64 `json:"panics"`
+}
+
+// Stats snapshots the runtime counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Ready:    s.ready.Load(),
+		Draining: s.draining.Load(),
+		Pool:     s.opts.Pool,
+		InFlight: s.gate.InUse(),
+		Served:   s.served.Load(),
+		Shed:     s.gate.Shed(),
+		Panics:   s.panics.Load(),
+	}
+}
+
+// Handler returns the HTTP routes wrapped in the resilience
+// middleware stack:
 //
 //	POST /annotate   body: one recipe JSON object → texture card JSON
 //	GET  /topics     the fitted topics with gel doses and top terms
-//	GET  /healthz    liveness
+//	GET  /healthz    liveness: the process is up
+//	GET  /readyz     readiness: the model is fitted and not draining
+//	GET  /statusz    runtime counters (pool, shed, panics, …)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /annotate", s.handleAnnotate)
@@ -45,25 +203,104 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, "/statusz", s.Stats())
+	})
+	h := resilience.Timeout(s.opts.RequestTimeout, mux)
+	return resilience.Recover(h, func(format string, args ...any) {
+		s.panics.Add(1)
+		s.logf(format, args...)
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case !s.ready.Load():
+		http.Error(w, "model not fitted yet", http.StatusServiceUnavailable)
+	default:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	}
 }
 
 func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "model not ready", http.StatusServiceUnavailable)
+		return
+	}
+	ctx := r.Context()
+
 	var rec recipe.Recipe
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&rec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("recipe JSON over %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "bad recipe JSON: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	card, err := s.ann.Annotate(&rec)
-	s.mu.Unlock()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+
+	// Admission: bounded concurrency with a bounded queue-wait. Past
+	// the wait budget the request is shed — an overloaded annotator
+	// answers "try later" fast instead of queueing into timeout.
+	if err := s.gate.Acquire(ctx); err != nil {
+		switch {
+		case errors.Is(err, resilience.ErrSaturated):
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.gate.RetryAfter().Seconds())))
+			http.Error(w, "annotator pool saturated; retry shortly", http.StatusTooManyRequests)
+		case errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, "timed out waiting for an annotator", http.StatusGatewayTimeout)
+		}
+		// context.Canceled: the client is gone; nothing to write.
 		return
 	}
-	writeJSON(w, card.Wire())
+	defer s.gate.Release()
+
+	// The gate capacity equals the pool size, so a checkout never
+	// blocks once admitted.
+	s.mu.RLock()
+	pool := s.pool
+	s.mu.RUnlock()
+	ann := <-pool
+	defer func() { pool <- ann }()
+
+	if err := resilience.Inject(ctx, s.opts.Injector, "annotate"); err != nil {
+		s.failAnnotate(w, r, err)
+		return
+	}
+	card, err := ann.Annotate(ctx, &rec)
+	if err != nil {
+		s.failAnnotate(w, r, err)
+		return
+	}
+	s.served.Add(1)
+	s.writeJSON(w, "/annotate", card.Wire())
+}
+
+// failAnnotate maps an annotation failure to its status: recipe
+// faults are the client's (422), expired deadlines are 504, a
+// vanished client gets nothing, and everything else is a 500 —
+// logged, because a 5xx the operator cannot see is a 5xx that never
+// gets fixed.
+func (s *Server) failAnnotate(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, annotate.ErrRecipe):
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "annotation timed out", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled), errors.Is(err, core.ErrCanceled):
+		s.logf("serve: %s %s: abandoned: %v", r.Method, r.URL.Path, err)
+	default:
+		s.logf("serve: %s %s: internal: %v", r.Method, r.URL.Path, err)
+		http.Error(w, "internal annotation failure", http.StatusInternalServerError)
+	}
 }
 
 // topicInfo is the wire form of one fitted topic.
@@ -75,34 +312,42 @@ type topicInfo struct {
 }
 
 func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
-	counts := s.out.Model.DocsPerTopic()
-	var topics []topicInfo
-	for k := 0; k < s.out.Model.K; k++ {
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "model not ready", http.StatusServiceUnavailable)
+		return
+	}
+	s.mu.RLock()
+	out := s.out
+	s.mu.RUnlock()
+	counts := out.Model.DocsPerTopic()
+	topics := make([]topicInfo, 0, out.Model.K)
+	for k := 0; k < out.Model.K; k++ {
 		info := topicInfo{Topic: k, Recipes: counts[k], Gels: map[string]float64{}}
-		for axis, conc := range linkage.TopicMeanConcentrations(s.out.Model, k, 0.0005) {
+		for axis, conc := range linkage.TopicMeanConcentrations(out.Model, k, 0.0005) {
 			info.Gels[recipe.Gel(axis).String()] = conc
 		}
-		for _, tp := range s.out.Model.TopTerms(k, 5) {
+		for _, tp := range out.Model.TopTerms(k, 5) {
 			if tp.Prob < 0.01 {
 				break
 			}
-			term := s.out.Dict.Term(tp.ID)
+			term := out.Dict.Term(tp.ID)
 			info.Terms = append(info.Terms, annotate.WireTerm{
 				Romaji: term.Romaji, Kana: term.Kana, Gloss: term.Gloss, Prob: tp.Prob,
 			})
 		}
 		topics = append(topics, info)
 	}
-	writeJSON(w, topics)
+	s.writeJSON(w, "/topics", topics)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, route string, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	if err := enc.Encode(v); err != nil {
-		// Headers are already out; nothing more to do than log-worthy
-		// territory, which the caller owns.
-		return
+		// Headers are already out; all that is left is making the
+		// truncated response diagnosable.
+		s.logf("serve: %s: response encode: %v", route, err)
 	}
 }
