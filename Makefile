@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench-serve bench
+.PHONY: build test verify bench-serve bench bench-all
 
 build:
 	$(GO) build ./...
@@ -20,5 +20,12 @@ verify:
 bench-serve:
 	$(GO) test -run '^$$' -bench BenchmarkServeAnnotate -benchtime 2x .
 
+# The serving-stack baseline: runs the serve-path and fold-in
+# benchmarks and writes the parsed results to BENCH_serve.json so a PR
+# can diff numbers against the committed baseline.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeAnnotate|BenchmarkFoldInPlacement|BenchmarkGibbsSweep' -benchtime 2x . \
+		| $(GO) run ./cmd/benchjson -o BENCH_serve.json
+
+bench-all:
 	$(GO) test -run '^$$' -bench . .

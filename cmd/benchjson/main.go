@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON baseline, so benchmark results can be diffed
+// across PRs instead of eyeballed:
+//
+//	go test -run '^$' -bench BenchmarkServeAnnotate -benchtime 2x . \
+//	    | benchjson -o BENCH_serve.json
+//
+// Each benchmark line becomes one record with its iteration count and
+// every reported metric (ns/op, B/op, plus custom b.ReportMetric
+// units like served or shed). Non-benchmark lines pass through to
+// stderr so the usual PASS/ok trailer stays visible.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// record is one parsed benchmark result.
+type record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here (stdout when empty)")
+	flag.Parse()
+
+	var records []record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		rec, ok := parseBenchLine(line)
+		if !ok {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(records) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks → %s\n", len(records), *out)
+	}
+}
+
+// parseBenchLine reads one `Benchmark<Name>-P  N  <value> <unit> ...`
+// line. The -P GOMAXPROCS suffix is kept in the name: it is part of
+// what the number means.
+func parseBenchLine(line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	rec := record{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder alternates value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	return rec, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -8,12 +8,13 @@
 //	GET  /healthz                   → liveness (process is up)
 //	GET  /readyz                    → readiness (model fitted, not draining)
 //	GET  /statusz                   → runtime counters
+//	GET  /metrics                   → Prometheus text exposition
 //
 // Usage:
 //
 //	textureserver [-addr :8080] [-scale 1.0] [-iters 300]
 //	              [-pool N] [-request-timeout 5s] [-drain-timeout 10s]
-//	              [-admit-wait 250ms]
+//	              [-admit-wait 250ms] [-log-format text|json] [-pprof]
 //
 // Example:
 //
@@ -34,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/serve"
 )
@@ -47,24 +49,36 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", 5*time.Second, "per-request deadline (504 past it; 0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "shutdown budget for in-flight requests")
 		admitWait    = flag.Duration("admit-wait", 250*time.Millisecond, "max wait for an annotator before shedding with 429")
+		logFormat    = flag.String("log-format", "text", "access/progress log format: text or json")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logEvery     = flag.Int("log-every", 50, "log fitting progress every N sweeps (0 disables)")
 	)
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, *logFormat)
 
 	opts := serve.DefaultOptions()
 	opts.Pool = *pool
 	opts.RequestTimeout = *reqTimeout
 	opts.AdmitWait = *admitWait
+	opts.AccessLog = logger
+	opts.Pprof = *pprofOn
 	srv := serve.NewPending(opts)
 
 	// Bind first, fit later: /healthz and /readyz answer while the
 	// Gibbs fit runs, so orchestrators see a live-but-not-ready pod
 	// instead of a connection refused.
 	go func() {
-		log.Printf("fitting topic model (scale %.2f, %d sweeps)…", *scale, *iters)
+		logger.Info("fitting topic model", "scale", *scale, "sweeps", *iters)
 		start := time.Now()
 		popts := pipeline.DefaultOptions()
 		popts.Corpus.Scale = *scale
 		popts.Model.Iterations = *iters
+		// The fit records into the server's registry, so the sweep and
+		// stage series show up on the same /metrics page as the serving
+		// counters.
+		popts.Metrics = srv.Metrics()
+		popts.Model.Hooks = pipeline.SweepProgress(logger, *logEvery)
 		out, err := pipeline.Run(popts)
 		if err != nil {
 			log.Fatalf("model fit failed; the server can never become ready: %v", err)
@@ -72,8 +86,9 @@ func main() {
 		if err := srv.SetOutput(out); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("model ready in %v: %d recipes, %d topics",
-			time.Since(start).Round(time.Millisecond), len(out.Docs), out.Model.K)
+		logger.Info("model ready",
+			"elapsed", time.Since(start).Round(time.Millisecond).String(),
+			"recipes", len(out.Docs), "topics", out.Model.K)
 	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -83,10 +98,11 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("listening on %s (pool %d, request timeout %v, admit wait %v)",
-		*addr, *pool, *reqTimeout, *admitWait)
+	logger.Info("listening", "addr", *addr, "pool", *pool,
+		"request_timeout", reqTimeout.String(), "admit_wait", admitWait.String(),
+		"pprof", *pprofOn)
 	if err := serve.ListenAndServe(ctx, hs, srv, *drainTimeout); err != nil {
 		log.Fatal(err)
 	}
-	log.Println("drained cleanly")
+	logger.Info("drained cleanly")
 }

@@ -9,6 +9,7 @@
 //	texturetopics [-scale 1.0] [-k 10] [-iters 300] [-seed 1]
 //	              [-collapsed] [-no-filter] [-no-emulsion]
 //	              [-model-out model.json] [-v]
+//	              [-log-format text|json] [-log-every 50]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/lexicon"
 	"repro/internal/linkage"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/report"
 )
@@ -35,6 +37,8 @@ func main() {
 		noEmu     = flag.Bool("no-emulsion", false, "drop the emulsion likelihood (gel-only ablation)")
 		modelOut  = flag.String("model-out", "", "write the fitted model JSON to this file")
 		verbose   = flag.Bool("v", false, "print progress and the validation summary")
+		logFormat = flag.String("log-format", "text", "progress log format: text or json")
+		logEvery  = flag.Int("log-every", 50, "log sweep progress every N sweeps with -v (0 disables)")
 	)
 	flag.Parse()
 
@@ -48,6 +52,10 @@ func main() {
 	opts.Restarts = *restarts
 	opts.Model.UseEmulsion = !*noEmu
 	opts.UseW2VFilter = !*noFilter
+	if *verbose {
+		logger := obs.NewLogger(os.Stderr, *logFormat)
+		opts.Model.Hooks = pipeline.SweepProgress(logger, *logEvery)
+	}
 
 	out, err := pipeline.Run(opts)
 	if err != nil {

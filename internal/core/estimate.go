@@ -35,6 +35,13 @@ type Result struct {
 	EmulsionWeight float64
 
 	LogLik []float64 // per-sweep joint log-likelihood trace
+
+	// FoldInHook, when non-nil, receives one FoldInStats per FoldInCtx
+	// chain (completed or canceled). Install it before sharing the
+	// Result across goroutines; concurrent fold-ins invoke it
+	// concurrently, so the sink must be safe for concurrent use. It is
+	// telemetry only and is not serialized.
+	FoldInHook func(FoldInStats)
 }
 
 // Estimate computes the point estimates of equation (5) from the

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -93,12 +94,16 @@ func (r *Result) FoldInCtx(ctx context.Context, words []int, gel, emu []float64,
 	}
 	y := rng.CategoricalLog(conc)
 
+	start := time.Now()
 	thetaAcc := make([]float64, r.K)
 	kept := 0
 	weights := make([]float64, r.K)
 	logw := make([]float64, r.K)
 	for it := 0; it < iters; it++ {
 		if err := ctx.Err(); err != nil {
+			if hook := r.FoldInHook; hook != nil {
+				hook(FoldInStats{Sweeps: it, Words: len(words), Total: time.Since(start), Canceled: true})
+			}
 			return nil, &CanceledError{Sweeps: it, Cause: err}
 		}
 		for n, w := range words {
@@ -132,6 +137,9 @@ func (r *Result) FoldInCtx(ctx context.Context, words []int, gel, emu []float64,
 	}
 	for k := range thetaAcc {
 		thetaAcc[k] /= float64(kept)
+	}
+	if hook := r.FoldInHook; hook != nil {
+		hook(FoldInStats{Sweeps: iters, Words: len(words), Total: time.Since(start)})
 	}
 	return thetaAcc, nil
 }

@@ -123,6 +123,10 @@ type Config struct {
 	// equation (4) — the collapsed-sampler ablation.
 	Collapsed bool
 
+	// Hooks is the sampler's telemetry sink (per-sweep timings,
+	// log-likelihood, topic occupancy). The zero value disables it.
+	Hooks SweepHooks
+
 	Seed uint64
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -16,9 +17,20 @@ import (
 // is exactly parallel (its kernel reads only per-document counts and
 // the fixed components). Results are deterministic for a fixed worker
 // count; they differ from the sequential chain, like any AD-LDA run.
-func (s *Sampler) sweepParallel(sweep int) error {
+func (s *Sampler) sweepParallel(sweep int) (phaseTimes, error) {
+	var pt phaseTimes
 	w := s.cfg.Workers
 	shards := shardRanges(s.data.NumDocs(), w)
+	if len(shards) == 0 {
+		// No documents: the z and y phases are vacuous, but the
+		// components are still redrawn from their priors so the sweep
+		// count advances uniformly.
+		t := time.Now()
+		err := s.resampleComponents()
+		pt.components = time.Since(t)
+		return pt, err
+	}
+	zStart := time.Now()
 
 	type delta struct {
 		nkw [][]int
@@ -84,6 +96,8 @@ func (s *Sampler) sweepParallel(sweep int) error {
 			s.nk[k] += dl.nk[k]
 		}
 	}
+	pt.z = time.Since(zStart)
+	yStart := time.Now()
 
 	// y phase: exactly parallel (kernel reads ndk and the fixed
 	// components only).
@@ -113,11 +127,23 @@ func (s *Sampler) sweepParallel(sweep int) error {
 	for _, y := range s.Y {
 		s.mk[y]++
 	}
-	return s.resampleComponents()
+	pt.y = time.Since(yStart)
+	cStart := time.Now()
+	err := s.resampleComponents()
+	pt.components = time.Since(cStart)
+	return pt, err
 }
 
 // shardRanges splits n items into at most w contiguous [lo,hi) ranges.
+// Zero items yield no shards (rather than a division by zero from the
+// w = n clamp); a non-positive worker count is treated as one worker.
 func shardRanges(n, w int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if w < 1 {
+		w = 1
+	}
 	if w > n {
 		w = n
 	}

@@ -129,6 +129,93 @@ func TestShardRanges(t *testing.T) {
 	}
 }
 
+// TestShardRangesDegenerate is the regression test for the integer
+// division by zero: n == 0 used to clamp w to 0 and panic on n / w.
+func TestShardRangesDegenerate(t *testing.T) {
+	if got := shardRanges(0, 4); got != nil {
+		t.Errorf("shardRanges(0,4) = %v, want nil", got)
+	}
+	if got := shardRanges(0, 0); got != nil {
+		t.Errorf("shardRanges(0,0) = %v, want nil", got)
+	}
+	// Non-positive worker counts degrade to a single shard instead of
+	// dividing by zero.
+	for _, w := range []int{0, -3} {
+		got := shardRanges(5, w)
+		if len(got) != 1 || got[0] != [2]int{0, 5} {
+			t.Errorf("shardRanges(5,%d) = %v, want one full shard", w, got)
+		}
+	}
+}
+
+// TestParallelDeterministicState: same seed and worker count must give
+// byte-identical Z and Y chains, not merely matching final clusters.
+func TestParallelDeterministicState(t *testing.T) {
+	data, _ := synthData(101, 120)
+	run := func() *Sampler {
+		cfg := smallCfg()
+		cfg.Workers = 4
+		cfg.Iterations = 25
+		s, err := NewSampler(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1, s2 := run(), run()
+	for d := range s1.Z {
+		if s1.Y[d] != s2.Y[d] {
+			t.Fatalf("Y[%d] differs: %d vs %d", d, s1.Y[d], s2.Y[d])
+		}
+		for n := range s1.Z[d] {
+			if s1.Z[d][n] != s2.Z[d][n] {
+				t.Fatalf("Z[%d][%d] differs: %d vs %d", d, n, s1.Z[d][n], s2.Z[d][n])
+			}
+		}
+	}
+	if len(s1.LogLik) != len(s2.LogLik) {
+		t.Fatalf("trace lengths differ")
+	}
+	for i := range s1.LogLik {
+		if s1.LogLik[i] != s2.LogLik[i] {
+			t.Fatalf("loglik[%d] differs: %g vs %g", i, s1.LogLik[i], s2.LogLik[i])
+		}
+	}
+}
+
+// TestParallelLogLikAgreesWithSequential: the AD-LDA approximation
+// must converge to the same posterior mass as the exact sequential
+// chain — mean post-burn-in log-likelihoods within a small relative
+// tolerance on a synthetic corpus.
+func TestParallelLogLikAgreesWithSequential(t *testing.T) {
+	data, _ := synthData(102, 300)
+	tail := func(workers int) float64 {
+		cfg := smallCfg()
+		cfg.Workers = workers
+		cfg.Iterations = 200
+		res, err := Fit(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return meanTail(res.LogLik)
+	}
+	seq := tail(1)
+	for _, workers := range []int{2, 4} {
+		par := tail(workers)
+		rel := (par - seq) / seq
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.02 {
+			t.Errorf("workers=%d: mean tail loglik %.1f vs sequential %.1f (rel %.3f)",
+				workers, par, seq, rel)
+		}
+	}
+}
+
 func TestParallelMatchesSequentialQuality(t *testing.T) {
 	data, truth := synthData(99, 300)
 	seqCfg := smallCfg()

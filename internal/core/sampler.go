@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -170,14 +171,18 @@ func NewSampler(data *Data, cfg Config) (*Sampler, error) {
 }
 
 // Run performs cfg.Iterations Gibbs sweeps. The onSweep callback (may
-// be nil) receives the sweep index and running log-likelihood.
+// be nil) receives the sweep index and running log-likelihood; richer
+// telemetry (phase timings, occupancy) flows through cfg.Hooks.
 func (s *Sampler) Run(onSweep func(iter int, logLik float64)) error {
+	hook := s.cfg.Hooks.OnSweep
 	for it := 0; it < s.cfg.Iterations; it++ {
+		start := time.Now()
+		var pt phaseTimes
 		var err error
 		if s.cfg.Workers > 1 && !s.cfg.Collapsed {
-			err = s.sweepParallel(it)
+			pt, err = s.sweepParallel(it)
 		} else {
-			err = s.Sweep()
+			pt, err = s.sweepSequential()
 		}
 		if err != nil {
 			return fmt.Errorf("core: sweep %d: %w", it, err)
@@ -187,6 +192,19 @@ func (s *Sampler) Run(onSweep func(iter int, logLik float64)) error {
 		}
 		ll := s.logLikelihood()
 		s.LogLik = append(s.LogLik, ll)
+		if hook != nil {
+			occupied, maxShare := occupancy(s.mk, s.data.NumDocs())
+			hook(SweepStats{
+				Sweep:          it,
+				Total:          time.Since(start),
+				ZPhase:         pt.z,
+				YPhase:         pt.y,
+				Components:     pt.components,
+				LogLik:         ll,
+				OccupiedTopics: occupied,
+				MaxTopicShare:  maxShare,
+			})
+		}
 		if onSweep != nil {
 			onSweep(it, ll)
 		}
@@ -197,20 +215,32 @@ func (s *Sampler) Run(onSweep func(iter int, logLik float64)) error {
 // Sweep runs one full Gibbs pass: all z, all y, then the component
 // parameters.
 func (s *Sampler) Sweep() error {
+	_, err := s.sweepSequential()
+	return err
+}
+
+// sweepSequential is Sweep with per-phase wall-clock for telemetry.
+func (s *Sampler) sweepSequential() (phaseTimes, error) {
+	var pt phaseTimes
+	t := time.Now()
 	for d := range s.data.Words {
 		s.sampleZ(d)
 	}
+	pt.z = time.Since(t)
+	t = time.Now()
 	if s.cfg.Collapsed {
 		s.sampleYCollapsed()
-	} else {
-		for d := range s.data.Words {
-			s.sampleY(d)
-		}
-		if err := s.resampleComponents(); err != nil {
-			return err
-		}
+		pt.y = time.Since(t)
+		return pt, nil
 	}
-	return nil
+	for d := range s.data.Words {
+		s.sampleY(d)
+	}
+	pt.y = time.Since(t)
+	t = time.Now()
+	err := s.resampleComponents()
+	pt.components = time.Since(t)
+	return pt, err
 }
 
 // sampleZ resamples every token topic in document d with the kernel of
@@ -352,7 +382,6 @@ func (s *Sampler) logLikelihood() float64 {
 		for n, w := range words {
 			k := s.Z[d][n]
 			ll += math.Log((float64(s.nkw[k][w]) + s.cfg.Gamma) / (float64(s.nk[k]) + gv))
-			_ = n
 		}
 	}
 	if s.cfg.Collapsed {

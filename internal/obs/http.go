@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+)
+
+// NewLogger builds a slog logger writing to w in the given format:
+// "json" for machine-shippable lines, anything else (conventionally
+// "text") for logfmt-style lines. A nil writer defaults to stderr.
+func NewLogger(w io.Writer, format string) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, nil)
+	} else {
+		h = slog.NewTextHandler(w, nil)
+	}
+	return slog.New(h)
+}
+
+// StatusWriter wraps a ResponseWriter recording the status code and
+// body bytes written, for access logs and status-class metrics. An
+// unset status means the handler wrote a bare body; net/http then
+// sends 200.
+type StatusWriter struct {
+	http.ResponseWriter
+	Status int
+	Bytes  int64
+}
+
+func (s *StatusWriter) WriteHeader(code int) {
+	if s.Status == 0 {
+		s.Status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *StatusWriter) Write(p []byte) (int, error) {
+	if s.Status == 0 {
+		s.Status = http.StatusOK
+	}
+	n, err := s.ResponseWriter.Write(p)
+	s.Bytes += int64(n)
+	return n, err
+}
+
+// statusClass buckets a status code for the request counter: "2xx",
+// "4xx", … — per-code series would explode the label space for no
+// operational gain.
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code/100) + "xx"
+}
+
+// Instrument wraps next so every request records one latency
+// observation in http_request_duration_seconds{route=…} and one count
+// in http_requests_total{route=…,code=…}. The route label is the
+// caller's static pattern, never the raw URL path — raw paths are
+// unbounded and would blow up the series cardinality.
+func Instrument(reg *Registry, route string, next http.Handler) http.Handler {
+	hist := reg.Histogram("http_request_duration_seconds",
+		"HTTP request latency by route.", nil, Labels{"route": route})
+	// Pre-create the common classes so the exposition shows zeros
+	// instead of omitting series that have not fired yet.
+	counters := map[string]*Counter{}
+	for _, class := range []string{"2xx", "4xx", "5xx"} {
+		counters[class] = reg.Counter("http_requests_total",
+			"HTTP requests by route and status class.", Labels{"route": route, "code": class})
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &StatusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		class := statusClass(sw.Status)
+		c, ok := counters[class]
+		if !ok {
+			c = reg.Counter("http_requests_total",
+				"HTTP requests by route and status class.", Labels{"route": route, "code": class})
+		}
+		c.Inc()
+	})
+}
+
+// AccessLog wraps next so every completed request emits one structured
+// line on logger. A nil logger returns next unchanged, so callers can
+// wire the middleware unconditionally.
+func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &StatusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		status := sw.Status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "http request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Int64("bytes", sw.Bytes),
+			slog.Duration("duration", time.Since(start)),
+		)
+	})
+}

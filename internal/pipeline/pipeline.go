@@ -6,10 +6,12 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/lexicon"
+	"repro/internal/obs"
 	"repro/internal/recipe"
 	"repro/internal/textseg"
 	"repro/internal/word2vec"
@@ -35,6 +37,12 @@ type Options struct {
 	// with the best post-burn-in log-likelihood (core.FitBest) — the
 	// remedy for occasional split/merge local optima.
 	Restarts int
+
+	// Metrics, when non-nil, receives stage timings
+	// (pipeline_stage_seconds{stage=…}) and per-sweep sampler telemetry
+	// (see SamplerMetrics). Stage timings are also always available on
+	// Output.Timings.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions reproduces the paper's setup.
@@ -78,15 +86,30 @@ type Output struct {
 	// removed, with the offending ingredient words.
 	ExcludedTerms map[string][]string
 	W2V           *word2vec.Model
+	// Timings holds per-stage wall times in execution order.
+	Timings []StageTiming
 }
 
 // Run executes the full pipeline.
 func Run(opts Options) (*Output, error) {
+	start := time.Now()
 	recipes, err := corpus.Generate(opts.Corpus)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: corpus: %w", err)
 	}
-	return RunOnRecipes(recipes, opts)
+	corpusElapsed := time.Since(start)
+	out, err := RunOnRecipes(recipes, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Prepend so Timings reads in execution order.
+	out.Timings = append([]StageTiming{{Stage: "corpus", Elapsed: corpusElapsed}}, out.Timings...)
+	if opts.Metrics != nil {
+		opts.Metrics.Gauge("pipeline_stage_seconds",
+			"Wall time of each pipeline stage for the most recent run.",
+			obs.Labels{"stage": "corpus"}).Set(corpusElapsed.Seconds())
+	}
+	return out, nil
 }
 
 // RunOnRecipes executes the pipeline on an existing (resolved) corpus,
@@ -96,13 +119,16 @@ func RunOnRecipes(recipes []*recipe.Recipe, opts Options) (*Output, error) {
 
 	// Word2vec relatedness filter, trained on all descriptions.
 	if opts.UseW2VFilter {
+		start := time.Now()
 		if err := out.trainFilter(recipes, opts); err != nil {
 			return nil, err
 		}
+		out.recordStage(opts.Metrics, "word2vec_filter", start)
 	}
 
 	// Dataset filters: gel required, ≤ MaxUnrelated unrelated share,
 	// and at least one surviving texture term.
+	filterStart := time.Now()
 	cfg := recipe.FilterConfig{
 		MaxUnrelatedFraction: opts.MaxUnrelated,
 		RequireGel:           true,
@@ -131,15 +157,21 @@ func RunOnRecipes(recipes []*recipe.Recipe, opts Options) (*Output, error) {
 	if len(out.Docs) == 0 {
 		return nil, fmt.Errorf("pipeline: no recipes survived the filters")
 	}
+	out.recordStage(opts.Metrics, "dataset_filter", filterStart)
 
 	restarts := opts.Restarts
 	if restarts < 1 {
 		restarts = 1
 	}
+	if opts.Metrics != nil {
+		opts.Model.Hooks = opts.Model.Hooks.Then(SamplerMetrics(opts.Metrics))
+	}
+	modelStart := time.Now()
 	res, err := core.FitBest(data, opts.Model, restarts)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: model: %w", err)
 	}
+	out.recordStage(opts.Metrics, "model", modelStart)
 	out.Model = res
 	return out, nil
 }

@@ -1,0 +1,85 @@
+package pipeline
+
+import (
+	"log/slog"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// StageTiming is the wall time of one pipeline stage, in execution
+// order: corpus → word2vec_filter → dataset_filter → model.
+type StageTiming struct {
+	Stage   string        `json:"stage"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// recordStage appends the timing to the output and mirrors it into the
+// metrics registry (when one is configured) as
+// pipeline_stage_seconds{stage=…}.
+func (o *Output) recordStage(reg *obs.Registry, stage string, start time.Time) {
+	d := time.Since(start)
+	o.Timings = append(o.Timings, StageTiming{Stage: stage, Elapsed: d})
+	if reg != nil {
+		reg.Gauge("pipeline_stage_seconds",
+			"Wall time of each pipeline stage for the most recent run.",
+			obs.Labels{"stage": stage}).Set(d.Seconds())
+	}
+}
+
+// SamplerMetrics builds a core.SweepHooks sink that records per-sweep
+// telemetry into reg:
+//
+//	sampler_sweeps_total                      counter
+//	sampler_sweep_seconds                     histogram
+//	sampler_phase_seconds{phase=z|y|components} histogram
+//	sampler_log_likelihood                    gauge (last sweep)
+//	sampler_occupied_topics                   gauge (last sweep)
+//	sampler_max_topic_share                   gauge (last sweep)
+//
+// This is the adapter that keeps core free of any obs dependency: core
+// only knows its own hook types; the recording lives here, where both
+// packages already meet. Compose it onto existing hooks with Then.
+// SweepProgress builds a hook that logs one structured progress line
+// every `every` sweeps (and on sweep 0, so a long fit shows signs of
+// life immediately). every <= 0 disables it. Compose with other hooks
+// via Then.
+func SweepProgress(logger *slog.Logger, every int) core.SweepHooks {
+	if logger == nil || every <= 0 {
+		return core.SweepHooks{}
+	}
+	return core.SweepHooks{OnSweep: func(st core.SweepStats) {
+		if st.Sweep%every != 0 {
+			return
+		}
+		logger.Info("gibbs sweep",
+			"sweep", st.Sweep,
+			"loglik", st.LogLik,
+			"occupied_topics", st.OccupiedTopics,
+			"max_topic_share", st.MaxTopicShare,
+			"sweep_ms", st.Total.Milliseconds())
+	}}
+}
+
+func SamplerMetrics(reg *obs.Registry) core.SweepHooks {
+	const phaseHelp = "Wall time of one Gibbs sweep phase."
+	sweeps := reg.Counter("sampler_sweeps_total", "Gibbs sweeps completed.", nil)
+	sweepSec := reg.Histogram("sampler_sweep_seconds", "Wall time of one full Gibbs sweep.", nil, nil)
+	zSec := reg.Histogram("sampler_phase_seconds", phaseHelp, nil, obs.Labels{"phase": "z"})
+	ySec := reg.Histogram("sampler_phase_seconds", phaseHelp, nil, obs.Labels{"phase": "y"})
+	compSec := reg.Histogram("sampler_phase_seconds", phaseHelp, nil, obs.Labels{"phase": "components"})
+	logLik := reg.Gauge("sampler_log_likelihood", "Joint log-likelihood after the last sweep.", nil)
+	occupied := reg.Gauge("sampler_occupied_topics", "Topics with at least one document after the last sweep.", nil)
+	maxShare := reg.Gauge("sampler_max_topic_share", "Largest topic's document share after the last sweep.", nil)
+	return core.SweepHooks{OnSweep: func(st core.SweepStats) {
+		sweeps.Inc()
+		sweepSec.Observe(st.Total.Seconds())
+		zSec.Observe(st.ZPhase.Seconds())
+		ySec.Observe(st.YPhase.Seconds())
+		compSec.Observe(st.Components.Seconds())
+		logLik.Set(st.LogLik)
+		occupied.Set(float64(st.OccupiedTopics))
+		maxShare.Set(st.MaxTopicShare)
+	}}
+}

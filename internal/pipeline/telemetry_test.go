@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestRunRecordsStageTimings: a run with a registry produces the stage
+// timings in execution order on the Output and mirrors them (plus the
+// sampler sweep series) into the registry.
+func TestRunRecordsStageTimings(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := testOptions()
+	opts.Metrics = reg
+	out := runTestPipeline(t, opts)
+
+	want := []string{"corpus", "word2vec_filter", "dataset_filter", "model"}
+	if len(out.Timings) != len(want) {
+		t.Fatalf("timings = %+v, want stages %v", out.Timings, want)
+	}
+	for i, st := range out.Timings {
+		if st.Stage != want[i] {
+			t.Errorf("timings[%d].Stage = %q, want %q", i, st.Stage, want[i])
+		}
+		if st.Elapsed < 0 {
+			t.Errorf("stage %s: negative elapsed %v", st.Stage, st.Elapsed)
+		}
+	}
+	// The model fit dominates a pipeline run.
+	if out.Timings[3].Elapsed <= 0 {
+		t.Error("model stage recorded no time")
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, series := range []string{
+		`pipeline_stage_seconds{stage="corpus"}`,
+		`pipeline_stage_seconds{stage="model"}`,
+		"sampler_sweeps_total ",
+		"sampler_log_likelihood",
+		`sampler_phase_seconds_count{phase="z"}`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("exposition missing %q", series)
+		}
+	}
+}
+
+// TestRunWithoutMetricsStillTimes: Timings are populated even with no
+// registry configured.
+func TestRunWithoutMetricsStillTimes(t *testing.T) {
+	opts := testOptions()
+	opts.UseW2VFilter = false
+	out := runTestPipeline(t, opts)
+	stages := make([]string, len(out.Timings))
+	for i, st := range out.Timings {
+		stages[i] = st.Stage
+	}
+	if len(stages) != 3 || stages[0] != "corpus" || stages[2] != "model" {
+		t.Errorf("stages = %v", stages)
+	}
+}
+
+// TestSamplerMetricsComposes: the adapter composes with a caller hook
+// via Then and both fire per sweep.
+func TestSamplerMetricsComposes(t *testing.T) {
+	reg := obs.NewRegistry()
+	fired := 0
+	hooks := core.SweepHooks{OnSweep: func(core.SweepStats) { fired++ }}.Then(SamplerMetrics(reg))
+	hooks.OnSweep(core.SweepStats{Sweep: 0, Total: time.Millisecond, LogLik: -42, OccupiedTopics: 3, MaxTopicShare: 0.5})
+	hooks.OnSweep(core.SweepStats{Sweep: 1, Total: time.Millisecond, LogLik: -40, OccupiedTopics: 3, MaxTopicShare: 0.5})
+	if fired != 2 {
+		t.Errorf("caller hook fired %d times", fired)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "sampler_sweeps_total 2") {
+		t.Errorf("sweep counter missing:\n%s", text)
+	}
+	if !strings.Contains(text, "sampler_log_likelihood -40") {
+		t.Errorf("loglik gauge missing:\n%s", text)
+	}
+}

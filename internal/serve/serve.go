@@ -18,7 +18,9 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/annotate"
 	"repro/internal/core"
 	"repro/internal/linkage"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/recipe"
 	"repro/internal/resilience"
@@ -60,6 +63,17 @@ type Options struct {
 	Injector resilience.Injector
 	// Logf sinks one-line diagnostics; log.Printf when nil.
 	Logf func(format string, args ...any)
+
+	// Metrics is the registry the server records into and exposes on
+	// GET /metrics. A private registry is created when nil; pass one in
+	// to share it with the fitting pipeline and sampler telemetry.
+	Metrics *obs.Registry
+	// AccessLog, when non-nil, emits one structured line per request.
+	AccessLog *slog.Logger
+	// Pprof mounts net/http/pprof under GET /debug/pprof/ — off by
+	// default because profiling endpoints on a public port are a
+	// denial-of-service invitation.
+	Pprof bool
 }
 
 // DefaultOptions is the production-shaped configuration.
@@ -86,8 +100,13 @@ type Server struct {
 	ready    atomic.Bool
 	draining atomic.Bool
 
-	served atomic.Int64
-	panics atomic.Int64
+	reg             *obs.Registry
+	mServed         *obs.Counter
+	mPanics         *obs.Counter
+	mTimeouts       *obs.Counter
+	mFoldinSeconds  *obs.Histogram
+	mFoldinSweeps   *obs.Counter
+	mFoldinCanceled *obs.Counter
 }
 
 // NewPending builds a server with no model yet: /healthz answers,
@@ -105,16 +124,62 @@ func NewPending(opts Options) *Server {
 	if logf == nil {
 		logf = log.Printf
 	}
-	return &Server{
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
 		opts: opts,
 		logf: logf,
 		gate: resilience.NewGate(opts.Pool, opts.AdmitWait),
+		reg:  reg,
+
+		mServed: reg.Counter("serve_annotate_served_total", "Annotations served successfully.", nil),
+		mPanics: reg.Counter("serve_panics_total", "Handler panics recovered into 500s.", nil),
+		mTimeouts: reg.Counter("serve_timeouts_total",
+			"Requests that ran out of deadline (admission wait or fold-in).", nil),
+		mFoldinSeconds: reg.Histogram("annotate_foldin_seconds",
+			"Fold-in Gibbs chain wall time per annotation.", nil, nil),
+		mFoldinSweeps: reg.Counter("annotate_foldin_sweeps_total",
+			"Fold-in Gibbs sweeps run, including partial canceled chains.", nil),
+		mFoldinCanceled: reg.Counter("annotate_foldin_canceled_total",
+			"Fold-in chains abandoned by context cancellation.", nil),
 	}
+	reg.CounterFunc("serve_shed_total", "Requests shed by the admission gate.", nil, s.gate.Shed)
+	reg.GaugeFunc("serve_in_flight", "Requests currently holding a pool slot.", nil,
+		func() float64 { return float64(s.gate.InUse()) })
+	reg.GaugeFunc("serve_pool_size", "Configured annotator pool size.", nil,
+		func() float64 { return float64(s.opts.Pool) })
+	reg.GaugeFunc("serve_ready", "1 when the model is fitted and not draining.", nil,
+		func() float64 {
+			if s.Ready() {
+				return 1
+			}
+			return 0
+		})
+	return s
 }
+
+// Metrics returns the server's registry, so callers can record the
+// fitting pipeline and sampler telemetry into the same /metrics page.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // SetOutput installs the fitted model, builds the annotator pool, and
 // flips the server ready. It may be called once.
 func (s *Server) SetOutput(out *pipeline.Output) error {
+	// Install fold-in telemetry before the pool (and thus the model) is
+	// published to handlers, so every annotation is recorded. Concurrent
+	// fold-ins invoke this concurrently; the metrics are atomic. An
+	// unfitted output has no model; annotate.New rejects it below.
+	if out.Model != nil {
+		out.Model.FoldInHook = func(st core.FoldInStats) {
+			s.mFoldinSeconds.Observe(st.Total.Seconds())
+			s.mFoldinSweeps.Add(int64(st.Sweeps))
+			if st.Canceled {
+				s.mFoldinCanceled.Inc()
+			}
+		}
+	}
 	pool := make(chan *annotate.Annotator, s.opts.Pool)
 	for i := 0; i < s.opts.Pool; i++ {
 		ann, err := annotate.New(out)
@@ -172,6 +237,7 @@ type Stats struct {
 	Served   int64 `json:"served"`
 	Shed     int64 `json:"shed"`
 	Panics   int64 `json:"panics"`
+	Timeouts int64 `json:"timeouts"`
 }
 
 // Stats snapshots the runtime counters.
@@ -181,9 +247,10 @@ func (s *Server) Stats() Stats {
 		Draining: s.draining.Load(),
 		Pool:     s.opts.Pool,
 		InFlight: s.gate.InUse(),
-		Served:   s.served.Load(),
+		Served:   s.mServed.Value(),
 		Shed:     s.gate.Shed(),
-		Panics:   s.panics.Load(),
+		Panics:   s.mPanics.Value(),
+		Timeouts: s.mTimeouts.Value(),
 	}
 }
 
@@ -195,10 +262,20 @@ func (s *Server) Stats() Stats {
 //	GET  /healthz    liveness: the process is up
 //	GET  /readyz     readiness: the model is fitted and not draining
 //	GET  /statusz    runtime counters (pool, shed, panics, …)
+//	GET  /metrics    Prometheus text exposition of the registry
+//
+// When Options.Pprof is set, net/http/pprof is mounted under
+// GET /debug/pprof/. Every model-facing route is instrumented with a
+// per-route latency histogram and status-class counters; the route
+// label is the static pattern, never the raw URL, so cardinality
+// stays bounded.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /annotate", s.handleAnnotate)
-	mux.HandleFunc("GET /topics", s.handleTopics)
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.Handle(pattern, obs.Instrument(s.reg, label, h))
+	}
+	route("POST /annotate", "/annotate", s.handleAnnotate)
+	route("GET /topics", "/topics", s.handleTopics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -207,11 +284,27 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, "/statusz", s.Stats())
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.reg.WritePrometheus(w); err != nil {
+			s.logf("serve: /metrics: %v", err)
+		}
+	})
+	if s.opts.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	h := resilience.Timeout(s.opts.RequestTimeout, mux)
-	return resilience.Recover(h, func(format string, args ...any) {
-		s.panics.Add(1)
+	h = resilience.Recover(h, func(format string, args ...any) {
+		s.mPanics.Inc()
 		s.logf(format, args...)
 	})
+	// Access log outermost so a panicking or timed-out request still
+	// produces one line with the status the client actually saw.
+	return obs.AccessLog(s.opts.AccessLog, h)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -256,6 +349,7 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", strconv.Itoa(int(s.gate.RetryAfter().Seconds())))
 			http.Error(w, "annotator pool saturated; retry shortly", http.StatusTooManyRequests)
 		case errors.Is(err, context.DeadlineExceeded):
+			s.mTimeouts.Inc()
 			http.Error(w, "timed out waiting for an annotator", http.StatusGatewayTimeout)
 		}
 		// context.Canceled: the client is gone; nothing to write.
@@ -280,7 +374,7 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		s.failAnnotate(w, r, err)
 		return
 	}
-	s.served.Add(1)
+	s.mServed.Inc()
 	s.writeJSON(w, "/annotate", card.Wire())
 }
 
@@ -294,6 +388,7 @@ func (s *Server) failAnnotate(w http.ResponseWriter, r *http.Request, err error)
 	case errors.Is(err, annotate.ErrRecipe):
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 	case errors.Is(err, context.DeadlineExceeded):
+		s.mTimeouts.Inc()
 		http.Error(w, "annotation timed out", http.StatusGatewayTimeout)
 	case errors.Is(err, context.Canceled), errors.Is(err, core.ErrCanceled):
 		s.logf("serve: %s %s: abandoned: %v", r.Method, r.URL.Path, err)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/annotate"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/resilience"
 )
@@ -457,5 +458,135 @@ func TestGracefulDrain(t *testing.T) {
 func TestNewValidation(t *testing.T) {
 	if _, err := New(&pipeline.Output{}); err == nil {
 		t.Error("unfitted output should fail")
+	}
+}
+
+// TestMetricsEndpoint drives one annotation through the server and
+// checks /metrics exposes the serving counters, the per-route latency
+// histogram, and the fold-in telemetry in Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, quietOptions())
+	h := s.Handler()
+	if rec := postAnnotate(h, jellyJSON); rec.Code != http.StatusOK {
+		t.Fatalf("annotate status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE serve_annotate_served_total counter",
+		"serve_annotate_served_total 1",
+		"serve_shed_total 0",
+		"serve_pool_size",
+		"serve_ready 1",
+		"# TYPE http_request_duration_seconds histogram",
+		`http_request_duration_seconds_bucket{le="+Inf",route="/annotate"} 1`,
+		`http_requests_total{code="2xx",route="/annotate"} 1`,
+		"annotate_foldin_seconds_count 1",
+		"annotate_foldin_sweeps_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsSharedRegistry: a caller-supplied registry is the one the
+// server records into, so pipeline and sampler series share the page.
+func TestMetricsSharedRegistry(t *testing.T) {
+	opts := quietOptions()
+	opts.Metrics = obs.NewRegistry()
+	opts.Metrics.Counter("pipeline_stage_seconds_total", "external series", nil).Inc()
+	s := newTestServer(t, opts)
+	if s.Metrics() != opts.Metrics {
+		t.Fatal("server did not adopt the supplied registry")
+	}
+	var buf bytes.Buffer
+	if err := s.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pipeline_stage_seconds_total") || !strings.Contains(out, "serve_ready") {
+		t.Errorf("shared registry exposition missing series:\n%s", out)
+	}
+}
+
+// TestPprofGating: the profiling endpoints exist only when opted in.
+func TestPprofGating(t *testing.T) {
+	get := func(h http.Handler, path string) int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code
+	}
+	off := newTestServer(t, quietOptions()).Handler()
+	if code := get(off, "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof off: /debug/pprof/ = %d, want 404", code)
+	}
+	opts := quietOptions()
+	opts.Pprof = true
+	on := newTestServer(t, opts).Handler()
+	if code := get(on, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof on: /debug/pprof/ = %d, want 200", code)
+	}
+	if code := get(on, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof on: cmdline = %d, want 200", code)
+	}
+}
+
+// TestAccessLogLines: with an AccessLog logger installed, each request
+// produces one structured line carrying method, path, and status —
+// including requests that fail.
+func TestAccessLogLines(t *testing.T) {
+	var buf bytes.Buffer
+	opts := quietOptions()
+	opts.AccessLog = obs.NewLogger(&buf, "json")
+	h := newTestServer(t, opts).Handler()
+
+	if rec := postAnnotate(h, jellyJSON); rec.Code != http.StatusOK {
+		t.Fatalf("annotate status %d", rec.Code)
+	}
+	if rec := postAnnotate(h, "{not json"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad body status %d", rec.Code)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d access-log lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for i, wantStatus := range []float64{200, 400} {
+		var entry map[string]any
+		if err := json.Unmarshal([]byte(lines[i]), &entry); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if entry["method"] != "POST" || entry["path"] != "/annotate" {
+			t.Errorf("line %d = %v", i, entry)
+		}
+		if entry["status"] != wantStatus {
+			t.Errorf("line %d status = %v, want %v", i, entry["status"], wantStatus)
+		}
+	}
+}
+
+// TestStatuszTimeouts: the timeout counter reaches /statusz.
+func TestStatuszTimeouts(t *testing.T) {
+	opts := quietOptions()
+	script := resilience.NewScript()
+	script.Queue("annotate", 1, resilience.Fault{Err: context.DeadlineExceeded})
+	opts.Injector = script
+	s := newTestServer(t, opts)
+	h := s.Handler()
+	if rec := postAnnotate(h, jellyJSON); rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", rec.Code)
+	}
+	if st := s.Stats(); st.Timeouts != 1 {
+		t.Errorf("Stats().Timeouts = %d, want 1", st.Timeouts)
 	}
 }

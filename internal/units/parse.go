@@ -12,10 +12,10 @@ import (
 // ingredient line. Accepted shapes, after normalization:
 //
 //	"100g" "0.5kg" "200cc" "200ml" "1l"
-//	"大さじ2" "小さじ1/2" "大さじ1と1/2"
+//	"大さじ2" "小さじ1/2" "大さじ1と1/2" "大さじ1杯"
 //	"2カップ" "カップ2" "1/2カップ"
 //	"3個" "2枚" "1本" "1袋" "1玉" "1パック"
-//	"少々" "ひとつまみ" "適量" (the last parses as a pinch)
+//	"少々" "ひとつまみ" "適量" "適宜" "少量" "お好みで" (all parse as a pinch)
 //
 // Numbers may be integers, decimals, fractions (1/2) or mixed numbers
 // with と ("1と1/2"). Full-width digits are folded by normalization.
@@ -28,22 +28,31 @@ func Parse(s string) (Quantity, error) {
 
 	// Whole-string word quantities.
 	switch s {
-	case "少々", "ひとつまみ", "てきりょう", "適量":
+	case "少々", "ひとつまみ", "てきりょう", "適量", "適宜", "てきぎ", "少量", "お好みで", "おこのみで":
 		return Quantity{Value: 1, Unit: UnitPinch}, nil
 	}
 
-	// Leading-unit form: カップ2, おおさじ1 …
+	// Leading-unit form: カップ2, おおさじ1, 大さじ1杯 … A remainder
+	// that fails to parse falls through to the later candidates and the
+	// suffix/bare paths instead of aborting: a lexical prefix match is
+	// not proof this was the right reading.
 	for _, pu := range prefixUnits {
 		if rest, ok := strings.CutPrefix(s, pu.name); ok {
-			v, err := parseNumber(strings.TrimSpace(rest))
+			// 大さじ1杯: the counter word after the number is redundant
+			// with the leading unit.
+			rest = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest), "杯"))
+			v, err := parseNumber(rest)
 			if err != nil {
-				return Quantity{}, fmt.Errorf("units: %q: %w", orig, err)
+				continue
 			}
 			return Quantity{Value: v, Unit: pu.unit}, nil
 		}
 	}
 
-	// Trailing-unit form: 100g, 2カップ, 3個 …
+	// Trailing-unit form: 100g, 2カップ, 3個 … As above, a suffix that
+	// matches lexically but leaves an unparseable remainder ("100mg"
+	// matches "g" and leaves "100m") is skipped, not fatal — later
+	// candidates and the bare-number path still get their turn.
 	for _, su := range suffixUnits {
 		if rest, ok := strings.CutSuffix(s, su.name); ok {
 			rest = strings.TrimSpace(rest)
@@ -52,7 +61,7 @@ func Parse(s string) (Quantity, error) {
 			}
 			v, err := parseNumber(rest)
 			if err != nil {
-				return Quantity{}, fmt.Errorf("units: %q: %w", orig, err)
+				continue
 			}
 			return Quantity{Value: v, Unit: su.unit}, nil
 		}

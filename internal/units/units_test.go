@@ -2,6 +2,7 @@ package units
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -58,6 +59,62 @@ func TestParseErrors(t *testing.T) {
 	for _, s := range []string{"", "abc", "大さじx", "1/0カップ", "//g"} {
 		if _, err := Parse(s); err == nil {
 			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+// TestParseSuffixFallThrough is the regression test for the early
+// abort in the suffix-unit loop: "100mg" lexically matches the suffix
+// "g", and the parser used to give up when "100m" failed to parse
+// instead of trying the remaining candidates and the bare-number path.
+// The fixed parser must reject it with the generic cannot-parse error
+// (milligrams are not a recipe unit), not mis-parse it or abort early.
+func TestParseSuffixFallThrough(t *testing.T) {
+	for _, s := range []string{"100mg", "2xml", "1.2.3g"} {
+		_, err := Parse(s)
+		if err == nil {
+			t.Fatalf("Parse(%q) should fail", s)
+		}
+		if !strings.Contains(err.Error(), "cannot parse quantity") {
+			t.Errorf("Parse(%q) aborted early: %v", s, err)
+		}
+	}
+	// A matching suffix whose remainder does parse still wins.
+	q := mustParse(t, "100kg")
+	if q.Value != 100 || q.Unit != UnitKilogram {
+		t.Errorf("100kg = %+v", q)
+	}
+}
+
+// TestParseWordQuantities covers the word amounts recipe sites use
+// interchangeably with 少々/適量.
+func TestParseWordQuantities(t *testing.T) {
+	for _, s := range []string{"適宜", "少量", "お好みで", "少々", "適量", "ひとつまみ"} {
+		q := mustParse(t, s)
+		if q.Unit != UnitPinch || q.Value != 1 {
+			t.Errorf("Parse(%q) = %+v, want one pinch", s, q)
+		}
+	}
+}
+
+// TestParsePrefixWithCounterWord: 大さじ1杯 is the everyday way to
+// write one tablespoon; the counter word after the number used to make
+// the prefix path abort the whole parse.
+func TestParsePrefixWithCounterWord(t *testing.T) {
+	cases := []struct {
+		in   string
+		val  float64
+		unit Unit
+	}{
+		{"大さじ1杯", 1, UnitTablespoon},
+		{"大さじ1と1/2杯", 1.5, UnitTablespoon},
+		{"小さじ2杯", 2, UnitTeaspoon},
+		{"カップ2杯", 2, UnitCup},
+	}
+	for _, c := range cases {
+		q := mustParse(t, c.in)
+		if math.Abs(q.Value-c.val) > 1e-12 || q.Unit != c.unit {
+			t.Errorf("Parse(%q) = %+v, want {%g %v}", c.in, q, c.val, c.unit)
 		}
 	}
 }
