@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench-serve bench bench-all
+.PHONY: build test verify bench-serve bench bench-all fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,12 +20,22 @@ verify:
 bench-serve:
 	$(GO) test -run '^$$' -bench BenchmarkServeAnnotate -benchtime 2x .
 
-# The serving-stack baseline: runs the serve-path and fold-in
-# benchmarks and writes the parsed results to BENCH_serve.json so a PR
-# can diff numbers against the committed baseline.
+# The serving-stack baseline: runs the serve-path, fold-in, and
+# bundle save/load benchmarks and writes the parsed results to
+# BENCH_serve.json so a PR can diff numbers against the committed
+# baseline.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkServeAnnotate|BenchmarkFoldInPlacement|BenchmarkGibbsSweep' -benchtime 2x . \
+	$(GO) test -run '^$$' -bench 'BenchmarkServeAnnotate|BenchmarkFoldInPlacement|BenchmarkGibbsSweep|BenchmarkBundleSave|BenchmarkBundleLoad' -benchtime 2x . \
 		| $(GO) run ./cmd/benchjson -o BENCH_serve.json
 
 bench-all:
 	$(GO) test -run '^$$' -bench . .
+
+# Each fuzz corpus for ~10s: cheap continuous assurance that no input
+# can panic the durable-format loaders, the tokenizer, or the unit
+# parser. Run before cutting a release; CI-friendly wall time.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzLoadBundle -fuzztime 10s ./internal/pipeline
+	$(GO) test -run '^$$' -fuzz FuzzReadCheckpoint -fuzztime 10s ./internal/pipeline
+	$(GO) test -run '^$$' -fuzz FuzzTokenize -fuzztime 10s ./internal/textseg
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/units

@@ -897,3 +897,40 @@ func BenchmarkPipelineScale(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkBundleSave measures durable-bundle serialization of the
+// full-scale fitted pipeline — the cost of producing every deploy
+// artifact and the steady-state price of persistence. bundle_bytes is
+// the on-disk envelope size (container header + gzip payload).
+func BenchmarkBundleSave(b *testing.B) {
+	out := fixture(b)
+	var size int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := out.SaveBundle(&buf); err != nil {
+			b.Fatal(err)
+		}
+		size = buf.Len()
+	}
+	b.ReportMetric(float64(size), "bundle_bytes")
+}
+
+// BenchmarkBundleLoad measures bundle deserialization with full
+// integrity verification (SHA-256 + gzip CRC + schema checks) — the
+// startup cost of a -bundle boot and of every live reload.
+func BenchmarkBundleLoad(b *testing.B) {
+	out := fixture(b)
+	var buf bytes.Buffer
+	if err := out.SaveBundle(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.LoadBundle(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(data)), "bundle_bytes")
+}

@@ -1,18 +1,28 @@
 // Command textureserver serves texture cards over HTTP. It binds its
-// port immediately, fits the topic model in the background (answering
+// port immediately, acquires its model in the background (answering
 // 503 on model-backed routes until ready), and drains gracefully on
 // SIGINT/SIGTERM:
 //
-//	POST /annotate   {recipe JSON}  → texture card
-//	GET  /topics                    → the fitted topics
-//	GET  /healthz                   → liveness (process is up)
-//	GET  /readyz                    → readiness (model fitted, not draining)
-//	GET  /statusz                   → runtime counters
-//	GET  /metrics                   → Prometheus text exposition
+//	POST /annotate      {recipe JSON}  → texture card
+//	GET  /topics                       → the fitted topics
+//	GET  /healthz                      → liveness (process is up)
+//	GET  /readyz                       → readiness (model fitted, not draining)
+//	GET  /statusz                      → runtime counters
+//	GET  /metrics                      → Prometheus text exposition
+//	POST /admin/reload                 → swap in the bundle file again (with -bundle)
+//
+// The model comes from one of two places: a -bundle file saved by
+// texturetopics (instant startup, reloadable at runtime via SIGHUP or
+// POST /admin/reload), or a startup fit (-scale/-iters). A startup fit
+// with -checkpoint-dir writes crash-safe checkpoints; with -resume it
+// continues a half-finished fit instead of starting over.
 //
 // Usage:
 //
-//	textureserver [-addr :8080] [-scale 1.0] [-iters 300]
+//	textureserver [-addr :8080] [-bundle model.bundle]
+//	              [-scale 1.0] [-iters 300]
+//	              [-checkpoint-dir dir] [-checkpoint-every 25] [-resume]
+//	              [-admin-token secret]
 //	              [-pool N] [-request-timeout 5s] [-drain-timeout 10s]
 //	              [-admit-wait 250ms] [-log-format text|json] [-pprof]
 //
@@ -43,8 +53,13 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
+		bundlePath   = flag.String("bundle", "", "serve this bundle file instead of fitting at startup")
 		scale        = flag.Float64("scale", 1.0, "training corpus scale")
 		iters        = flag.Int("iters", 300, "Gibbs sweeps for the startup fit")
+		ckDir        = flag.String("checkpoint-dir", "", "write startup-fit checkpoints into this directory")
+		ckEvery      = flag.Int("checkpoint-every", 25, "sweeps between checkpoints (with -checkpoint-dir)")
+		resume       = flag.Bool("resume", false, "resume the startup fit from -checkpoint-dir if a checkpoint exists")
+		adminToken   = flag.String("admin-token", "", "X-Admin-Token required by POST /admin/reload (empty: no token check)")
 		pool         = flag.Int("pool", runtime.GOMAXPROCS(0), "concurrent fold-in annotators")
 		reqTimeout   = flag.Duration("request-timeout", 5*time.Second, "per-request deadline (504 past it; 0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "shutdown budget for in-flight requests")
@@ -63,25 +78,43 @@ func main() {
 	opts.AdmitWait = *admitWait
 	opts.AccessLog = logger
 	opts.Pprof = *pprofOn
+	opts.AdminToken = *adminToken
+	if *bundlePath != "" {
+		// A file-backed model can be replaced at runtime: SIGHUP and
+		// POST /admin/reload both re-read the bundle and swap it in
+		// without dropping traffic.
+		opts.Reload = func(context.Context) (*pipeline.Output, error) {
+			return pipeline.LoadBundleFile(*bundlePath)
+		}
+	}
 	srv := serve.NewPending(opts)
 
-	// Bind first, fit later: /healthz and /readyz answer while the
-	// Gibbs fit runs, so orchestrators see a live-but-not-ready pod
-	// instead of a connection refused.
+	// Bind first, load or fit later: /healthz and /readyz answer while
+	// the model is acquired, so orchestrators see a live-but-not-ready
+	// pod instead of a connection refused.
 	go func() {
-		logger.Info("fitting topic model", "scale", *scale, "sweeps", *iters)
 		start := time.Now()
-		popts := pipeline.DefaultOptions()
-		popts.Corpus.Scale = *scale
-		popts.Model.Iterations = *iters
-		// The fit records into the server's registry, so the sweep and
-		// stage series show up on the same /metrics page as the serving
-		// counters.
-		popts.Metrics = srv.Metrics()
-		popts.Model.Hooks = pipeline.SweepProgress(logger, *logEvery)
-		out, err := pipeline.Run(popts)
+		var out *pipeline.Output
+		var err error
+		if *bundlePath != "" {
+			logger.Info("loading bundle", "path", *bundlePath)
+			out, err = pipeline.LoadBundleFile(*bundlePath)
+		} else {
+			logger.Info("fitting topic model", "scale", *scale, "sweeps", *iters,
+				"checkpoint_dir", *ckDir, "resume", *resume)
+			popts := pipeline.DefaultOptions()
+			popts.Corpus.Scale = *scale
+			popts.Model.Iterations = *iters
+			popts.Checkpoint = pipeline.CheckpointOptions{Dir: *ckDir, Every: *ckEvery, Resume: *resume}
+			// The fit records into the server's registry, so the sweep and
+			// stage series show up on the same /metrics page as the serving
+			// counters.
+			popts.Metrics = srv.Metrics()
+			popts.Model.Hooks = pipeline.SweepProgress(logger, *logEvery)
+			out, err = pipeline.Run(popts)
+		}
 		if err != nil {
-			log.Fatalf("model fit failed; the server can never become ready: %v", err)
+			log.Fatalf("model acquisition failed; the server can never become ready: %v", err)
 		}
 		if err := srv.SetOutput(out); err != nil {
 			log.Fatal(err)
@@ -93,6 +126,25 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP = operator asking for a zero-downtime model reload.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if *bundlePath == "" {
+				logger.Warn("SIGHUP ignored: no -bundle to reload from")
+				continue
+			}
+			gen, err := srv.Reload(ctx)
+			if err != nil {
+				logger.Error("SIGHUP reload failed; still serving the previous model", "err", err.Error())
+				continue
+			}
+			logger.Info("SIGHUP reload complete", "generation", gen, "path", *bundlePath)
+		}
+	}()
+
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -8,8 +8,9 @@
 //
 //	texturetopics [-scale 1.0] [-k 10] [-iters 300] [-seed 1]
 //	              [-collapsed] [-no-filter] [-no-emulsion]
-//	              [-model-out model.json] [-v]
-//	              [-log-format text|json] [-log-every 50]
+//	              [-model-out model.json] [-bundle-out model.bundle]
+//	              [-checkpoint-dir dir] [-checkpoint-every 25] [-resume]
+//	              [-v] [-log-format text|json] [-log-every 50]
 package main
 
 import (
@@ -36,6 +37,10 @@ func main() {
 		restarts  = flag.Int("restarts", 1, "independent chains; the best by log-likelihood is kept")
 		noEmu     = flag.Bool("no-emulsion", false, "drop the emulsion likelihood (gel-only ablation)")
 		modelOut  = flag.String("model-out", "", "write the fitted model JSON to this file")
+		bundleOut = flag.String("bundle-out", "", "write the full serving bundle (model+docs+exclusions) to this file")
+		ckDir     = flag.String("checkpoint-dir", "", "write crash-safe fit checkpoints into this directory")
+		ckEvery   = flag.Int("checkpoint-every", 25, "sweeps between checkpoints (with -checkpoint-dir)")
+		resume    = flag.Bool("resume", false, "resume the fit from -checkpoint-dir if a checkpoint exists")
 		verbose   = flag.Bool("v", false, "print progress and the validation summary")
 		logFormat = flag.String("log-format", "text", "progress log format: text or json")
 		logEvery  = flag.Int("log-every", 50, "log sweep progress every N sweeps with -v (0 disables)")
@@ -52,6 +57,7 @@ func main() {
 	opts.Restarts = *restarts
 	opts.Model.UseEmulsion = !*noEmu
 	opts.UseW2VFilter = !*noFilter
+	opts.Checkpoint = pipeline.CheckpointOptions{Dir: *ckDir, Every: *ckEvery, Resume: *resume}
 	if *verbose {
 		logger := obs.NewLogger(os.Stderr, *logFormat)
 		opts.Model.Hooks = pipeline.SweepProgress(logger, *logEvery)
@@ -99,6 +105,16 @@ func main() {
 		}
 		if *verbose {
 			fmt.Println("model written to", *modelOut)
+		}
+	}
+
+	if *bundleOut != "" {
+		if err := out.SaveBundleFile(*bundleOut); err != nil {
+			fmt.Fprintln(os.Stderr, "texturetopics:", err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Println("bundle written to", *bundleOut)
 		}
 	}
 }

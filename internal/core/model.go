@@ -127,6 +127,15 @@ type Config struct {
 	// log-likelihood, topic occupancy). The zero value disables it.
 	Hooks SweepHooks
 
+	// CheckpointEvery, when positive together with a non-nil
+	// CheckpointFunc, emits a Snapshot of the full sampler state every
+	// that many completed sweeps. The snapshot is a deep copy taken
+	// between sweeps — the chain's state never escapes mid-mutation —
+	// so the func may hand it to a background writer and return
+	// immediately; only a returned error stops the chain.
+	CheckpointEvery int
+	CheckpointFunc  func(*Snapshot) error
+
 	Seed uint64
 }
 

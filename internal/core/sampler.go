@@ -55,41 +55,45 @@ type Sampler struct {
 
 	// LogLik records the joint data log-likelihood after each sweep.
 	LogLik []float64
+
+	// sweep is the number of completed Gibbs sweeps; Run continues from
+	// here, so a sampler restored from a Snapshot resumes mid-schedule.
+	sweep int
 }
 
-// NewSampler validates inputs, fills in empirical priors when the
-// config leaves them nil, and initializes assignments uniformly at
-// random.
-func NewSampler(data *Data, cfg Config) (*Sampler, error) {
+// prepareConfig validates cfg against data, fills in empirical priors
+// when the config leaves them nil, and returns the normalized config
+// with the feature dimensionalities.
+func prepareConfig(data *Data, cfg Config) (Config, int, int, error) {
 	gelDim, emuDim, err := data.Validate()
 	if err != nil {
-		return nil, err
+		return cfg, 0, 0, err
 	}
 	if cfg.K <= 1 {
-		return nil, fmt.Errorf("core: need K ≥ 2 topics, got %d", cfg.K)
+		return cfg, 0, 0, fmt.Errorf("core: need K ≥ 2 topics, got %d", cfg.K)
 	}
 	if cfg.Alpha <= 0 || cfg.Gamma <= 0 {
-		return nil, fmt.Errorf("core: need positive α and γ")
+		return cfg, 0, 0, fmt.Errorf("core: need positive α and γ")
 	}
 	if cfg.Iterations <= 0 {
-		return nil, fmt.Errorf("core: need positive iteration count")
+		return cfg, 0, 0, fmt.Errorf("core: need positive iteration count")
 	}
 	if cfg.EmulsionWeight == 0 {
 		cfg.EmulsionWeight = 1
 	}
 	if cfg.EmulsionWeight < 0 || cfg.EmulsionWeight > 1 {
-		return nil, fmt.Errorf("core: emulsion weight %g outside (0,1]", cfg.EmulsionWeight)
+		return cfg, 0, 0, fmt.Errorf("core: emulsion weight %g outside (0,1]", cfg.EmulsionWeight)
 	}
 	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("core: negative worker count %d", cfg.Workers)
+		return cfg, 0, 0, fmt.Errorf("core: negative worker count %d", cfg.Workers)
 	}
 	if cfg.Workers > 1 && cfg.Collapsed {
-		return nil, fmt.Errorf("core: the collapsed sampler is sequential; Workers > 1 is not supported with it")
+		return cfg, 0, 0, fmt.Errorf("core: the collapsed sampler is sequential; Workers > 1 is not supported with it")
 	}
 	if cfg.GelPrior == nil || cfg.EmuPrior == nil {
 		gp, ep, err := EmpiricalPriors(data)
 		if err != nil {
-			return nil, err
+			return cfg, 0, 0, err
 		}
 		if cfg.GelPrior == nil {
 			cfg.GelPrior = gp
@@ -99,10 +103,21 @@ func NewSampler(data *Data, cfg Config) (*Sampler, error) {
 		}
 	}
 	if cfg.GelPrior.Dim() != gelDim {
-		return nil, fmt.Errorf("core: gel prior dim %d, data dim %d", cfg.GelPrior.Dim(), gelDim)
+		return cfg, 0, 0, fmt.Errorf("core: gel prior dim %d, data dim %d", cfg.GelPrior.Dim(), gelDim)
 	}
 	if cfg.EmuPrior.Dim() != emuDim {
-		return nil, fmt.Errorf("core: emulsion prior dim %d, data dim %d", cfg.EmuPrior.Dim(), emuDim)
+		return cfg, 0, 0, fmt.Errorf("core: emulsion prior dim %d, data dim %d", cfg.EmuPrior.Dim(), emuDim)
+	}
+	return cfg, gelDim, emuDim, nil
+}
+
+// NewSampler validates inputs, fills in empirical priors when the
+// config leaves them nil, and initializes assignments uniformly at
+// random.
+func NewSampler(data *Data, cfg Config) (*Sampler, error) {
+	cfg, gelDim, emuDim, err := prepareConfig(data, cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	s := &Sampler{
@@ -170,12 +185,17 @@ func NewSampler(data *Data, cfg Config) (*Sampler, error) {
 	return s, nil
 }
 
-// Run performs cfg.Iterations Gibbs sweeps. The onSweep callback (may
-// be nil) receives the sweep index and running log-likelihood; richer
-// telemetry (phase timings, occupancy) flows through cfg.Hooks.
+// Run performs Gibbs sweeps until cfg.Iterations have completed,
+// starting from the sampler's current sweep index (0 for a fresh
+// sampler, the checkpointed index for one restored via ResumeSampler).
+// The onSweep callback (may be nil) receives the sweep index and
+// running log-likelihood; richer telemetry (phase timings, occupancy)
+// flows through cfg.Hooks. When cfg.CheckpointEvery and
+// cfg.CheckpointFunc are both set, a Snapshot is emitted after every
+// CheckpointEvery-th completed sweep.
 func (s *Sampler) Run(onSweep func(iter int, logLik float64)) error {
 	hook := s.cfg.Hooks.OnSweep
-	for it := 0; it < s.cfg.Iterations; it++ {
+	for it := s.sweep; it < s.cfg.Iterations; it++ {
 		start := time.Now()
 		var pt phaseTimes
 		var err error
@@ -192,6 +212,7 @@ func (s *Sampler) Run(onSweep func(iter int, logLik float64)) error {
 		}
 		ll := s.logLikelihood()
 		s.LogLik = append(s.LogLik, ll)
+		s.sweep = it + 1
 		if hook != nil {
 			occupied, maxShare := occupancy(s.mk, s.data.NumDocs())
 			hook(SweepStats{
@@ -208,9 +229,17 @@ func (s *Sampler) Run(onSweep func(iter int, logLik float64)) error {
 		if onSweep != nil {
 			onSweep(it, ll)
 		}
+		if s.cfg.CheckpointEvery > 0 && s.cfg.CheckpointFunc != nil && (it+1)%s.cfg.CheckpointEvery == 0 {
+			if err := s.cfg.CheckpointFunc(s.Snapshot()); err != nil {
+				return fmt.Errorf("core: checkpoint after sweep %d: %w", it, err)
+			}
+		}
 	}
 	return nil
 }
+
+// CompletedSweeps returns how many Gibbs sweeps the sampler has run.
+func (s *Sampler) CompletedSweeps() int { return s.sweep }
 
 // Sweep runs one full Gibbs pass: all z, all y, then the component
 // parameters.

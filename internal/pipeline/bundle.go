@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"bufio"
 	"bytes"
 	"compress/gzip"
 	"encoding/json"
@@ -22,59 +23,131 @@ type bundle struct {
 	Model         json.RawMessage     `json:"model"`
 }
 
-// bundleVersion guards against format drift.
-const bundleVersion = 1
+// bundleSchemaVersion guards the inner document layout. The container
+// format (see container.go) versions the envelope; this versions the
+// fields inside it.
+const bundleSchemaVersion = 1
 
-// SaveBundle writes the fitted state (model, docs, term exclusions) as
-// gzipped JSON.
+// SaveBundle writes the fitted state (model, docs, term exclusions) in
+// the format-2 durable container: gzipped JSON wrapped in a
+// length-prefixed, SHA-256-digested envelope. Use SaveBundleFile for
+// the crash-safe on-disk variant.
 func (o *Output) SaveBundle(w io.Writer) error {
 	if o.Model == nil {
 		return fmt.Errorf("pipeline: cannot save an unfitted output")
 	}
-	var modelBuf bytes.Buffer
-	if err := o.Model.WriteJSON(&modelBuf); err != nil {
+	payload, err := o.bundlePayload()
+	if err != nil {
 		return err
 	}
+	return writeContainer(w, kindBundle, bundleSchemaVersion, payload)
+}
+
+// bundlePayload renders the gzip-compressed JSON bundle body.
+func (o *Output) bundlePayload() ([]byte, error) {
+	var modelBuf bytes.Buffer
+	if err := o.Model.WriteJSON(&modelBuf); err != nil {
+		return nil, err
+	}
 	b := bundle{
-		Version:       bundleVersion,
+		Version:       bundleSchemaVersion,
 		Docs:          o.Docs,
 		ExcludedTerms: o.ExcludedTerms,
 		Model:         json.RawMessage(modelBuf.Bytes()),
 	}
-	gz := gzip.NewWriter(w)
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
 	enc := json.NewEncoder(gz)
 	enc.SetEscapeHTML(false)
 	if err := enc.Encode(b); err != nil {
-		return fmt.Errorf("pipeline: encoding bundle: %w", err)
+		return nil, fmt.Errorf("pipeline: encoding bundle: %w", err)
 	}
 	if err := gz.Close(); err != nil {
-		return fmt.Errorf("pipeline: closing bundle: %w", err)
+		return nil, fmt.Errorf("pipeline: closing bundle: %w", err)
 	}
-	return nil
+	return buf.Bytes(), nil
 }
 
-// LoadBundle reads a bundle written by SaveBundle. The returned Output
+// LoadBundle reads a bundle written by SaveBundle — the format-2
+// container — or by the pre-container releases (format 1: a naked
+// gzip+JSON stream, detected by its gzip magic). Truncated, bit-flipped
+// and trailing-garbage inputs are rejected with an error wrapping
+// ErrCorrupt; future container or schema versions with ErrVersion; a
+// checkpoint file passed by mistake with ErrKind. The returned Output
 // carries the model, docs, exclusions and dictionary; the raw recipe
 // corpus is not part of a bundle (AllRecipes and Kept are nil).
 func LoadBundle(r io.Reader) (*Output, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(containerMagic))
+	switch {
+	case err == nil && string(magic) == containerMagic:
+		if _, err := br.Discard(len(containerMagic)); err != nil {
+			return nil, fmt.Errorf("pipeline: reading bundle: %w", err)
+		}
+		payload, schema, err := readContainer(br, kindBundle)
+		if err != nil {
+			return nil, err
+		}
+		if schema > bundleSchemaVersion || schema < 1 {
+			return nil, fmt.Errorf("pipeline: bundle schema %d, this build reads ≤ %d: %w",
+				schema, bundleSchemaVersion, ErrVersion)
+		}
+		return decodeBundleBody(bytes.NewReader(payload))
+	case len(magic) >= 2 && magic[0] == 0x1f && magic[1] == 0x8b:
+		// Format 1: the legacy naked gzip stream.
+		return decodeBundleBody(br)
+	default:
+		return nil, fmt.Errorf("pipeline: not a bundle (no container or gzip magic): %w", ErrCorrupt)
+	}
+}
+
+// decodeBundleBody decompresses and decodes the bundle document,
+// mapping every failure mode — torn gzip stream, JSON syntax damage,
+// trailing garbage inside or after the document, bad model shape — to
+// a wrapped, inspectable error instead of leaking io.ErrUnexpectedEOF
+// raw.
+func decodeBundleBody(r io.Reader) (*Output, error) {
 	gz, err := gzip.NewReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: opening bundle: %w", err)
+		return nil, fmt.Errorf("pipeline: opening bundle: %w: %w", ErrCorrupt, err)
 	}
 	defer gz.Close()
+	gz.Multistream(false)
 	var b bundle
-	if err := json.NewDecoder(gz).Decode(&b); err != nil {
-		return nil, fmt.Errorf("pipeline: decoding bundle: %w", err)
+	dec := json.NewDecoder(gz)
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("pipeline: decoding bundle: %w: %w", ErrCorrupt, err)
 	}
-	if b.Version != bundleVersion {
-		return nil, fmt.Errorf("pipeline: bundle version %d, want %d", b.Version, bundleVersion)
+	if b.Version > bundleSchemaVersion || b.Version < 1 {
+		return nil, fmt.Errorf("pipeline: bundle schema %d, this build reads ≤ %d: %w",
+			b.Version, bundleSchemaVersion, ErrVersion)
+	}
+	// Drain the decoder's buffer and the rest of the gzip stream: this
+	// catches trailing garbage after the JSON document AND forces the
+	// gzip footer checksum to be verified (a truncated stream fails
+	// here even when the JSON document happened to decode).
+	if err := expectOnlyWhitespace(dec.Buffered()); err != nil {
+		return nil, err
+	}
+	if err := expectOnlyWhitespace(gz); err != nil {
+		return nil, err
+	}
+	// Bytes after the gzip stream itself are garbage too. Both callers
+	// pass an io.ByteReader, which guarantees flate reads no further
+	// than the stream end — so one more readable byte is real trailing
+	// data, not decompressor over-read.
+	if br, ok := r.(io.ByteReader); ok {
+		if _, err := br.ReadByte(); err != io.EOF {
+			return nil, fmt.Errorf("pipeline: trailing garbage after bundle stream: %w", ErrCorrupt)
+		}
 	}
 	model, err := core.ReadResultJSON(bytes.NewReader(b.Model))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pipeline: bundle model: %w: %w", ErrCorrupt, err)
 	}
 	if len(b.Docs) != len(model.Theta) {
-		return nil, fmt.Errorf("pipeline: bundle has %d docs but model has %d rows", len(b.Docs), len(model.Theta))
+		return nil, fmt.Errorf("pipeline: bundle has %d docs but model has %d rows: %w",
+			len(b.Docs), len(model.Theta), ErrCorrupt)
 	}
 	out := &Output{
 		Dict:          lexicon.Default(),
@@ -86,4 +159,27 @@ func LoadBundle(r io.Reader) (*Output, error) {
 		out.ExcludedTerms = map[string][]string{}
 	}
 	return out, nil
+}
+
+// expectOnlyWhitespace consumes r to EOF, rejecting anything but JSON
+// whitespace. A read error (a gzip checksum failure surfaces here) is
+// corruption too.
+func expectOnlyWhitespace(r io.Reader) error {
+	buf := make([]byte, 512)
+	for {
+		n, err := r.Read(buf)
+		for _, c := range buf[:n] {
+			switch c {
+			case ' ', '\t', '\n', '\r':
+			default:
+				return fmt.Errorf("pipeline: trailing garbage after bundle document: %w", ErrCorrupt)
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("pipeline: bundle stream damaged: %w: %w", ErrCorrupt, err)
+		}
+	}
 }

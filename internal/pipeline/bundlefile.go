@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SaveBundleFile persists the bundle to path crash-safely: the bytes go
+// to a temp file in the same directory, are fsynced, and only then
+// atomically renamed over the destination. A crash at any point leaves
+// either the old file or the new one — never a torn hybrid.
+func (o *Output) SaveBundleFile(path string) error {
+	return writeFileAtomic(path, func(w *bufio.Writer) error {
+		return o.SaveBundle(w)
+	})
+}
+
+// LoadBundleFile opens path and loads it with LoadBundle.
+func LoadBundleFile(path string) (*Output, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: opening bundle file: %w", err)
+	}
+	defer f.Close()
+	out, err := LoadBundle(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// writeFileAtomic streams write's output into a temp file next to path,
+// fsyncs it, renames it into place, and fsyncs the directory so the
+// rename itself is durable.
+func writeFileAtomic(path string, write func(*bufio.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("pipeline: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	// On any failure below, remove the temp file; ignore errors — the
+	// prefix pattern makes leftovers identifiable anyway.
+	defer os.Remove(tmpName)
+
+	bw := bufio.NewWriter(tmp)
+	if err := write(bw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("pipeline: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("pipeline: fsync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("pipeline: closing %s: %w", tmpName, err)
+	}
+	// CreateTemp makes 0600; these are shareable artifacts, not secrets.
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return fmt.Errorf("pipeline: chmod %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("pipeline: renaming into place: %w", err)
+	}
+	// Make the rename durable: fsync the containing directory. Some
+	// filesystems don't support fsync on directories; that's not fatal.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package pipeline
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// CheckpointFile is the fixed name of the chain checkpoint inside a
+// checkpoint directory. One file, atomically replaced on every write:
+// after a crash there is exactly one candidate to resume from.
+const CheckpointFile = "checkpoint.ckpt"
+
+// checkpointSchemaVersion guards the checkpoint payload layout (the
+// core snapshot wire format rides inside; core versions that itself).
+const checkpointSchemaVersion = 1
+
+// WriteCheckpointFile persists the snapshot to dir/checkpoint.ckpt in
+// the format-2 durable container (kind "checkpoint"), crash-safely via
+// temp file + fsync + atomic rename. The directory is created if absent.
+func WriteCheckpointFile(dir string, sn *core.Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("pipeline: checkpoint dir: %w", err)
+	}
+	var body bytes.Buffer
+	gz := gzip.NewWriter(&body)
+	if err := sn.WriteJSON(gz); err != nil {
+		return fmt.Errorf("pipeline: encoding checkpoint: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("pipeline: compressing checkpoint: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(dir, CheckpointFile), func(w *bufio.Writer) error {
+		return writeContainer(w, kindCheckpoint, checkpointSchemaVersion, body.Bytes())
+	})
+}
+
+// LoadCheckpointFile reads dir/checkpoint.ckpt. A missing file returns
+// an error satisfying errors.Is(err, fs.ErrNotExist) so callers can
+// fall back to a fresh fit; damaged or foreign files return wrapped
+// ErrCorrupt / ErrVersion / ErrKind like bundles do.
+func LoadCheckpointFile(dir string) (*core.Snapshot, error) {
+	path := filepath.Join(dir, CheckpointFile)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	sn, err := readCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sn, nil
+}
+
+// readCheckpoint parses a checkpoint container stream.
+func readCheckpoint(r io.Reader) (*core.Snapshot, error) {
+	var magic [len(containerMagic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("pipeline: checkpoint magic missing: %w: %w", ErrCorrupt, err)
+	}
+	if string(magic[:]) != containerMagic {
+		return nil, fmt.Errorf("pipeline: not a checkpoint container: %w", ErrCorrupt)
+	}
+	payload, schema, err := readContainer(r, kindCheckpoint)
+	if err != nil {
+		return nil, err
+	}
+	if schema > checkpointSchemaVersion || schema < 1 {
+		return nil, fmt.Errorf("pipeline: checkpoint schema %d, this build reads ≤ %d: %w",
+			schema, checkpointSchemaVersion, ErrVersion)
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: opening checkpoint payload: %w: %w", ErrCorrupt, err)
+	}
+	defer gz.Close()
+	sn, err := core.ReadSnapshotJSON(gz)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: decoding checkpoint: %w: %w", ErrCorrupt, err)
+	}
+	return sn, nil
+}
+
+// CheckpointWriter writes snapshots in the background so the sampler
+// never blocks on disk. It is single-flight: if a write is still in
+// progress when the next snapshot arrives, the new one is skipped (the
+// following checkpoint will capture a fresher state anyway). A failed
+// write is sticky — the NEXT Write call returns it, aborting the chain
+// instead of sampling on top of a dead disk.
+type CheckpointWriter struct {
+	dir string
+
+	writes *obs.Counter
+	errs   *obs.Counter
+	skips  *obs.Counter
+	last   *obs.Gauge
+
+	mu   sync.Mutex
+	busy bool
+	err  error
+	wg   sync.WaitGroup
+}
+
+// NewCheckpointWriter builds a writer targeting dir. reg may be nil;
+// when set, the writer maintains checkpoint_writes_total,
+// checkpoint_write_errors_total, checkpoint_skipped_total and
+// checkpoint_last_sweep.
+func NewCheckpointWriter(dir string, reg *obs.Registry) *CheckpointWriter {
+	w := &CheckpointWriter{dir: dir}
+	if reg != nil {
+		w.writes = reg.Counter("checkpoint_writes_total",
+			"Chain checkpoints durably written.", nil)
+		w.errs = reg.Counter("checkpoint_write_errors_total",
+			"Chain checkpoint writes that failed.", nil)
+		w.skips = reg.Counter("checkpoint_skipped_total",
+			"Checkpoints skipped because the previous write was still in flight.", nil)
+		w.last = reg.Gauge("checkpoint_last_sweep",
+			"Sweep index of the most recently persisted checkpoint.", nil)
+	}
+	return w
+}
+
+// Write hands the snapshot to the background writer and returns
+// immediately. Safe to use directly as core.Config.CheckpointFunc: the
+// snapshot is already a deep copy, so the chain may keep mutating.
+func (w *CheckpointWriter) Write(sn *core.Snapshot) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.busy {
+		if w.skips != nil {
+			w.skips.Inc()
+		}
+		return nil
+	}
+	w.busy = true
+	w.wg.Add(1)
+	go func() {
+		err := WriteCheckpointFile(w.dir, sn)
+		w.mu.Lock()
+		w.busy = false
+		if err != nil {
+			w.err = err
+			if w.errs != nil {
+				w.errs.Inc()
+			}
+		} else {
+			if w.writes != nil {
+				w.writes.Inc()
+			}
+			if w.last != nil {
+				w.last.Set(float64(sn.Sweep))
+			}
+		}
+		w.mu.Unlock()
+		w.wg.Done()
+	}()
+	return nil
+}
+
+// Flush waits for any in-flight write and returns the sticky error, if
+// one occurred. Call after the fit finishes so the final checkpoint is
+// on disk before the process reports success.
+func (w *CheckpointWriter) Flush() error {
+	w.wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// CheckpointOptions configures crash recovery for the model-fit stage.
+type CheckpointOptions struct {
+	// Dir, when non-empty, enables checkpointing: the chain state is
+	// durably written to Dir/checkpoint.ckpt every Every sweeps.
+	Dir string
+	// Every is the checkpoint cadence in sweeps (default 25).
+	Every int
+	// Resume loads an existing checkpoint from Dir and continues the
+	// chain from it instead of starting fresh. A missing checkpoint
+	// falls back to a fresh fit; a damaged one is an error.
+	Resume bool
+}
+
+// fitModel runs the model stage, honouring restarts and checkpointing.
+func fitModel(data *core.Data, opts Options) (*core.Result, error) {
+	restarts := opts.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	ck := opts.Checkpoint
+	if ck.Dir == "" {
+		return core.FitBest(data, opts.Model, restarts)
+	}
+	if restarts > 1 {
+		return nil, fmt.Errorf("pipeline: checkpointing supports a single chain, not Restarts=%d", restarts)
+	}
+	cfg := opts.Model
+	cfg.CheckpointEvery = ck.Every
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 25
+	}
+	writer := NewCheckpointWriter(ck.Dir, opts.Metrics)
+	cfg.CheckpointFunc = writer.Write
+
+	var res *core.Result
+	var err error
+	if ck.Resume {
+		var sn *core.Snapshot
+		sn, err = LoadCheckpointFile(ck.Dir)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			res, err = core.Fit(data, cfg) // nothing to resume yet
+		case err != nil:
+			return nil, err
+		default:
+			if opts.Metrics != nil {
+				opts.Metrics.Counter("checkpoint_loads_total",
+					"Chain checkpoints loaded for resume.", nil).Inc()
+			}
+			res, err = core.ResumeFit(data, cfg, sn)
+		}
+	} else {
+		res, err = core.Fit(data, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := writer.Flush(); err != nil {
+		return nil, fmt.Errorf("pipeline: final checkpoint: %w", err)
+	}
+	return res, nil
+}

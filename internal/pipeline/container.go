@@ -1,0 +1,140 @@
+// Durable container format (format version 2).
+//
+// Everything the pipeline persists — model bundles, fit checkpoints —
+// shares one on-disk envelope built for crash safety and integrity:
+//
+//	offset 0   magic "RHEODUR1" (8 bytes)
+//	offset 8   header length H, uint32 big-endian
+//	offset 12  header: H bytes of JSON
+//	           {"format":2,"kind":"bundle","schema":1,
+//	            "payload_len":N,"sha256":"<hex digest>"}
+//	offset 12+H  payload: N bytes (gzip-compressed JSON document)
+//	then EOF — trailing bytes are corruption, not slack.
+//
+// The length-prefixed header means a torn write is detected before any
+// payload byte is parsed; the SHA-256 digest catches bit flips that
+// gzip's CRC-32 window can miss; the kind field stops a checkpoint from
+// being loaded as a bundle; and the format version lets a future layout
+// be rejected cleanly instead of misparsed. Format version 1 is the
+// legacy naked gzip+JSON bundle, still readable (detected by the gzip
+// magic bytes) but no longer written.
+package pipeline
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	containerMagic   = "RHEODUR1"
+	containerFormat  = 2
+	maxHeaderLen     = 1 << 16 // a header is a few hundred bytes; anything huge is garbage
+	maxPayloadLen    = 1 << 31 // 2 GiB; beyond this the length field itself is suspect
+	kindBundle       = "bundle"
+	kindCheckpoint   = "checkpoint"
+)
+
+// Typed load errors. Every rejected load wraps exactly one of these,
+// so callers can distinguish "the file is damaged" (retry from a
+// replica, refit) from "the file is from a newer build" (upgrade) from
+// "wrong file" (operator error) with errors.Is. The underlying cause
+// (io.ErrUnexpectedEOF, gzip.ErrChecksum, a JSON syntax error) is also
+// wrapped and remains inspectable.
+var (
+	// ErrCorrupt marks truncated, bit-flipped, or trailing-garbage input.
+	ErrCorrupt = errors.New("durable payload corrupt")
+	// ErrVersion marks a container or schema version this build cannot read.
+	ErrVersion = errors.New("durable format version unsupported")
+	// ErrKind marks a structurally valid container of the wrong kind.
+	ErrKind = errors.New("durable container kind mismatch")
+)
+
+// containerHeader is the JSON header between the magic and the payload.
+type containerHeader struct {
+	Format     int    `json:"format"`
+	Kind       string `json:"kind"`
+	Schema     int    `json:"schema"`
+	PayloadLen int64  `json:"payload_len"`
+	SHA256     string `json:"sha256"`
+}
+
+// writeContainer wraps payload in the format-2 envelope.
+func writeContainer(w io.Writer, kind string, schema int, payload []byte) error {
+	digest := sha256.Sum256(payload)
+	hdr, err := json.Marshal(containerHeader{
+		Format:     containerFormat,
+		Kind:       kind,
+		Schema:     schema,
+		PayloadLen: int64(len(payload)),
+		SHA256:     hex.EncodeToString(digest[:]),
+	})
+	if err != nil {
+		return fmt.Errorf("pipeline: encoding container header: %w", err)
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(hdr)))
+	for _, chunk := range [][]byte{[]byte(containerMagic), lenBuf[:], hdr, payload} {
+		if _, err := w.Write(chunk); err != nil {
+			return fmt.Errorf("pipeline: writing container: %w", err)
+		}
+	}
+	return nil
+}
+
+// readContainer parses a format-2 envelope whose magic has already
+// been consumed by the caller, verifies the digest, and returns the
+// payload with the header's schema version.
+func readContainer(r io.Reader, wantKind string) ([]byte, int, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, 0, fmt.Errorf("pipeline: container header length missing: %w: %w", ErrCorrupt, err)
+	}
+	hdrLen := binary.BigEndian.Uint32(lenBuf[:])
+	if hdrLen == 0 || hdrLen > maxHeaderLen {
+		return nil, 0, fmt.Errorf("pipeline: container header length %d implausible: %w", hdrLen, ErrCorrupt)
+	}
+	hdrBytes := make([]byte, hdrLen)
+	if _, err := io.ReadFull(r, hdrBytes); err != nil {
+		return nil, 0, fmt.Errorf("pipeline: container header truncated: %w: %w", ErrCorrupt, err)
+	}
+	var hdr containerHeader
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return nil, 0, fmt.Errorf("pipeline: container header unparseable: %w: %w", ErrCorrupt, err)
+	}
+	if hdr.Format != containerFormat {
+		return nil, 0, fmt.Errorf("pipeline: container format %d, this build reads %d: %w",
+			hdr.Format, containerFormat, ErrVersion)
+	}
+	if hdr.Kind != wantKind {
+		return nil, 0, fmt.Errorf("pipeline: container holds a %q, want a %q: %w", hdr.Kind, wantKind, ErrKind)
+	}
+	if hdr.PayloadLen < 0 || hdr.PayloadLen > maxPayloadLen {
+		return nil, 0, fmt.Errorf("pipeline: payload length %d implausible: %w", hdr.PayloadLen, ErrCorrupt)
+	}
+	payload := make([]byte, hdr.PayloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, fmt.Errorf("pipeline: payload truncated: %w: %w", ErrCorrupt, err)
+	}
+	// A container is exactly one envelope; bytes past the declared
+	// payload mean the file was overwritten, concatenated, or the
+	// header lies — none of which should load silently.
+	var trailer [1]byte
+	if n, _ := io.ReadFull(r, trailer[:]); n != 0 {
+		return nil, 0, fmt.Errorf("pipeline: %d+ trailing bytes after payload: %w", n, ErrCorrupt)
+	}
+	digest := sha256.Sum256(payload)
+	want, err := hex.DecodeString(hdr.SHA256)
+	if err != nil || len(want) != sha256.Size {
+		return nil, 0, fmt.Errorf("pipeline: container digest unparseable: %w", ErrCorrupt)
+	}
+	if !bytes.Equal(digest[:], want) {
+		return nil, 0, fmt.Errorf("pipeline: payload digest mismatch (bit flip or torn write): %w", ErrCorrupt)
+	}
+	return payload, hdr.Schema, nil
+}

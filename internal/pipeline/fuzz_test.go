@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadBundle drives arbitrary bytes through the bundle loader. The
+// invariant under fuzzing: LoadBundle never panics, and every rejection
+// wraps one of the typed sentinels so callers can always classify the
+// failure. Seeds cover both on-disk generations plus the interesting
+// damage shapes so the fuzzer starts at the format boundaries instead
+// of rediscovering them.
+func FuzzLoadBundle(f *testing.F) {
+	v2 := validBundleV2(f)
+	v1 := validBundleV1(f)
+	f.Add(v2)
+	f.Add(v1)
+	f.Add(v2[:len(v2)/2])                          // torn container
+	f.Add(v1[:len(v1)/2])                          // torn gzip
+	f.Add([]byte(containerMagic))                  // magic only
+	f.Add([]byte{0x1f, 0x8b})                      // gzip magic only
+	f.Add(append([]byte(nil), v2...)[:12])         // magic + header length, no header
+	f.Add(bytes.Repeat([]byte{0}, 64))             // zeros
+	f.Add([]byte(`{"version":1,"docs":[]}`))       // naked JSON, no gzip
+	f.Add(append(append([]byte(nil), v2...), '!')) // trailing byte
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := LoadBundle(bytes.NewReader(data))
+		if err == nil {
+			if out == nil || out.Model == nil {
+				t.Fatal("nil output without error")
+			}
+			return
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) && !errors.Is(err, ErrKind) {
+			t.Fatalf("untyped load error: %v", err)
+		}
+	})
+}
+
+// FuzzReadCheckpoint gives the checkpoint loader the same treatment.
+func FuzzReadCheckpoint(f *testing.F) {
+	_, _, snap := checkpointSnapshot(f)
+	dir := f.TempDir()
+	if err := WriteCheckpointFile(dir, snap); err != nil {
+		f.Fatal(err)
+	}
+	good, err := os.ReadFile(filepath.Join(dir, CheckpointFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add(validBundleV2(f)) // wrong kind
+	f.Add([]byte(containerMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sn, err := readCheckpoint(bytes.NewReader(data))
+		if err == nil {
+			if sn == nil {
+				t.Fatal("nil snapshot without error")
+			}
+			return
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) && !errors.Is(err, ErrKind) {
+			t.Fatalf("untyped checkpoint error: %v", err)
+		}
+	})
+}

@@ -38,6 +38,10 @@ type Options struct {
 	// remedy for occasional split/merge local optima.
 	Restarts int
 
+	// Checkpoint enables durable crash recovery for the model-fit stage
+	// (see CheckpointOptions). Incompatible with Restarts > 1.
+	Checkpoint CheckpointOptions
+
 	// Metrics, when non-nil, receives stage timings
 	// (pipeline_stage_seconds{stage=…}) and per-sweep sampler telemetry
 	// (see SamplerMetrics). Stage timings are also always available on
@@ -159,15 +163,11 @@ func RunOnRecipes(recipes []*recipe.Recipe, opts Options) (*Output, error) {
 	}
 	out.recordStage(opts.Metrics, "dataset_filter", filterStart)
 
-	restarts := opts.Restarts
-	if restarts < 1 {
-		restarts = 1
-	}
 	if opts.Metrics != nil {
 		opts.Model.Hooks = opts.Model.Hooks.Then(SamplerMetrics(opts.Metrics))
 	}
 	modelStart := time.Now()
-	res, err := core.FitBest(data, opts.Model, restarts)
+	res, err := fitModel(data, opts)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: model: %w", err)
 	}

@@ -64,6 +64,15 @@ type Options struct {
 	// Logf sinks one-line diagnostics; log.Printf when nil.
 	Logf func(format string, args ...any)
 
+	// Reload, when non-nil, produces a fresh pipeline output for
+	// POST /admin/reload and Server.Reload — typically by re-reading a
+	// bundle file. The endpoint is only mounted when this is set.
+	Reload func(ctx context.Context) (*pipeline.Output, error)
+	// AdminToken guards POST /admin/reload: requests must carry it in
+	// the X-Admin-Token header. When empty the endpoint accepts any
+	// caller — only sensible when the port itself is private.
+	AdminToken string
+
 	// Metrics is the registry the server records into and exposes on
 	// GET /metrics. A private registry is created when nil; pass one in
 	// to share it with the fitting pipeline and sampler telemetry.
@@ -97,8 +106,13 @@ type Server struct {
 	out  *pipeline.Output
 	pool chan *annotate.Annotator
 
-	ready    atomic.Bool
-	draining atomic.Bool
+	// reloadMu serializes Reload calls so two concurrent /admin/reload
+	// requests cannot interleave building and installing pools.
+	reloadMu sync.Mutex
+
+	ready      atomic.Bool
+	draining   atomic.Bool
+	generation atomic.Int64 // bumped on every model install/swap
 
 	reg             *obs.Registry
 	mServed         *obs.Counter
@@ -107,6 +121,8 @@ type Server struct {
 	mFoldinSeconds  *obs.Histogram
 	mFoldinSweeps   *obs.Counter
 	mFoldinCanceled *obs.Counter
+	mSwaps          *obs.Counter
+	mSwapTime       *obs.Gauge
 }
 
 // NewPending builds a server with no model yet: /healthz answers,
@@ -144,7 +160,13 @@ func NewPending(opts Options) *Server {
 			"Fold-in Gibbs sweeps run, including partial canceled chains.", nil),
 		mFoldinCanceled: reg.Counter("annotate_foldin_canceled_total",
 			"Fold-in chains abandoned by context cancellation.", nil),
+		mSwaps: reg.Counter("serve_model_swaps_total",
+			"Model installs and live swaps performed.", nil),
+		mSwapTime: reg.Gauge("serve_model_swap_timestamp_seconds",
+			"Unix time of the most recent model install or swap.", nil),
 	}
+	reg.GaugeFunc("serve_model_generation", "Monotonic model generation; 0 until the first install.", nil,
+		func() float64 { return float64(s.generation.Load()) })
 	reg.CounterFunc("serve_shed_total", "Requests shed by the admission gate.", nil, s.gate.Shed)
 	reg.GaugeFunc("serve_in_flight", "Requests currently holding a pool slot.", nil,
 		func() float64 { return float64(s.gate.InUse()) })
@@ -164,13 +186,12 @@ func NewPending(opts Options) *Server {
 // fitting pipeline and sampler telemetry into the same /metrics page.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
-// SetOutput installs the fitted model, builds the annotator pool, and
-// flips the server ready. It may be called once.
-func (s *Server) SetOutput(out *pipeline.Output) error {
-	// Install fold-in telemetry before the pool (and thus the model) is
-	// published to handlers, so every annotation is recorded. Concurrent
-	// fold-ins invoke this concurrently; the metrics are atomic. An
-	// unfitted output has no model; annotate.New rejects it below.
+// buildPool constructs a full annotator pool over out, wiring fold-in
+// telemetry before the model is published to handlers so every
+// annotation is recorded. Concurrent fold-ins invoke the hook
+// concurrently; the metrics are atomic. An unfitted output has no
+// model; annotate.New rejects it.
+func (s *Server) buildPool(out *pipeline.Output) (chan *annotate.Annotator, error) {
 	if out.Model != nil {
 		out.Model.FoldInHook = func(st core.FoldInStats) {
 			s.mFoldinSeconds.Observe(st.Total.Seconds())
@@ -184,7 +205,7 @@ func (s *Server) SetOutput(out *pipeline.Output) error {
 	for i := 0; i < s.opts.Pool; i++ {
 		ann, err := annotate.New(out)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		ann.Seed = s.opts.Seed + uint64(i)
 		if s.opts.FoldInIters > 0 {
@@ -192,15 +213,79 @@ func (s *Server) SetOutput(out *pipeline.Output) error {
 		}
 		pool <- ann
 	}
+	return pool, nil
+}
+
+// install publishes the model and its pool, bumps the generation, and
+// flips the server ready.
+func (s *Server) install(out *pipeline.Output, pool chan *annotate.Annotator) {
+	s.out = out
+	s.pool = pool
+	gen := s.generation.Add(1)
+	s.mSwaps.Inc()
+	s.mSwapTime.Set(float64(time.Now().UnixNano()) / 1e9)
+	s.ready.Store(true)
+	if gen > 1 {
+		s.logf("serve: model swapped in, generation %d (K=%d, %d docs)", gen, out.Model.K, len(out.Docs))
+	}
+}
+
+// SetOutput installs the fitted model, builds the annotator pool, and
+// flips the server ready. It may be called once; use SwapOutput to
+// replace a model that is already serving.
+func (s *Server) SetOutput(out *pipeline.Output) error {
+	pool, err := s.buildPool(out)
+	if err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.out != nil {
 		return fmt.Errorf("serve: model already installed")
 	}
-	s.out = out
-	s.pool = pool
-	s.ready.Store(true)
+	s.install(out, pool)
 	return nil
+}
+
+// SwapOutput atomically replaces the serving model under live traffic.
+// A fresh annotator pool is built against the new model before the
+// switch, so the swap itself is a pointer flip under the lock: requests
+// admitted after it fold in on the new model, while in-flight requests
+// finish on the pool they checked out from and return their annotators
+// there — the old pool drains naturally and is collected once the last
+// borrower lets go. No request is dropped or errored by a swap.
+//
+// Pass a freshly constructed Output (a new fit or LoadBundle result):
+// installing telemetry mutates out.Model, so re-swapping the object
+// that is currently serving would race with live fold-ins.
+func (s *Server) SwapOutput(out *pipeline.Output) error {
+	pool, err := s.buildPool(out)
+	if err != nil {
+		return fmt.Errorf("serve: building pool for swap: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.install(out, pool)
+	return nil
+}
+
+// Reload runs Options.Reload and swaps the result in, serializing
+// concurrent calls (SIGHUP and /admin/reload can race; only one
+// rebuild runs at a time). Returns the generation now serving.
+func (s *Server) Reload(ctx context.Context) (int64, error) {
+	if s.opts.Reload == nil {
+		return 0, fmt.Errorf("serve: no reload source configured")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	out, err := s.opts.Reload(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("serve: reload source: %w", err)
+	}
+	if err := s.SwapOutput(out); err != nil {
+		return 0, err
+	}
+	return s.generation.Load(), nil
 }
 
 // New builds a ready server from a fitted pipeline output with
@@ -230,27 +315,29 @@ func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
 // Stats is a point-in-time snapshot of the serving runtime, served on
 // /statusz.
 type Stats struct {
-	Ready    bool  `json:"ready"`
-	Draining bool  `json:"draining"`
-	Pool     int   `json:"pool"`
-	InFlight int   `json:"in_flight"`
-	Served   int64 `json:"served"`
-	Shed     int64 `json:"shed"`
-	Panics   int64 `json:"panics"`
-	Timeouts int64 `json:"timeouts"`
+	Ready      bool  `json:"ready"`
+	Draining   bool  `json:"draining"`
+	Pool       int   `json:"pool"`
+	InFlight   int   `json:"in_flight"`
+	Served     int64 `json:"served"`
+	Shed       int64 `json:"shed"`
+	Panics     int64 `json:"panics"`
+	Timeouts   int64 `json:"timeouts"`
+	Generation int64 `json:"generation"`
 }
 
 // Stats snapshots the runtime counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Ready:    s.ready.Load(),
-		Draining: s.draining.Load(),
-		Pool:     s.opts.Pool,
-		InFlight: s.gate.InUse(),
-		Served:   s.mServed.Value(),
-		Shed:     s.gate.Shed(),
-		Panics:   s.mPanics.Value(),
-		Timeouts: s.mTimeouts.Value(),
+		Ready:      s.ready.Load(),
+		Draining:   s.draining.Load(),
+		Pool:       s.opts.Pool,
+		InFlight:   s.gate.InUse(),
+		Served:     s.mServed.Value(),
+		Shed:       s.gate.Shed(),
+		Panics:     s.mPanics.Value(),
+		Timeouts:   s.mTimeouts.Value(),
+		Generation: s.generation.Load(),
 	}
 }
 
@@ -290,6 +377,9 @@ func (s *Server) Handler() http.Handler {
 			s.logf("serve: /metrics: %v", err)
 		}
 	})
+	if s.opts.Reload != nil {
+		route("POST /admin/reload", "/admin/reload", s.handleAdminReload)
+	}
 	if s.opts.Pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -317,6 +407,23 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ready")
 	}
+}
+
+// handleAdminReload rebuilds the model from Options.Reload and swaps
+// it in without interrupting traffic. Gated by X-Admin-Token when
+// Options.AdminToken is set; mounted only when a reload source exists.
+func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
+	if s.opts.AdminToken != "" && r.Header.Get("X-Admin-Token") != s.opts.AdminToken {
+		http.Error(w, "missing or wrong X-Admin-Token", http.StatusForbidden)
+		return
+	}
+	gen, err := s.Reload(r.Context())
+	if err != nil {
+		s.logf("serve: /admin/reload: %v", err)
+		http.Error(w, "reload failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.writeJSON(w, "/admin/reload", map[string]int64{"generation": gen})
 }
 
 func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {

@@ -1,5 +1,7 @@
 package stats
 
+import "fmt"
+
 // NWAccum maintains the sufficient statistics of a set of observations
 // under a Normal-Wishart prior — count, sum vector and sum of outer
 // products — supporting O(d²) add/remove and cached posterior
@@ -86,6 +88,31 @@ func (a *NWAccum) Posterior() *NormalWishart {
 		panic(err)
 	}
 	return &NormalWishart{Mu0: muC, Beta: betaC, Nu: nuC, S: sC}
+}
+
+// State exports the raw sufficient statistics (count, sum vector, sum
+// of outer products) as copies, so a checkpoint can persist the exact
+// floating-point state rather than re-deriving it from the member list
+// in a different summation order.
+func (a *NWAccum) State() (n float64, sum []float64, outer *Mat) {
+	return a.n, CloneVec(a.sum), a.outer.Clone()
+}
+
+// SetState overwrites the accumulated statistics with previously
+// exported ones. The prior is unchanged; dimensions must match it.
+func (a *NWAccum) SetState(n float64, sum []float64, outer *Mat) error {
+	d := a.prior.Dim()
+	if n < 0 {
+		return fmt.Errorf("stats: NWAccum state has negative count %g", n)
+	}
+	if len(sum) != d || outer == nil || outer.R != d || outer.C != d {
+		return fmt.Errorf("stats: NWAccum state dims mismatch prior dim %d", d)
+	}
+	a.n = n
+	a.sum = CloneVec(sum)
+	a.outer = outer.Clone()
+	a.cached = nil
+	return nil
 }
 
 // LogMarginalLikelihood returns log p(accumulated data) with all

@@ -10,11 +10,27 @@ import (
 // is reproducible from a seed pair.
 type RNG struct {
 	src *rand.Rand
+	pcg *rand.PCG
 }
 
 // NewRNG returns an RNG seeded with (seed, stream).
 func NewRNG(seed, stream uint64) *RNG {
-	return &RNG{src: rand.New(rand.NewPCG(seed, stream))}
+	pcg := rand.NewPCG(seed, stream)
+	return &RNG{src: rand.New(pcg), pcg: pcg}
+}
+
+// MarshalState captures the generator's exact stream position. The
+// wrapped rand.Rand keeps no state of its own (every draw derives from
+// the source), so restoring these bytes via UnmarshalState resumes the
+// stream bit-for-bit — the property crash-safe sampler checkpoints
+// depend on.
+func (r *RNG) MarshalState() ([]byte, error) {
+	return r.pcg.MarshalBinary()
+}
+
+// UnmarshalState restores a stream position captured by MarshalState.
+func (r *RNG) UnmarshalState(b []byte) error {
+	return r.pcg.UnmarshalBinary(b)
 }
 
 // Float64 returns a uniform sample in [0,1).
