@@ -4,7 +4,16 @@
 
 GO ?= go
 
-.PHONY: build test verify bench-serve bench bench-all fuzz-smoke
+# Stable benchmark settings for the committed baseline: a fixed
+# iteration count high enough to amortize warm-up (the old 2x baseline
+# measured little but cache-cold setup), one run per benchmark, and
+# allocation reporting so allocs/op regressions are caught alongside
+# ns/op.
+BENCHTIME ?= 100x
+BENCHCOUNT ?= 1
+BENCH_PATTERN := BenchmarkServeAnnotate|BenchmarkServeAnnotateBatch|BenchmarkFoldInPlacement|BenchmarkFoldInSteadyState|BenchmarkGibbsSweep|BenchmarkBundleSave|BenchmarkBundleLoad
+
+.PHONY: build test verify bench-serve bench bench-compare bench-all profile fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -18,18 +27,33 @@ verify:
 # The pooled serve-path benchmark: tracks end-to-end /annotate
 # latency and shed count across PRs.
 bench-serve:
-	$(GO) test -run '^$$' -bench BenchmarkServeAnnotate -benchtime 2x .
+	$(GO) test -run '^$$' -bench 'BenchmarkServeAnnotate' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -benchmem .
 
-# The serving-stack baseline: runs the serve-path, fold-in, and
-# bundle save/load benchmarks and writes the parsed results to
-# BENCH_serve.json so a PR can diff numbers against the committed
-# baseline.
+# The serving-stack baseline: runs the serve-path (single and batch),
+# fold-in, sampler-sweep, and bundle save/load benchmarks and writes
+# the parsed results to BENCH_serve.json so a PR can diff numbers
+# against the committed baseline.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkServeAnnotate|BenchmarkFoldInPlacement|BenchmarkGibbsSweep|BenchmarkBundleSave|BenchmarkBundleLoad' -benchtime 2x . \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_serve.json
+
+# Regression gate: rerun the baseline suite into a scratch file and
+# fail (non-zero exit) if any shared benchmark slowed down more than
+# 15% in ns/op versus the committed BENCH_serve.json.
+bench-compare:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_new.json
+	$(GO) run ./cmd/benchjson -compare -threshold 15 BENCH_serve.json BENCH_new.json
 
 bench-all:
 	$(GO) test -run '^$$' -bench . .
+
+# CPU and heap profiles of the sampler hot path, for pprof:
+#   go tool pprof cpu.pprof
+profile:
+	$(GO) test -run '^$$' -bench BenchmarkGibbsSweep -benchtime $(BENCHTIME) \
+		-cpuprofile cpu.pprof -memprofile mem.pprof .
+	@echo "profiles written: cpu.pprof mem.pprof (inspect with: go tool pprof cpu.pprof)"
 
 # Each fuzz corpus for ~10s: cheap continuous assurance that no input
 # can panic the durable-format loaders, the tokenizer, or the unit

@@ -8,6 +8,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -469,6 +470,7 @@ func BenchmarkGibbsSweep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := s.Sweep(); err != nil {
@@ -476,6 +478,7 @@ func BenchmarkGibbsSweep(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(out.Docs)), "docs")
+	b.ReportMetric(float64(b.N*len(out.Docs))/b.Elapsed().Seconds(), "docs/sec")
 }
 
 // BenchmarkWord2Vec measures skip-gram training on the corpus text.
@@ -600,6 +603,7 @@ func BenchmarkFoldInPlacement(b *testing.B) {
 	}
 	dict := lexicon.Default()
 	acc := 0.0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		correct, total := 0, 0
@@ -618,6 +622,42 @@ func BenchmarkFoldInPlacement(b *testing.B) {
 	}
 	b.ReportMetric(acc, "placementAcc")
 	b.ReportMetric(float64(len(fresh)), "recipes")
+	b.ReportMetric(float64(b.N*len(fresh))/b.Elapsed().Seconds(), "recipes/sec")
+}
+
+// BenchmarkFoldInSteadyState isolates one warm fold-in chain on the
+// cached kernel — the per-recipe serving kernel without HTTP, JSON or
+// tokenization. allocs/op is the headline: after the kernel is built,
+// a chain must run entirely out of pooled scratch.
+func BenchmarkFoldInSteadyState(b *testing.B) {
+	out := fixture(b)
+	dict := lexicon.Default()
+	cfg := corpus.DefaultConfig()
+	cfg.Seed = 999
+	cfg.Scale = 0.05
+	fresh, err := corpus.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := fresh[0]
+	words := dict.ExtractTermIDs(r.Description)
+	gel, emu := r.GelFeatures(), r.EmulsionFeatures()
+	kn, err := out.Model.BuildKernel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	theta := make([]float64, kn.K())
+	if err := kn.FoldInTo(ctx, theta, words, gel, emu, 60, 1); err != nil {
+		b.Fatal(err) // warm the scratch pool before measuring
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := kn.FoldInTo(ctx, theta, words, gel, emu, 60, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkServeAnnotate measures the pooled HTTP serve path end to
@@ -660,6 +700,62 @@ func BenchmarkServeAnnotate(b *testing.B) {
 	st := srv.Stats()
 	b.ReportMetric(float64(st.Served), "served")
 	b.ReportMetric(float64(st.Shed), "shed")
+}
+
+// BenchmarkServeAnnotateBatch measures POST /annotate/batch at
+// several batch sizes. The per-recipe metric (ns/recipe) is the one
+// to watch: the batch fans out across the annotator pool and shares
+// one HTTP/JSON envelope, so it must come in well under the
+// single-request ns/op of BenchmarkServeAnnotate.
+func BenchmarkServeAnnotateBatch(b *testing.B) {
+	out := fixture(b)
+	recipeJSON := func(id int) string {
+		return fmt.Sprintf(`{
+			"id": "bench-%d",
+			"title": "ゼリー",
+			"description": "ぷるぷるです",
+			"ingredients": [
+				{"name": "ゼラチン", "amount": "5g"},
+				{"name": "水", "amount": "400ml"}
+			]
+		}`, id)
+	}
+	for _, size := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			opts := serve.DefaultOptions()
+			opts.AdmitWait = time.Minute
+			opts.RequestTimeout = time.Minute
+			opts.MaxBatch = size
+			srv, err := serve.NewWithOptions(out, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := srv.Handler()
+			var sb bytes.Buffer
+			sb.WriteString(`{"recipes":[`)
+			for i := 0; i < size; i++ {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(recipeJSON(i))
+			}
+			sb.WriteString(`]}`)
+			body := sb.Bytes()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest("POST", "/annotate/batch", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*size)*1e9, "ns/recipe")
+			b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "recipes/sec")
+		})
+	}
 }
 
 // BenchmarkConvergence reports the Geweke diagnostic and effective

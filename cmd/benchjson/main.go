@@ -2,13 +2,19 @@
 // machine-readable JSON baseline, so benchmark results can be diffed
 // across PRs instead of eyeballed:
 //
-//	go test -run '^$' -bench BenchmarkServeAnnotate -benchtime 2x . \
+//	go test -run '^$' -bench BenchmarkServeAnnotate -benchtime 20x . \
 //	    | benchjson -o BENCH_serve.json
 //
 // Each benchmark line becomes one record with its iteration count and
 // every reported metric (ns/op, B/op, plus custom b.ReportMetric
 // units like served or shed). Non-benchmark lines pass through to
 // stderr so the usual PASS/ok trailer stays visible.
+//
+// With -compare, benchjson instead diffs two baselines and exits
+// non-zero when any shared benchmark regressed in ns/op beyond the
+// threshold:
+//
+//	benchjson -compare -threshold 15 BENCH_old.json BENCH_new.json
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -30,7 +37,16 @@ type record struct {
 
 func main() {
 	out := flag.String("o", "", "write JSON here (stdout when empty)")
+	compare := flag.Bool("compare", false, "compare two baseline files (old.json new.json) instead of reading stdin")
+	threshold := flag.Float64("threshold", 15, "with -compare: max allowed ns/op regression, in percent")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two files: old.json new.json"))
+		}
+		os.Exit(compareBaselines(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 
 	var records []record
 	sc := bufio.NewScanner(os.Stdin)
@@ -68,6 +84,86 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks → %s\n", len(records), *out)
 	}
+}
+
+// compareBaselines diffs the shared benchmarks of two baseline files
+// on ns/op and prints one line per benchmark. Returns the process
+// exit code: 1 when any shared benchmark slowed down by more than
+// maxRegressPct percent, 0 otherwise. Benchmarks present in only one
+// file are reported but never fail the comparison — the suite is
+// allowed to grow.
+func compareBaselines(oldPath, newPath string, maxRegressPct float64) int {
+	oldRecs, err := loadBaseline(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRecs, err := loadBaseline(newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(oldRecs))
+	for name := range oldRecs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	shared := 0
+	for _, name := range names {
+		o := oldRecs[name]
+		n, ok := newRecs[name]
+		if !ok {
+			fmt.Printf("%-40s  removed (was %.0f ns/op)\n", name, o.Metrics["ns/op"])
+			continue
+		}
+		oldNs, okO := o.Metrics["ns/op"]
+		newNs, okN := n.Metrics["ns/op"]
+		if !okO || !okN || oldNs <= 0 {
+			fmt.Printf("%-40s  no ns/op to compare\n", name)
+			continue
+		}
+		shared++
+		deltaPct := (newNs - oldNs) / oldNs * 100
+		verdict := "ok"
+		if deltaPct > maxRegressPct {
+			verdict = fmt.Sprintf("REGRESSION (limit +%.0f%%)", maxRegressPct)
+			failed++
+		}
+		fmt.Printf("%-40s  %12.0f → %12.0f ns/op  %+7.1f%%  %s\n",
+			name, oldNs, newNs, deltaPct, verdict)
+	}
+	for name, n := range newRecs {
+		if _, ok := oldRecs[name]; !ok {
+			fmt.Printf("%-40s  new (%.0f ns/op)\n", name, n.Metrics["ns/op"])
+		}
+	}
+	if shared == 0 {
+		fatal(fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d of %d shared benchmarks regressed past %.0f%%\n",
+			failed, shared, maxRegressPct)
+		return 1
+	}
+	return 0
+}
+
+// loadBaseline reads a benchjson output file into a name-keyed map.
+func loadBaseline(path string) (map[string]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]record, len(recs))
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	return byName, nil
 }
 
 // parseBenchLine reads one `Benchmark<Name>-P  N  <value> <unit> ...`

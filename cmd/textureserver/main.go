@@ -23,7 +23,8 @@
 //	              [-scale 1.0] [-iters 300]
 //	              [-checkpoint-dir dir] [-checkpoint-every 25] [-resume]
 //	              [-admin-token secret]
-//	              [-pool N] [-request-timeout 5s] [-drain-timeout 10s]
+//	              [-pool N] [-max-batch 64]
+//	              [-request-timeout 5s] [-drain-timeout 10s]
 //	              [-admit-wait 250ms] [-log-format text|json] [-pprof]
 //
 // Example:
@@ -61,6 +62,7 @@ func main() {
 		resume       = flag.Bool("resume", false, "resume the startup fit from -checkpoint-dir if a checkpoint exists")
 		adminToken   = flag.String("admin-token", "", "X-Admin-Token required by POST /admin/reload (empty: no token check)")
 		pool         = flag.Int("pool", runtime.GOMAXPROCS(0), "concurrent fold-in annotators")
+		maxBatch     = flag.Int("max-batch", 64, "max recipes per POST /annotate/batch (413 over)")
 		reqTimeout   = flag.Duration("request-timeout", 5*time.Second, "per-request deadline (504 past it; 0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "shutdown budget for in-flight requests")
 		admitWait    = flag.Duration("admit-wait", 250*time.Millisecond, "max wait for an annotator before shedding with 429")
@@ -74,6 +76,7 @@ func main() {
 
 	opts := serve.DefaultOptions()
 	opts.Pool = *pool
+	opts.MaxBatch = *maxBatch
 	opts.RequestTimeout = *reqTimeout
 	opts.AdmitWait = *admitWait
 	opts.AccessLog = logger

@@ -10,6 +10,7 @@
 //	              [-collapsed] [-no-filter] [-no-emulsion]
 //	              [-model-out model.json] [-bundle-out model.bundle]
 //	              [-checkpoint-dir dir] [-checkpoint-every 25] [-resume]
+//	              [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	              [-v] [-log-format text|json] [-log-every 50]
 package main
 
@@ -17,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/lexicon"
 	"repro/internal/linkage"
@@ -41,11 +44,41 @@ func main() {
 		ckDir     = flag.String("checkpoint-dir", "", "write crash-safe fit checkpoints into this directory")
 		ckEvery   = flag.Int("checkpoint-every", 25, "sweeps between checkpoints (with -checkpoint-dir)")
 		resume    = flag.Bool("resume", false, "resume the fit from -checkpoint-dir if a checkpoint exists")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a post-run heap profile to this file")
 		verbose   = flag.Bool("v", false, "print progress and the validation summary")
 		logFormat = flag.String("log-format", "text", "progress log format: text or json")
 		logEvery  = flag.Int("log-every", 50, "log sweep progress every N sweeps with -v (0 disables)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "texturetopics:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "texturetopics:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "texturetopics:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "texturetopics:", err)
+			}
+		}()
+	}
 
 	opts := pipeline.DefaultOptions()
 	opts.Corpus.Scale = *scale

@@ -42,6 +42,10 @@ type Result struct {
 	// concurrently, so the sink must be safe for concurrent use. It is
 	// telemetry only and is not serialized.
 	FoldInHook func(FoldInStats)
+
+	// kernel caches the fold-in working set (per-topic Gaussians,
+	// vocab-major φ). Built lazily by BuildKernel; never serialized.
+	kernel kernelCache
 }
 
 // Estimate computes the point estimates of equation (5) from the
@@ -66,11 +70,15 @@ func (s *Sampler) Estimate() *Result {
 	res.Phi = make([][]float64, s.cfg.K)
 	gv := s.cfg.Gamma * float64(s.data.V)
 	for k := 0; k < s.cfg.K; k++ {
-		row := make([]float64, s.data.V)
-		for w := 0; w < s.data.V; w++ {
-			row[w] = (float64(s.nkw[k][w]) + s.cfg.Gamma) / (float64(s.nk[k]) + gv)
+		res.Phi[k] = make([]float64, s.data.V)
+	}
+	// The counts are stored vocab-major; each φ_kv depends only on its
+	// own count, so the traversal order is immaterial to the values.
+	for w := 0; w < s.data.V; w++ {
+		row := s.nwk[w]
+		for k := 0; k < s.cfg.K; k++ {
+			res.Phi[k][w] = (float64(row[k]) + s.cfg.Gamma) / (float64(s.nk[k]) + gv)
 		}
-		res.Phi[k] = row
 	}
 	res.Theta = make([][]float64, s.data.NumDocs())
 	sumAlpha := s.cfg.Alpha * float64(s.cfg.K)
@@ -199,6 +207,20 @@ func (r *Result) TopTerms(k, n int) []TermProb {
 		out[i] = TermProb{ID: id, Prob: r.Phi[k][id]}
 	}
 	return out
+}
+
+// ShallowClone returns a fresh Result header over the same parameter
+// slices, with its own fold-in hook and kernel slot. Use it when the
+// same fitted model must be installed twice (e.g. swapped back into a
+// server that mutates FoldInHook on install); copying a Result by
+// value is not supported — the kernel slot is not copyable.
+func (r *Result) ShallowClone() *Result {
+	return &Result{
+		K: r.K, V: r.V, Phi: r.Phi, Theta: r.Theta, Y: r.Y, Gel: r.Gel, Emu: r.Emu,
+		Alpha: r.Alpha, Gamma: r.Gamma,
+		UseEmulsion: r.UseEmulsion, EmulsionWeight: r.EmulsionWeight,
+		LogLik: r.LogLik,
+	}
 }
 
 // GelGaussian returns topic k's gel component as a density, for KL

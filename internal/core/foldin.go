@@ -4,10 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
-	"time"
-
-	"repro/internal/stats"
 )
 
 // ErrCanceled marks a fold-in abandoned because its context ended.
@@ -48,98 +44,23 @@ func (r *Result) FoldIn(words []int, gel, emu []float64, iters int, seed uint64)
 // between Gibbs sweeps, and an abandoned chain returns a
 // *CanceledError matching ErrCanceled. This is what lets a serving
 // layer stop paying for a request whose deadline already passed.
+//
+// Inference runs through the model's FoldInKernel (built lazily on
+// first use), so the per-topic Gaussians and φ columns are derived
+// once per model rather than once per call; the chains drawn are
+// bit-identical either way. Callers that also want to avoid the θ
+// allocation use the kernel's FoldInTo directly.
 func (r *Result) FoldInCtx(ctx context.Context, words []int, gel, emu []float64, iters int, seed uint64) ([]float64, error) {
 	if iters <= 0 {
 		return nil, fmt.Errorf("core: fold-in needs positive iterations")
 	}
-	if len(gel) != len(r.Gel[0].Mean) || len(emu) != len(r.Emu[0].Mean) {
-		return nil, fmt.Errorf("core: fold-in feature dims %d/%d, model %d/%d",
-			len(gel), len(emu), len(r.Gel[0].Mean), len(r.Emu[0].Mean))
+	kn, err := r.BuildKernel()
+	if err != nil {
+		return nil, err
 	}
-	for _, w := range words {
-		if w < 0 || w >= r.V {
-			return nil, fmt.Errorf("core: fold-in word %d outside [0,%d)", w, r.V)
-		}
+	theta := make([]float64, kn.k)
+	if err := kn.FoldInTo(ctx, theta, words, gel, emu, iters, seed); err != nil {
+		return nil, err
 	}
-
-	gelG := make([]*stats.Gaussian, r.K)
-	emuG := make([]*stats.Gaussian, r.K)
-	for k := 0; k < r.K; k++ {
-		g, err := r.GelGaussian(k)
-		if err != nil {
-			return nil, fmt.Errorf("core: topic %d gel: %w", k, err)
-		}
-		gelG[k] = g
-		e, err := r.EmuGaussian(k)
-		if err != nil {
-			return nil, fmt.Errorf("core: topic %d emulsion: %w", k, err)
-		}
-		emuG[k] = e
-	}
-	// Concentration log-likelihood per topic is constant across sweeps.
-	conc := make([]float64, r.K)
-	for k := 0; k < r.K; k++ {
-		conc[k] = gelG[k].LogPdf(gel)
-		if r.UseEmulsion {
-			conc[k] += r.EmulsionWeight * emuG[k].LogPdf(emu)
-		}
-	}
-
-	rng := stats.NewRNG(seed, 0xF01D)
-	z := make([]int, len(words))
-	ndk := make([]int, r.K)
-	for n := range z {
-		z[n] = rng.IntN(r.K)
-		ndk[z[n]]++
-	}
-	y := rng.CategoricalLog(conc)
-
-	start := time.Now()
-	thetaAcc := make([]float64, r.K)
-	kept := 0
-	weights := make([]float64, r.K)
-	logw := make([]float64, r.K)
-	for it := 0; it < iters; it++ {
-		if err := ctx.Err(); err != nil {
-			if hook := r.FoldInHook; hook != nil {
-				hook(FoldInStats{Sweeps: it, Words: len(words), Total: time.Since(start), Canceled: true})
-			}
-			return nil, &CanceledError{Sweeps: it, Cause: err}
-		}
-		for n, w := range words {
-			ndk[z[n]]--
-			for k := 0; k < r.K; k++ {
-				m := 0.0
-				if y == k {
-					m = 1
-				}
-				weights[k] = (float64(ndk[k]) + m + r.Alpha) * r.Phi[k][w]
-			}
-			z[n] = rng.Categorical(weights)
-			ndk[z[n]]++
-		}
-		for k := 0; k < r.K; k++ {
-			logw[k] = math.Log(float64(ndk[k])+r.Alpha) + conc[k]
-		}
-		y = rng.CategoricalLog(logw)
-
-		if it >= iters/2 {
-			kept++
-			denom := float64(len(words)) + 1 + r.Alpha*float64(r.K)
-			for k := 0; k < r.K; k++ {
-				m := 0.0
-				if y == k {
-					m = 1
-				}
-				thetaAcc[k] += (float64(ndk[k]) + m + r.Alpha) / denom
-			}
-		}
-	}
-	for k := range thetaAcc {
-		thetaAcc[k] /= float64(kept)
-	}
-	if hook := r.FoldInHook; hook != nil {
-		hook(FoldInStats{Sweeps: iters, Words: len(words), Total: time.Since(start)})
-	}
-	return thetaAcc, nil
+	return theta, nil
 }

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// ErrDegenerateModel marks a Result whose shape cannot support fold-in
+// inference — zero topics, missing components, or φ rows that disagree
+// with the declared vocabulary. Match it with errors.Is. It replaces
+// the index panic a degenerate model used to trigger.
+var ErrDegenerateModel = errors.New("core: degenerate model")
+
+// FoldInKernel is the per-model working set of fold-in inference,
+// precomputed once per Result: the per-topic concentration Gaussians
+// (with their Cholesky factors and log-determinants baked in) and the
+// φ matrix transposed to vocab-major columns so the z kernel's inner
+// topic loop reads one contiguous row per token. Chains drawn through
+// the kernel are bit-identical to the original per-call derivation:
+// the Gaussians are built by the same constructor, the φ columns are
+// exact copies, and the pooled RNGs are reseeded to the same (seed,
+// stream) pair a fresh RNG would use.
+//
+// A kernel is immutable after construction and safe for concurrent
+// use; per-request scratch lives in an internal sync.Pool, so
+// steady-state fold-ins allocate nothing beyond the caller's θ slice.
+type FoldInKernel struct {
+	res *Result // hook + identity; model parameters are copied below
+
+	k, v           int
+	gelDim, emuDim int
+	alpha          float64
+	useEmu         bool
+	emuWeight      float64
+
+	gelG []*stats.Gaussian
+	emuG []*stats.Gaussian
+	phiW [][]float64 // vocab-major φ columns: phiW[w][k] == Phi[k][w]
+
+	pool sync.Pool // *foldScratch
+}
+
+// foldScratch is one in-flight fold-in's working memory.
+type foldScratch struct {
+	rng     *stats.RNG
+	z       []int
+	ndk     []int
+	conc    []float64
+	weights []float64
+	logw    []float64
+	catW    []float64
+	gelDiff []float64
+	emuDiff []float64
+}
+
+// BuildKernel validates the model shape and returns its fold-in
+// kernel, constructing it on first call and reusing it afterwards
+// (SwapOutput installs a fresh Result, which starts with no kernel).
+// Shape defects are reported as errors matching ErrDegenerateModel
+// instead of the panic the unchecked index used to raise.
+func (r *Result) BuildKernel() (*FoldInKernel, error) {
+	if kn := r.kernel.Load(); kn != nil {
+		return kn, nil
+	}
+	kn, err := newFoldInKernel(r)
+	if err != nil {
+		return nil, err
+	}
+	// Two racing builders produce interchangeable kernels; keep the first.
+	r.kernel.CompareAndSwap(nil, kn)
+	return r.kernel.Load(), nil
+}
+
+func newFoldInKernel(r *Result) (*FoldInKernel, error) {
+	if r.K < 1 {
+		return nil, fmt.Errorf("%w: K=%d", ErrDegenerateModel, r.K)
+	}
+	if r.V < 0 {
+		return nil, fmt.Errorf("%w: V=%d", ErrDegenerateModel, r.V)
+	}
+	if len(r.Gel) != r.K || len(r.Emu) != r.K {
+		return nil, fmt.Errorf("%w: %d gel / %d emulsion components for K=%d",
+			ErrDegenerateModel, len(r.Gel), len(r.Emu), r.K)
+	}
+	if len(r.Phi) != r.K {
+		return nil, fmt.Errorf("%w: %d φ rows for K=%d", ErrDegenerateModel, len(r.Phi), r.K)
+	}
+	for k, row := range r.Phi {
+		if len(row) != r.V {
+			return nil, fmt.Errorf("%w: φ row %d has %d terms, vocabulary %d",
+				ErrDegenerateModel, k, len(row), r.V)
+		}
+	}
+	kn := &FoldInKernel{
+		res:       r,
+		k:         r.K,
+		v:         r.V,
+		gelDim:    len(r.Gel[0].Mean),
+		emuDim:    len(r.Emu[0].Mean),
+		alpha:     r.Alpha,
+		useEmu:    r.UseEmulsion,
+		emuWeight: r.EmulsionWeight,
+		gelG:      make([]*stats.Gaussian, r.K),
+		emuG:      make([]*stats.Gaussian, r.K),
+	}
+	for k := 0; k < r.K; k++ {
+		if len(r.Gel[k].Mean) != kn.gelDim || len(r.Emu[k].Mean) != kn.emuDim {
+			return nil, fmt.Errorf("%w: topic %d component dims %d/%d, topic 0 has %d/%d",
+				ErrDegenerateModel, k, len(r.Gel[k].Mean), len(r.Emu[k].Mean), kn.gelDim, kn.emuDim)
+		}
+		g, err := r.GelGaussian(k)
+		if err != nil {
+			return nil, fmt.Errorf("core: topic %d gel: %w", k, err)
+		}
+		kn.gelG[k] = g
+		e, err := r.EmuGaussian(k)
+		if err != nil {
+			return nil, fmt.Errorf("core: topic %d emulsion: %w", k, err)
+		}
+		kn.emuG[k] = e
+	}
+	flat := make([]float64, r.V*r.K)
+	kn.phiW = make([][]float64, r.V)
+	for w := 0; w < r.V; w++ {
+		col := flat[w*r.K : (w+1)*r.K : (w+1)*r.K]
+		for k := 0; k < r.K; k++ {
+			col[k] = r.Phi[k][w]
+		}
+		kn.phiW[w] = col
+	}
+	kn.pool.New = func() any {
+		return &foldScratch{
+			rng:     stats.NewRNG(0, 0), // reseeded per request
+			ndk:     make([]int, kn.k),
+			conc:    make([]float64, kn.k),
+			weights: make([]float64, kn.k),
+			logw:    make([]float64, kn.k),
+			catW:    make([]float64, kn.k),
+			gelDiff: make([]float64, kn.gelDim),
+			emuDiff: make([]float64, kn.emuDim),
+		}
+	}
+	return kn, nil
+}
+
+// K returns the model's topic count (the length FoldInTo expects of
+// its destination θ slice).
+func (kn *FoldInKernel) K() int { return kn.k }
+
+// FoldInTo runs fold-in inference for one recipe, writing the averaged
+// θ of the chain's second half into theta (length K). It is FoldInCtx
+// with the allocation moved to the caller: steady-state calls touch
+// only pooled scratch. Chains are bit-identical to FoldInCtx for the
+// same inputs.
+func (kn *FoldInKernel) FoldInTo(ctx context.Context, theta []float64, words []int, gel, emu []float64, iters int, seed uint64) error {
+	if iters <= 0 {
+		return fmt.Errorf("core: fold-in needs positive iterations")
+	}
+	if len(theta) != kn.k {
+		return fmt.Errorf("core: fold-in θ destination has length %d, model has K=%d", len(theta), kn.k)
+	}
+	if len(gel) != kn.gelDim || len(emu) != kn.emuDim {
+		return fmt.Errorf("core: fold-in feature dims %d/%d, model %d/%d",
+			len(gel), len(emu), kn.gelDim, kn.emuDim)
+	}
+	for _, w := range words {
+		if w < 0 || w >= kn.v {
+			return fmt.Errorf("core: fold-in word %d outside [0,%d)", w, kn.v)
+		}
+	}
+
+	sc := kn.pool.Get().(*foldScratch)
+	defer kn.pool.Put(sc)
+
+	// Concentration log-likelihood per topic is constant across sweeps.
+	conc := sc.conc
+	for k := 0; k < kn.k; k++ {
+		conc[k] = kn.gelG[k].LogPdfScratch(gel, sc.gelDiff)
+		if kn.useEmu {
+			conc[k] += kn.emuWeight * kn.emuG[k].LogPdfScratch(emu, sc.emuDiff)
+		}
+	}
+
+	rng := sc.rng
+	rng.Reseed(seed, 0xF01D)
+	if cap(sc.z) < len(words) {
+		sc.z = make([]int, len(words))
+	}
+	z := sc.z[:len(words)]
+	ndk := sc.ndk
+	for k := range ndk {
+		ndk[k] = 0
+	}
+	for n := range z {
+		z[n] = rng.IntN(kn.k)
+		ndk[z[n]]++
+	}
+	y := rng.CategoricalLogScratch(conc, sc.catW)
+
+	start := time.Now()
+	for k := range theta {
+		theta[k] = 0
+	}
+	kept := 0
+	weights := sc.weights
+	logw := sc.logw
+	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			if hook := kn.res.FoldInHook; hook != nil {
+				hook(FoldInStats{Sweeps: it, Words: len(words), Total: time.Since(start), Canceled: true})
+			}
+			return &CanceledError{Sweeps: it, Cause: err}
+		}
+		for n, w := range words {
+			ndk[z[n]]--
+			row := kn.phiW[w]
+			for k := 0; k < kn.k; k++ {
+				m := 0.0
+				if y == k {
+					m = 1
+				}
+				weights[k] = (float64(ndk[k]) + m + kn.alpha) * row[k]
+			}
+			z[n] = rng.Categorical(weights)
+			ndk[z[n]]++
+		}
+		for k := 0; k < kn.k; k++ {
+			logw[k] = math.Log(float64(ndk[k])+kn.alpha) + conc[k]
+		}
+		y = rng.CategoricalLogScratch(logw, sc.catW)
+
+		if it >= iters/2 {
+			kept++
+			denom := float64(len(words)) + 1 + kn.alpha*float64(kn.k)
+			for k := 0; k < kn.k; k++ {
+				m := 0.0
+				if y == k {
+					m = 1
+				}
+				theta[k] += (float64(ndk[k]) + m + kn.alpha) / denom
+			}
+		}
+	}
+	for k := range theta {
+		theta[k] /= float64(kept)
+	}
+	if hook := kn.res.FoldInHook; hook != nil {
+		hook(FoldInStats{Sweeps: iters, Words: len(words), Total: time.Since(start)})
+	}
+	return nil
+}
+
+// kernelCache is the Result-side slot BuildKernel fills. It lives in
+// its own type so Result stays a plain data struct for JSON round
+// trips; the slot is deliberately not serialized.
+type kernelCache struct {
+	p atomic.Pointer[FoldInKernel]
+}
+
+func (c *kernelCache) Load() *FoldInKernel { return c.p.Load() }
+func (c *kernelCache) CompareAndSwap(old, new *FoldInKernel) bool {
+	return c.p.CompareAndSwap(old, new)
+}

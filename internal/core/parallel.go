@@ -30,70 +30,85 @@ func (s *Sampler) sweepParallel(sweep int) (phaseTimes, error) {
 		pt.components = time.Since(t)
 		return pt, err
 	}
+	// Per-shard scratch (count copies, weight buffers, RNGs) persists
+	// across sweeps: reseeding a pooled RNG reproduces the exact draw
+	// stream a freshly constructed one would emit, so determinism for a
+	// fixed worker count is untouched while the per-sweep K×V copy
+	// allocations disappear.
+	if len(s.scr.par) != len(shards) {
+		s.scr.par = make([]parShard, len(shards))
+		for i := range s.scr.par {
+			s.scr.par[i] = newParShard(s.data.V, s.cfg.K, s.gelDim, s.emuDim)
+		}
+	}
 	zStart := time.Now()
 
-	type delta struct {
-		nkw [][]int
-		nk  []int
-	}
-	deltas := make([]delta, len(shards))
 	var wg sync.WaitGroup
 	for si, sh := range shards {
 		wg.Add(1)
 		go func(si int, lo, hi int) {
 			defer wg.Done()
+			sc := &s.scr.par[si]
 			// Private copies of the shared counts.
-			nkw := make([][]int, s.cfg.K)
-			for k := range nkw {
-				nkw[k] = append([]int(nil), s.nkw[k]...)
+			nwk := sc.nwk
+			for v := range nwk {
+				copy(nwk[v], s.nwk[v])
 			}
-			nk := append([]int(nil), s.nk...)
-			rng := stats.NewRNG(s.cfg.Seed^0xAD1DA, uint64(sweep)<<16|uint64(si))
+			nk := sc.nk
+			copy(nk, s.nk)
+			rng := sc.rng
+			rng.Reseed(s.cfg.Seed^0xAD1DA, uint64(sweep)<<16|uint64(si))
 
-			weights := make([]float64, s.cfg.K)
+			weights := sc.weights
 			gv := s.cfg.Gamma * float64(s.data.V)
 			for d := lo; d < hi; d++ {
+				ndk := s.ndk[d]
+				yd := s.Y[d]
 				for n, word := range s.data.Words[d] {
 					old := s.Z[d][n]
-					s.ndk[d][old]--
-					nkw[old][word]--
+					row := nwk[word]
+					ndk[old]--
+					row[old]--
 					nk[old]--
 					for k := 0; k < s.cfg.K; k++ {
 						m := 0.0
-						if s.Y[d] == k {
+						if yd == k {
 							m = 1
 						}
-						weights[k] = (float64(s.ndk[d][k]) + m + s.cfg.Alpha) *
-							(float64(nkw[k][word]) + s.cfg.Gamma) /
+						weights[k] = (float64(ndk[k]) + m + s.cfg.Alpha) *
+							(float64(row[k]) + s.cfg.Gamma) /
 							(float64(nk[k]) + gv)
 					}
 					k := rng.Categorical(weights)
 					s.Z[d][n] = k
-					s.ndk[d][k]++
-					nkw[k][word]++
+					ndk[k]++
+					row[k]++
 					nk[k]++
 				}
 			}
 			// Record the deltas against the shared state.
-			dl := delta{nkw: make([][]int, s.cfg.K), nk: make([]int, s.cfg.K)}
-			for k := 0; k < s.cfg.K; k++ {
-				row := make([]int, s.data.V)
-				for v := 0; v < s.data.V; v++ {
-					row[v] = nkw[k][v] - s.nkw[k][v]
+			for v := range nwk {
+				srow, drow := s.nwk[v], sc.dnwk[v]
+				for k, c := range nwk[v] {
+					drow[k] = c - srow[k]
 				}
-				dl.nkw[k] = row
-				dl.nk[k] = nk[k] - s.nk[k]
 			}
-			deltas[si] = dl
+			for k := range nk {
+				sc.dnk[k] = nk[k] - s.nk[k]
+			}
 		}(si, sh[0], sh[1])
 	}
 	wg.Wait()
-	for _, dl := range deltas {
-		for k := 0; k < s.cfg.K; k++ {
-			for v, dv := range dl.nkw[k] {
-				s.nkw[k][v] += dv
+	for si := range shards {
+		sc := &s.scr.par[si]
+		for v := range s.nwk {
+			row := s.nwk[v]
+			for k, dv := range sc.dnwk[v] {
+				row[k] += dv
 			}
-			s.nk[k] += dl.nk[k]
+		}
+		for k, dv := range sc.dnk {
+			s.nk[k] += dv
 		}
 	}
 	pt.z = time.Since(zStart)
@@ -105,18 +120,20 @@ func (s *Sampler) sweepParallel(sweep int) (phaseTimes, error) {
 		wg.Add(1)
 		go func(si, lo, hi int) {
 			defer wg.Done()
-			rng := stats.NewRNG(s.cfg.Seed^0x9D1DA, uint64(sweep)<<16|uint64(si))
-			logw := make([]float64, s.cfg.K)
+			sc := &s.scr.par[si]
+			rng := sc.rng
+			rng.Reseed(s.cfg.Seed^0x9D1DA, uint64(sweep)<<16|uint64(si))
+			logw := sc.logw
 			for d := lo; d < hi; d++ {
 				for k := 0; k < s.cfg.K; k++ {
 					lw := logFloat(float64(s.ndk[d][k]) + s.cfg.Alpha)
-					lw += s.gelComp[k].gauss.LogPdf(s.data.Gel[d])
+					lw += s.gelComp[k].gauss.LogPdfScratch(s.data.Gel[d], sc.gelDiff)
 					if s.cfg.UseEmulsion {
-						lw += s.cfg.EmulsionWeight * s.emuComp[k].gauss.LogPdf(s.data.Emu[d])
+						lw += s.cfg.EmulsionWeight * s.emuComp[k].gauss.LogPdfScratch(s.data.Emu[d], sc.emuDiff)
 					}
 					logw[k] = lw
 				}
-				s.Y[d] = rng.CategoricalLog(logw)
+				s.Y[d] = rng.CategoricalLogScratch(logw, sc.catW)
 			}
 		}(si, sh[0], sh[1])
 	}
@@ -132,6 +149,42 @@ func (s *Sampler) sweepParallel(sweep int) (phaseTimes, error) {
 	err := s.resampleComponents()
 	pt.components = time.Since(cStart)
 	return pt, err
+}
+
+// parShard is one parallel worker's persistent working set: private
+// count copies, their deltas against the shared state, the sampling
+// buffers and a reseedable RNG. Reusing it across sweeps removes the
+// per-sweep K×V allocations without touching the draw streams — the
+// RNG is reseeded to the exact (seed, stream) pair a fresh one would
+// have used.
+type parShard struct {
+	nwk  [][]int // private vocab × topics copy
+	nk   []int
+	dnwk [][]int // deltas vs. the shared counts
+	dnk  []int
+
+	weights []float64
+	logw    []float64
+	catW    []float64
+	gelDiff []float64
+	emuDiff []float64
+
+	rng *stats.RNG
+}
+
+func newParShard(v, k, gelDim, emuDim int) parShard {
+	return parShard{
+		nwk:     makeCountTable(v, k),
+		nk:      make([]int, k),
+		dnwk:    makeCountTable(v, k),
+		dnk:     make([]int, k),
+		weights: make([]float64, k),
+		logw:    make([]float64, k),
+		catW:    make([]float64, k),
+		gelDiff: make([]float64, gelDim),
+		emuDiff: make([]float64, emuDim),
+		rng:     stats.NewRNG(0, 0), // reseeded before every use
+	}
 }
 
 // shardRanges splits n items into at most w contiguous [lo,hi) ranges.

@@ -55,10 +55,10 @@ func TestParallelCountInvariants(t *testing.T) {
 	for k := 0; k < cfg.K; k++ {
 		rowSum := 0
 		for v := 0; v < data.V; v++ {
-			if s.nkw[k][v] < 0 {
-				t.Fatalf("negative count nkw[%d][%d]", k, v)
+			if s.nwk[v][k] < 0 {
+				t.Fatalf("negative count nwk[%d][%d]", v, k)
 			}
-			rowSum += s.nkw[k][v]
+			rowSum += s.nwk[v][k]
 		}
 		if rowSum != s.nk[k] {
 			t.Fatalf("topic %d: row sum %d != nk %d", k, rowSum, s.nk[k])

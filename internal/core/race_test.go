@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with -race;
+// allocation-count assertions are meaningless under the race
+// detector's instrumentation.
+const raceEnabled = true

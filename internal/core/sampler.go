@@ -12,6 +12,17 @@ import (
 // sequential one.
 func logFloat(x float64) float64 { return math.Log(x) }
 
+// makeCountTable returns an r×c integer table whose rows slice one flat
+// backing array, so walking consecutive rows touches contiguous memory.
+func makeCountTable(r, c int) [][]int {
+	flat := make([]int, r*c)
+	rows := make([][]int, r)
+	for i := range rows {
+		rows[i] = flat[i*c : (i+1)*c : (i+1)*c]
+	}
+	return rows
+}
+
 // component is one topic's Gaussian over a concentration space, stored
 // as mean and precision with a cached density object.
 type component struct {
@@ -38,9 +49,13 @@ type Sampler struct {
 	Z [][]int // topic of each texture token
 	Y []int   // concentration topic of each recipe
 
-	// Count statistics.
+	// Count statistics. The topic-word table is stored vocab-major
+	// (nwk[w][k]) so the z kernel's inner loop over topics reads one
+	// contiguous K-length row per token instead of striding across K
+	// separate V-length rows — the counts are integers, so the layout
+	// is observationally exact.
 	ndk [][]int // docs × topics: texture tokens of d in k
-	nkw [][]int // topics × vocab: tokens of word w in k
+	nwk [][]int // vocab × topics: tokens of word w in k
 	nk  []int   // topics: total tokens in k
 	nd  []int   // docs: tokens in d (fixed)
 	mk  []int   // topics: recipes with y_d = k
@@ -59,6 +74,47 @@ type Sampler struct {
 	// sweep is the number of completed Gibbs sweeps; Run continues from
 	// here, so a sampler restored from a Snapshot resumes mid-schedule.
 	sweep int
+
+	// scr holds every per-sweep buffer the hot loops would otherwise
+	// allocate per document or per topic. It is pure scratch — never
+	// serialized, rebuilt by NewSampler/ResumeSampler — so it cannot
+	// perturb the determinism or snapshot contracts.
+	scr samplerScratch
+}
+
+// samplerScratch is the sampler's reusable working memory.
+type samplerScratch struct {
+	weights []float64 // z kernel, length K
+	logw    []float64 // y kernel, length K
+	catW    []float64 // CategoricalLog exponentiation buffer, length K
+	gelDiff []float64 // Gaussian.LogPdfScratch centering, gel space
+	emuDiff []float64 // Gaussian.LogPdfScratch centering, emulsion space
+
+	// Component-resampling buffers: per-topic member lists and the
+	// feature-slice views handed to the Normal-Wishart posterior.
+	members  [][]int
+	gxs, exs [][]float64
+	gelPost  *stats.PosteriorScratch
+	emuPost  *stats.PosteriorScratch
+
+	par []parShard // parallel-sweep worker state, sized on first use
+}
+
+// initScratch sizes the scratch for the sampler's shape. Parallel-shard
+// state is created lazily by sweepParallel (the shard count depends on
+// the live worker count).
+func (s *Sampler) initScratch() {
+	k := s.cfg.K
+	s.scr = samplerScratch{
+		weights: make([]float64, k),
+		logw:    make([]float64, k),
+		catW:    make([]float64, k),
+		gelDiff: make([]float64, s.gelDim),
+		emuDiff: make([]float64, s.emuDim),
+		members: make([][]int, k),
+		gelPost: s.cfg.GelPrior.NewPosteriorScratch(),
+		emuPost: s.cfg.EmuPrior.NewPosteriorScratch(),
+	}
 }
 
 // prepareConfig validates cfg against data, fills in empirical priors
@@ -132,12 +188,9 @@ func NewSampler(data *Data, cfg Config) (*Sampler, error) {
 	s.Y = make([]int, d)
 	s.ndk = make([][]int, d)
 	s.nd = make([]int, d)
-	s.nkw = make([][]int, cfg.K)
+	s.nwk = makeCountTable(data.V, cfg.K)
 	s.nk = make([]int, cfg.K)
 	s.mk = make([]int, cfg.K)
-	for k := range s.nkw {
-		s.nkw[k] = make([]int, data.V)
-	}
 	var yInit []int
 	if !cfg.RandomInit {
 		yInit = initYKMeans(data.Gel, cfg.K, s.rng)
@@ -162,10 +215,11 @@ func NewSampler(data *Data, cfg Config) (*Sampler, error) {
 			}
 			s.Z[i][n] = k
 			s.ndk[i][k]++
-			s.nkw[k][w]++
+			s.nwk[w][k]++
 			s.nk[k]++
 		}
 	}
+	s.initScratch()
 	if cfg.Collapsed {
 		s.gelAcc = make([]*stats.NWAccum, cfg.K)
 		s.emuAcc = make([]*stats.NWAccum, cfg.K)
@@ -281,26 +335,30 @@ func (s *Sampler) sweepSequential() (phaseTimes, error) {
 // recipe's concentration topic through the shared θ_d.
 func (s *Sampler) sampleZ(d int) {
 	w := s.data.Words[d]
-	weights := make([]float64, s.cfg.K)
+	weights := s.scr.weights
+	ndk := s.ndk[d]
+	yd := s.Y[d]
+	K := s.cfg.K
 	gv := s.cfg.Gamma * float64(s.data.V)
 	for n, word := range w {
 		old := s.Z[d][n]
-		s.ndk[d][old]--
-		s.nkw[old][word]--
+		row := s.nwk[word]
+		ndk[old]--
+		row[old]--
 		s.nk[old]--
-		for k := 0; k < s.cfg.K; k++ {
+		for k := 0; k < K; k++ {
 			m := 0.0
-			if s.Y[d] == k {
+			if yd == k {
 				m = 1
 			}
-			weights[k] = (float64(s.ndk[d][k]) + m + s.cfg.Alpha) *
-				(float64(s.nkw[k][word]) + s.cfg.Gamma) /
+			weights[k] = (float64(ndk[k]) + m + s.cfg.Alpha) *
+				(float64(row[k]) + s.cfg.Gamma) /
 				(float64(s.nk[k]) + gv)
 		}
 		k := s.rng.Categorical(weights)
 		s.Z[d][n] = k
-		s.ndk[d][k]++
-		s.nkw[k][word]++
+		ndk[k]++
+		row[k]++
 		s.nk[k]++
 	}
 }
@@ -316,16 +374,16 @@ func (s *Sampler) sampleZ(d int) {
 func (s *Sampler) sampleY(d int) {
 	old := s.Y[d]
 	s.mk[old]--
-	logw := make([]float64, s.cfg.K)
+	logw := s.scr.logw
 	for k := 0; k < s.cfg.K; k++ {
 		lw := math.Log(float64(s.ndk[d][k]) + s.cfg.Alpha)
-		lw += s.gelComp[k].gauss.LogPdf(s.data.Gel[d])
+		lw += s.gelComp[k].gauss.LogPdfScratch(s.data.Gel[d], s.scr.gelDiff)
 		if s.cfg.UseEmulsion {
-			lw += s.cfg.EmulsionWeight * s.emuComp[k].gauss.LogPdf(s.data.Emu[d])
+			lw += s.cfg.EmulsionWeight * s.emuComp[k].gauss.LogPdfScratch(s.data.Emu[d], s.scr.emuDiff)
 		}
 		logw[k] = lw
 	}
-	k := s.rng.CategoricalLog(logw)
+	k := s.rng.CategoricalLogScratch(logw, s.scr.catW)
 	s.Y[d] = k
 	s.mk[k]++
 }
@@ -336,7 +394,7 @@ func (s *Sampler) sampleY(d int) {
 // recipes currently assigned to k, maintained incrementally through
 // sufficient-statistic accumulators.
 func (s *Sampler) sampleYCollapsed() {
-	logw := make([]float64, s.cfg.K)
+	logw := s.scr.logw
 	for d := range s.data.Words {
 		old := s.Y[d]
 		s.mk[old]--
@@ -351,7 +409,7 @@ func (s *Sampler) sampleYCollapsed() {
 			}
 			logw[k] = lw
 		}
-		k := s.rng.CategoricalLog(logw)
+		k := s.rng.CategoricalLogScratch(logw, s.scr.catW)
 		s.Y[d] = k
 		s.mk[k]++
 		s.gelAcc[k].Add(s.data.Gel[d])
@@ -370,33 +428,43 @@ func (s *Sampler) membersByTopic() [][]int {
 // resampleComponents draws (μ_k, Λ_k) and (m_k, L_k) from their
 // Normal-Wishart posteriors given the recipes currently assigned to
 // each topic — equation (4). Topics with no recipes draw from the
-// prior.
+// prior. The member lists and feature views are rebuilt into sampler
+// scratch in document order — the same summation order as a fresh
+// build, so the posteriors (and therefore the chain) are bit-identical
+// to the allocating implementation.
 func (s *Sampler) resampleComponents() error {
-	members := s.membersByTopic()
-	gel := make([]component, s.cfg.K)
-	emu := make([]component, s.cfg.K)
+	members := s.scr.members
+	for k := range members {
+		members[k] = members[k][:0]
+	}
+	for d, y := range s.Y {
+		members[y] = append(members[y], d)
+	}
+	if s.gelComp == nil {
+		s.gelComp = make([]component, s.cfg.K)
+		s.emuComp = make([]component, s.cfg.K)
+	}
+	gxs, exs := s.scr.gxs, s.scr.exs
 	for k := 0; k < s.cfg.K; k++ {
-		gxs := make([][]float64, len(members[k]))
-		exs := make([][]float64, len(members[k]))
-		for i, d := range members[k] {
-			gxs[i] = s.data.Gel[d]
-			exs[i] = s.data.Emu[d]
+		gxs, exs = gxs[:0], exs[:0]
+		for _, d := range members[k] {
+			gxs = append(gxs, s.data.Gel[d])
+			exs = append(exs, s.data.Emu[d])
 		}
-		mu, lam := s.cfg.GelPrior.Posterior(gxs).Sample(s.rng)
+		mu, lam := s.cfg.GelPrior.PosteriorWith(gxs, s.scr.gelPost).Sample(s.rng)
 		c, err := newComponent(mu, lam)
 		if err != nil {
 			return fmt.Errorf("gel component %d: %w", k, err)
 		}
-		gel[k] = c
-		m, l := s.cfg.EmuPrior.Posterior(exs).Sample(s.rng)
+		s.gelComp[k] = c
+		m, l := s.cfg.EmuPrior.PosteriorWith(exs, s.scr.emuPost).Sample(s.rng)
 		c, err = newComponent(m, l)
 		if err != nil {
 			return fmt.Errorf("emulsion component %d: %w", k, err)
 		}
-		emu[k] = c
+		s.emuComp[k] = c
 	}
-	s.gelComp = gel
-	s.emuComp = emu
+	s.scr.gxs, s.scr.exs = gxs[:0], exs[:0]
 	return nil
 }
 
@@ -410,7 +478,7 @@ func (s *Sampler) logLikelihood() float64 {
 	for d, words := range s.data.Words {
 		for n, w := range words {
 			k := s.Z[d][n]
-			ll += math.Log((float64(s.nkw[k][w]) + s.cfg.Gamma) / (float64(s.nk[k]) + gv))
+			ll += math.Log((float64(s.nwk[w][k]) + s.cfg.Gamma) / (float64(s.nk[k]) + gv))
 		}
 	}
 	if s.cfg.Collapsed {

@@ -219,12 +219,9 @@ func ResumeSampler(data *Data, cfg Config, sn *Snapshot) (*Sampler, error) {
 	s.Y = make([]int, d)
 	s.ndk = make([][]int, d)
 	s.nd = make([]int, d)
-	s.nkw = make([][]int, cfg.K)
+	s.nwk = makeCountTable(data.V, cfg.K)
 	s.nk = make([]int, cfg.K)
 	s.mk = make([]int, cfg.K)
-	for k := range s.nkw {
-		s.nkw[k] = make([]int, data.V)
-	}
 	for i := 0; i < d; i++ {
 		if len(sn.Z[i]) != len(data.Words[i]) {
 			return nil, fmt.Errorf("core: snapshot doc %d has %d tokens, data has %d: %w",
@@ -245,10 +242,11 @@ func ResumeSampler(data *Data, cfg Config, sn *Snapshot) (*Sampler, error) {
 				return nil, fmt.Errorf("core: snapshot z[%d][%d]=%d outside [0,%d): %w", i, n, k, cfg.K, ErrSnapshot)
 			}
 			s.ndk[i][k]++
-			s.nkw[k][w]++
+			s.nwk[w][k]++
 			s.nk[k]++
 		}
 	}
+	s.initScratch()
 
 	if cfg.Collapsed {
 		if len(sn.GelAcc) != cfg.K || len(sn.EmuAcc) != cfg.K {

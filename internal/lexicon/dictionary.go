@@ -12,6 +12,13 @@ type Dictionary struct {
 	terms    []Term
 	byKana   map[string]int
 	byRomaji map[string]int
+
+	// tok is the shared extraction tokenizer, built on first use. The
+	// trie behind it is never mutated afterwards, so one instance
+	// serves all goroutines; rebuilding it per extraction dominated
+	// the annotation hot path before it was cached here.
+	tokOnce sync.Once
+	tok     *textseg.Tokenizer
 }
 
 var (
@@ -102,20 +109,25 @@ func (d *Dictionary) Trie() *textseg.Trie {
 }
 
 // Tokenizer returns a tokenizer whose dictionary hits are texture terms
-// of this dictionary.
+// of this dictionary. Each call returns a fresh Tokenizer (callers may
+// set KeepPunct), but all of them share one immutable trie.
 func (d *Dictionary) Tokenizer() *textseg.Tokenizer {
-	return textseg.NewTokenizer(d.Trie())
+	return textseg.NewTokenizer(d.sharedTokenizer().Dict())
+}
+
+// sharedTokenizer lazily builds the one trie-backed tokenizer behind
+// ExtractTermIDs and Tokenizer.
+func (d *Dictionary) sharedTokenizer() *textseg.Tokenizer {
+	d.tokOnce.Do(func() {
+		d.tok = textseg.NewTokenizer(d.Trie())
+	})
+	return d.tok
 }
 
 // ExtractTermIDs tokenizes text and returns the IDs of the texture
 // terms found, in order of appearance (with repetitions).
 func (d *Dictionary) ExtractTermIDs(text string) []int {
-	toks := d.Tokenizer().DictTokens(text)
-	out := make([]int, len(toks))
-	for i, t := range toks {
-		out[i] = t.DictID
-	}
-	return out
+	return d.sharedTokenizer().DictIDs(text)
 }
 
 // GelRelated returns the IDs of all gel-related terms.

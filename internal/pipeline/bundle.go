@@ -149,6 +149,13 @@ func decodeBundleBody(r io.Reader) (*Output, error) {
 		return nil, fmt.Errorf("pipeline: bundle has %d docs but model has %d rows: %w",
 			len(b.Docs), len(model.Theta), ErrCorrupt)
 	}
+	// Prebuild the fold-in kernel: it validates the model shape (a
+	// structurally broken bundle is corruption, not a serving-time
+	// panic) and pays the per-model cache cost at load instead of on
+	// the first annotation request.
+	if _, err := model.BuildKernel(); err != nil {
+		return nil, fmt.Errorf("pipeline: bundle model: %w: %w", ErrCorrupt, err)
+	}
 	out := &Output{
 		Dict:          lexicon.Default(),
 		Docs:          b.Docs,

@@ -173,6 +173,12 @@ func RunOnRecipes(recipes []*recipe.Recipe, opts Options) (*Output, error) {
 	}
 	out.recordStage(opts.Metrics, "model", modelStart)
 	out.Model = res
+	// A freshly fitted model is structurally sound by construction;
+	// prebuilding the fold-in kernel here moves its one-time cost off
+	// the first annotation request.
+	if _, err := res.BuildKernel(); err != nil {
+		return nil, fmt.Errorf("pipeline: fold-in kernel: %w", err)
+	}
 	return out, nil
 }
 

@@ -74,6 +74,22 @@ func (g *Gate) Acquire(ctx context.Context) error {
 	}
 }
 
+// TryAcquire admits the caller only when a slot is free right now —
+// no waiting, no shed accounting. Batch handlers use it to claim
+// opportunistic extra slots beyond the one they were admitted on:
+// spare capacity parallelizes the batch, a busy gate does not shed
+// traffic for it. A true return must be paired with exactly one
+// Release.
+func (g *Gate) TryAcquire() bool {
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
 // Release frees one slot. Calling it without a matching Acquire is a
 // programming error and panics.
 func (g *Gate) Release() {

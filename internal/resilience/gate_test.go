@@ -33,6 +33,26 @@ func TestGateAdmitsUpToCapacity(t *testing.T) {
 	}
 }
 
+func TestGateTryAcquire(t *testing.T) {
+	g := NewGate(2, time.Second)
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("TryAcquire refused free slots")
+	}
+	if g.TryAcquire() {
+		t.Fatal("TryAcquire took a slot past capacity")
+	}
+	if g.Shed() != 0 {
+		t.Errorf("shed=%d; TryAcquire must not count as shed", g.Shed())
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Error("TryAcquire refused a released slot")
+	}
+	if g.InUse() != 2 || g.Admitted() != 3 {
+		t.Errorf("inUse=%d admitted=%d", g.InUse(), g.Admitted())
+	}
+}
+
 func TestGateWaitsForSlot(t *testing.T) {
 	g := NewGate(1, time.Second)
 	if err := g.Acquire(context.Background()); err != nil {

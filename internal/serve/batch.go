@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/annotate"
+	"repro/internal/core"
+	"repro/internal/recipe"
+	"repro/internal/resilience"
+)
+
+// batchBufPool recycles the request/response byte buffers of the
+// batch endpoint, so steady-state batches do not reallocate megabyte
+// bodies per call.
+var batchBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// batchRequest is the wire form of POST /annotate/batch.
+type batchRequest struct {
+	Recipes []*recipe.Recipe `json:"recipes"`
+}
+
+// batchItem is one recipe's outcome, index-aligned with the request.
+// Exactly one of Card or Error is set; Status carries the HTTP status
+// the item would have received as a single request.
+type batchItem struct {
+	Index  int                `json:"index"`
+	Card   *annotate.WireCard `json:"card,omitempty"`
+	Error  string             `json:"error,omitempty"`
+	Status int                `json:"status,omitempty"`
+}
+
+// batchResponse is the wire form of a batch result. Results preserve
+// request order; a failed item never fails its siblings.
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+	Served  int         `json:"served"`
+	Failed  int         `json:"failed"`
+}
+
+// handleAnnotateBatch folds a batch of recipes in parallel across the
+// annotator pool. Admission takes one gate slot the way a single
+// request would (shed with 429 when saturated), then claims
+// opportunistic extra slots — up to the pool size or the batch size,
+// whichever is smaller — so spare capacity shortens the batch without
+// starving single-recipe traffic. Items fail individually: a recipe
+// the model cannot cover reports its own error and status at its
+// index while the rest of the batch completes. When the request
+// context ends mid-batch the remaining items are shed with the
+// context's status instead of burning Gibbs sweeps on them.
+func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "model not ready", http.StatusServiceUnavailable)
+		return
+	}
+	ctx := r.Context()
+
+	// The whole batch shares a body cap of MaxBody per allowed recipe.
+	buf := batchBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer batchBufPool.Put(buf)
+	limit := s.opts.MaxBody * int64(s.opts.MaxBatch)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, limit)); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("batch body over %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading batch body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req batchRequest
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad batch JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Recipes) == 0 {
+		http.Error(w, "batch has no recipes", http.StatusBadRequest)
+		return
+	}
+	if len(req.Recipes) > s.opts.MaxBatch {
+		http.Error(w, fmt.Sprintf("batch of %d recipes over the %d limit", len(req.Recipes), s.opts.MaxBatch),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	// One slot is admitted under the normal shed policy; extras are
+	// taken only if free right now.
+	if err := s.gate.Acquire(ctx); err != nil {
+		switch {
+		case errors.Is(err, resilience.ErrSaturated):
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.gate.RetryAfter().Seconds())))
+			http.Error(w, "annotator pool saturated; retry shortly", http.StatusTooManyRequests)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.mTimeouts.Inc()
+			http.Error(w, "timed out waiting for an annotator", http.StatusGatewayTimeout)
+		}
+		return
+	}
+	workers := 1
+	for workers < s.opts.Pool && workers < len(req.Recipes) && s.gate.TryAcquire() {
+		workers++
+	}
+
+	s.mu.RLock()
+	pool := s.pool
+	s.mu.RUnlock()
+
+	results := make([]batchItem, len(req.Recipes))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer s.gate.Release()
+			ann := <-pool
+			defer func() { pool <- ann }()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(req.Recipes) {
+					return
+				}
+				results[i] = s.annotateBatchItem(ctx, ann, i, req.Recipes[i])
+			}
+		}()
+	}
+	wg.Wait()
+	s.mBatches.Inc()
+
+	resp := batchResponse{Results: results}
+	for i := range results {
+		if results[i].Card != nil {
+			resp.Served++
+		} else {
+			resp.Failed++
+		}
+	}
+	out := batchBufPool.Get().(*bytes.Buffer)
+	out.Reset()
+	defer batchBufPool.Put(out)
+	enc := json.NewEncoder(out)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(resp); err != nil {
+		s.logf("serve: /annotate/batch: response encode: %v", err)
+		http.Error(w, "internal encoding failure", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(out.Len()))
+	if _, err := w.Write(out.Bytes()); err != nil {
+		s.logf("serve: /annotate/batch: response write: %v", err)
+	}
+}
+
+// annotateBatchItem runs one batch item, mapping its failure to the
+// status a single request would have seen. A panic is contained to
+// the item (the worker goroutine is outside the Recover middleware).
+func (s *Server) annotateBatchItem(ctx context.Context, ann *annotate.Annotator, i int, rec *recipe.Recipe) (item batchItem) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.mPanics.Inc()
+			s.logf("serve: /annotate/batch item %d: panic: %v", i, v)
+			item = batchItem{Index: i, Error: "internal annotation failure", Status: http.StatusInternalServerError}
+		}
+	}()
+	if rec == nil {
+		return batchItem{Index: i, Error: "null recipe", Status: http.StatusBadRequest}
+	}
+	// A dead context sheds the rest of the batch before any sweeps run.
+	if err := ctx.Err(); err != nil {
+		return s.batchFailure(i, err)
+	}
+	if err := resilience.Inject(ctx, s.opts.Injector, "annotate"); err != nil {
+		return s.batchFailure(i, err)
+	}
+	card, err := ann.Annotate(ctx, rec)
+	if err != nil {
+		return s.batchFailure(i, err)
+	}
+	s.mServed.Inc()
+	wire := card.Wire()
+	return batchItem{Index: i, Card: &wire}
+}
+
+// batchFailure is failAnnotate for one batch index: same status
+// mapping, but recorded in the item instead of the response status.
+func (s *Server) batchFailure(i int, err error) batchItem {
+	switch {
+	case errors.Is(err, annotate.ErrRecipe):
+		return batchItem{Index: i, Error: err.Error(), Status: http.StatusUnprocessableEntity}
+	case errors.Is(err, context.DeadlineExceeded):
+		s.mTimeouts.Inc()
+		return batchItem{Index: i, Error: "annotation timed out", Status: http.StatusGatewayTimeout}
+	case errors.Is(err, context.Canceled), errors.Is(err, core.ErrCanceled):
+		// 499: client closed request (the nginx convention) — there is
+		// no one left to read the card.
+		return batchItem{Index: i, Error: "annotation canceled", Status: 499}
+	default:
+		s.logf("serve: /annotate/batch item %d: internal: %v", i, err)
+		return batchItem{Index: i, Error: "internal annotation failure", Status: http.StatusInternalServerError}
+	}
+}

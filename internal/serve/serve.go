@@ -51,6 +51,10 @@ type Options struct {
 	RequestTimeout time.Duration
 	// MaxBody caps the /annotate request body; larger bodies get 413.
 	MaxBody int64
+	// MaxBatch caps the recipes per /annotate/batch request; larger
+	// batches get 413 (the batch body may total MaxBody × MaxBatch
+	// bytes). Default 64 when unset.
+	MaxBatch int
 	// FoldInIters overrides the Gibbs sweeps per annotation when
 	// positive (the annotator default otherwise).
 	FoldInIters int
@@ -92,6 +96,7 @@ func DefaultOptions() Options {
 		AdmitWait:      250 * time.Millisecond,
 		RequestTimeout: 5 * time.Second,
 		MaxBody:        1 << 20,
+		MaxBatch:       64,
 		Seed:           1,
 	}
 }
@@ -123,6 +128,7 @@ type Server struct {
 	mFoldinCanceled *obs.Counter
 	mSwaps          *obs.Counter
 	mSwapTime       *obs.Gauge
+	mBatches        *obs.Counter
 }
 
 // NewPending builds a server with no model yet: /healthz answers,
@@ -135,6 +141,9 @@ func NewPending(opts Options) *Server {
 	}
 	if opts.MaxBody <= 0 {
 		opts.MaxBody = 1 << 20
+	}
+	if opts.MaxBatch < 1 {
+		opts.MaxBatch = 64
 	}
 	logf := opts.Logf
 	if logf == nil {
@@ -164,6 +173,8 @@ func NewPending(opts Options) *Server {
 			"Model installs and live swaps performed.", nil),
 		mSwapTime: reg.Gauge("serve_model_swap_timestamp_seconds",
 			"Unix time of the most recent model install or swap.", nil),
+		mBatches: reg.Counter("serve_annotate_batches_total",
+			"Batch annotation requests completed (items count into serve_annotate_served_total).", nil),
 	}
 	reg.GaugeFunc("serve_model_generation", "Monotonic model generation; 0 until the first install.", nil,
 		func() float64 { return float64(s.generation.Load()) })
@@ -193,6 +204,12 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 // model; annotate.New rejects it.
 func (s *Server) buildPool(out *pipeline.Output) (chan *annotate.Annotator, error) {
 	if out.Model != nil {
+		// Build the fold-in kernel before serving so a degenerate model
+		// fails the install (not the first request) and no request pays
+		// the per-model precomputation.
+		if _, err := out.Model.BuildKernel(); err != nil {
+			return nil, fmt.Errorf("serve: fold-in kernel: %w", err)
+		}
 		out.Model.FoldInHook = func(st core.FoldInStats) {
 			s.mFoldinSeconds.Observe(st.Total.Seconds())
 			s.mFoldinSweeps.Add(int64(st.Sweeps))
@@ -344,7 +361,8 @@ func (s *Server) Stats() Stats {
 // Handler returns the HTTP routes wrapped in the resilience
 // middleware stack:
 //
-//	POST /annotate   body: one recipe JSON object → texture card JSON
+//	POST /annotate        body: one recipe JSON object → texture card JSON
+//	POST /annotate/batch  body: {"recipes": [...]} → index-aligned results
 //	GET  /topics     the fitted topics with gel doses and top terms
 //	GET  /healthz    liveness: the process is up
 //	GET  /readyz     readiness: the model is fitted and not draining
@@ -362,6 +380,7 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle(pattern, obs.Instrument(s.reg, label, h))
 	}
 	route("POST /annotate", "/annotate", s.handleAnnotate)
+	route("POST /annotate/batch", "/annotate/batch", s.handleAnnotateBatch)
 	route("GET /topics", "/topics", s.handleTopics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)

@@ -130,8 +130,7 @@ func cloneOutput(t *testing.T) *pipeline.Output {
 	t.Helper()
 	src := fixtureOutput(t)
 	o := *src
-	m := *src.Model
-	o.Model = &m
+	o.Model = src.Model.ShallowClone()
 	return &o
 }
 

@@ -125,6 +125,101 @@ func (c *Cholesky) HalfQuadratic(x []float64) float64 {
 	return Dot(y, y)
 }
 
+// CholeskyInto factorizes the symmetric positive definite matrix a into
+// the preallocated lower-triangular dst (upper triangle is zeroed), the
+// allocation-free counterpart of NewCholesky for hot paths that reuse a
+// factor buffer. Only the lower triangle of a is read, so a need not be
+// exactly symmetric.
+func CholeskyInto(dst, a *Mat) error {
+	a.assertSquare()
+	if dst.R != a.R || dst.C != a.C {
+		panic("stats: dim mismatch in CholeskyInto")
+	}
+	n := a.R
+	l := dst
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return fmt.Errorf("%w (pivot %d = %g)", ErrNotPositiveDefinite, j, d)
+		}
+		root := math.Sqrt(d)
+		l.Set(j, j, root)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/root)
+		}
+		for i := 0; i < j; i++ {
+			l.Set(i, j, 0)
+		}
+	}
+	return nil
+}
+
+// Rank1Update rewrites the lower-triangular factor l of A in place into
+// the factor of A + x·xᵀ using Givens rotations — O(d²) instead of the
+// O(d³) refactorization. work is caller-provided scratch of length d
+// (clobbered); x itself is not mutated.
+func Rank1Update(l *Mat, x, work []float64) {
+	l.assertSquare()
+	n := l.R
+	if len(x) != n || len(work) < n {
+		panic("stats: dim mismatch in Rank1Update")
+	}
+	w := work[:n]
+	copy(w, x)
+	for k := 0; k < n; k++ {
+		lkk := l.At(k, k)
+		r := math.Hypot(lkk, w[k])
+		c := r / lkk
+		s := w[k] / lkk
+		l.Set(k, k, r)
+		for i := k + 1; i < n; i++ {
+			v := (l.At(i, k) + s*w[i]) / c
+			l.Set(i, k, v)
+			w[i] = c*w[i] - s*v
+		}
+	}
+}
+
+// Rank1Downdate rewrites the lower-triangular factor l of A in place
+// into the factor of A − x·xᵀ via hyperbolic rotations, or returns
+// ErrNotPositiveDefinite (leaving l partially modified) when the
+// downdated matrix is not positive definite. work is caller-provided
+// scratch of length d (clobbered); x itself is not mutated.
+func Rank1Downdate(l *Mat, x, work []float64) error {
+	l.assertSquare()
+	n := l.R
+	if len(x) != n || len(work) < n {
+		panic("stats: dim mismatch in Rank1Downdate")
+	}
+	w := work[:n]
+	copy(w, x)
+	for k := 0; k < n; k++ {
+		lkk := l.At(k, k)
+		d := (lkk - w[k]) * (lkk + w[k])
+		if d <= 0 || math.IsNaN(d) {
+			return fmt.Errorf("%w (downdate pivot %d = %g)", ErrNotPositiveDefinite, k, d)
+		}
+		r := math.Sqrt(d)
+		c := r / lkk
+		s := w[k] / lkk
+		l.Set(k, k, r)
+		for i := k + 1; i < n; i++ {
+			v := (l.At(i, k) - s*w[i]) / c
+			l.Set(i, k, v)
+			w[i] = c*w[i] - s*v
+		}
+	}
+	return nil
+}
+
 // Inverse returns the inverse of a symmetric positive definite matrix,
 // or an error if it is not positive definite.
 func Inverse(a *Mat) (*Mat, error) {

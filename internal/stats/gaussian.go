@@ -55,6 +55,37 @@ func (g *Gaussian) LogPdf(x []float64) float64 {
 	return 0.5*(g.logDet-float64(g.Dim())*log2Pi) - 0.5*g.quadForm(x)
 }
 
+// LogPdfScratch is LogPdf with a caller-provided scratch buffer (length
+// ≥ Dim) holding the centered vector, so the subtraction x−μ happens
+// once instead of once per matrix row. It returns bit-identical values
+// to LogPdf — the products and summation order are unchanged — and sits
+// on the sampler's innermost loop where the d× redundant subtractions
+// of the plain path are measurable.
+func (g *Gaussian) LogPdfScratch(x, scratch []float64) float64 {
+	d := len(g.Mean)
+	if len(x) != d || len(scratch) < d {
+		panic("stats: dim mismatch in Gaussian.LogPdfScratch")
+	}
+	diff := scratch[:d]
+	for i := 0; i < d; i++ {
+		diff[i] = x[i] - g.Mean[i]
+	}
+	q := 0.0
+	for i := 0; i < d; i++ {
+		di := diff[i]
+		if di == 0 {
+			continue
+		}
+		row := g.Precision.Data[i*d : (i+1)*d]
+		s := 0.0
+		for j := 0; j < d; j++ {
+			s += row[j] * diff[j]
+		}
+		q += di * s
+	}
+	return 0.5*(g.logDet-float64(d)*log2Pi) - 0.5*q
+}
+
 // quadForm computes (x−μ)ᵀ·Λ·(x−μ) without temporaries.
 func (g *Gaussian) quadForm(x []float64) float64 {
 	d := len(g.Mean)

@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // NormalWishart is the conjugate prior NW(μ₀, β, ν, S) over the mean and
@@ -18,6 +19,12 @@ type NormalWishart struct {
 	Beta float64
 	Nu   float64
 	S    *Mat // scale matrix of the Wishart
+
+	// sInvOnce/sInvCache memoize Inverse(RegularizeSPD(S, 1e-12)), a
+	// constant the posterior update needs on every call. S must not be
+	// mutated after the first posterior/predictive evaluation.
+	sInvOnce  sync.Once
+	sInvCache *Mat
 }
 
 // NewNormalWishart validates and constructs a Normal-Wishart prior.
@@ -41,6 +48,42 @@ func NewNormalWishart(mu0 []float64, beta, nu float64, s *Mat) (*NormalWishart, 
 // Dim returns the dimensionality.
 func (nw *NormalWishart) Dim() int { return len(nw.Mu0) }
 
+// priorSInv returns the memoized S⁻¹ (regularized exactly as the
+// original per-call computation was, so values are bit-identical).
+// Callers must treat the result as read-only.
+func (nw *NormalWishart) priorSInv() *Mat {
+	nw.sInvOnce.Do(func() {
+		inv, err := Inverse(RegularizeSPD(nw.S, 1e-12))
+		if err != nil {
+			panic(err) // prior validated at construction
+		}
+		nw.sInvCache = inv
+	})
+	return nw.sInvCache
+}
+
+// PosteriorScratch holds the reusable intermediates of a posterior
+// update — sample mean, centered vector, scatter matrix and the
+// assembled S'⁻¹ — so a Gibbs sweep that recomputes K posteriors per
+// iteration stops allocating them. Obtain one per goroutine via
+// NewPosteriorScratch; a scratch must not be shared concurrently.
+type PosteriorScratch struct {
+	mean, diff []float64
+	scatter    *Mat
+	sInv       *Mat
+}
+
+// NewPosteriorScratch returns scratch sized for this prior's dimension.
+func (nw *NormalWishart) NewPosteriorScratch() *PosteriorScratch {
+	d := nw.Dim()
+	return &PosteriorScratch{
+		mean:    make([]float64, d),
+		diff:    make([]float64, d),
+		scatter: NewMat(d, d),
+		sInv:    NewMat(d, d),
+	}
+}
+
 // Posterior returns the Normal-Wishart posterior given observations xs.
 // With n observations, sample mean x̄ and scatter Σᵢ(xᵢ−x̄)(xᵢ−x̄)ᵀ:
 //
@@ -49,12 +92,23 @@ func (nw *NormalWishart) Dim() int { return len(nw.Mu0) }
 //
 // These are the update formulas the paper states under equation (4).
 func (nw *NormalWishart) Posterior(xs [][]float64) *NormalWishart {
+	return nw.PosteriorWith(xs, nw.NewPosteriorScratch())
+}
+
+// PosteriorWith is Posterior using caller-provided scratch for all
+// intermediates, allocating only the returned posterior itself. The
+// arithmetic (operation order, centering, rank-one terms) is unchanged,
+// so results are bit-identical to Posterior.
+func (nw *NormalWishart) PosteriorWith(xs [][]float64, scr *PosteriorScratch) *NormalWishart {
 	d := nw.Dim()
 	n := len(xs)
 	if n == 0 {
 		return &NormalWishart{Mu0: CloneVec(nw.Mu0), Beta: nw.Beta, Nu: nw.Nu, S: nw.S.Clone()}
 	}
-	mean := make([]float64, d)
+	mean := scr.mean[:d]
+	for i := range mean {
+		mean[i] = 0
+	}
 	for _, x := range xs {
 		if len(x) != d {
 			panic("stats: dim mismatch in NormalWishart.Posterior")
@@ -66,9 +120,15 @@ func (nw *NormalWishart) Posterior(xs [][]float64) *NormalWishart {
 	for i := range mean {
 		mean[i] /= float64(n)
 	}
-	scatter := NewMat(d, d)
+	scatter := scr.scatter
+	for i := range scatter.Data {
+		scatter.Data[i] = 0
+	}
+	diff := scr.diff[:d]
 	for _, x := range xs {
-		diff := SubVec(x, mean)
+		for i := range diff {
+			diff[i] = x[i] - mean[i]
+		}
 		scatter.AddOuterScaled(1, diff, diff)
 	}
 	fn := float64(n)
@@ -78,13 +138,13 @@ func (nw *NormalWishart) Posterior(xs [][]float64) *NormalWishart {
 	for i := range muC {
 		muC[i] = (nw.Beta*nw.Mu0[i] + fn*mean[i]) / betaC
 	}
-	sInv, err := Inverse(RegularizeSPD(nw.S, 1e-12))
-	if err != nil {
-		panic(err) // prior validated at construction
+	sInv := scr.sInv
+	copy(sInv.Data, nw.priorSInv().Data)
+	for i := range diff {
+		diff[i] = mean[i] - nw.Mu0[i]
 	}
-	diff0 := SubVec(mean, nw.Mu0)
 	sInv.AddInPlace(scatter)
-	sInv.AddOuterScaled(nw.Beta*fn/betaC, diff0, diff0)
+	sInv.AddOuterScaled(nw.Beta*fn/betaC, diff, diff)
 	sC, err := Inverse(RegularizeSPD(sInv, 1e-12))
 	if err != nil {
 		panic(err)
@@ -127,11 +187,7 @@ func (nw *NormalWishart) PredictiveT() (*StudentT, error) {
 	if dof <= 0 {
 		return nil, fmt.Errorf("stats: predictive dof %g ≤ 0", dof)
 	}
-	sInv, err := Inverse(RegularizeSPD(nw.S, 1e-12))
-	if err != nil {
-		return nil, err
-	}
-	scale := sInv.Scale((nw.Beta + 1) / (nw.Beta * dof))
+	scale := nw.priorSInv().Scale((nw.Beta + 1) / (nw.Beta * dof))
 	return NewStudentT(nw.Mu0, scale, dof)
 }
 

@@ -33,6 +33,15 @@ func (r *RNG) UnmarshalState(b []byte) error {
 	return r.pcg.UnmarshalBinary(b)
 }
 
+// Reseed resets the generator to the exact state NewRNG(seed, stream)
+// would produce. The rand.Rand wrapper keeps no state of its own (the
+// same property MarshalState relies on), so a pooled RNG reseeded per
+// request yields the identical draw sequence to a freshly constructed
+// one — without the allocation.
+func (r *RNG) Reseed(seed, stream uint64) {
+	r.pcg.Seed(seed, stream)
+}
+
 // Float64 returns a uniform sample in [0,1).
 func (r *RNG) Float64() float64 { return r.src.Float64() }
 
@@ -162,6 +171,14 @@ func (r *RNG) Categorical(w []float64) int {
 // CategoricalLog samples an index from unnormalized log-weights using
 // the log-sum-exp trick; robust when densities underflow.
 func (r *RNG) CategoricalLog(logw []float64) int {
+	return r.CategoricalLogScratch(logw, make([]float64, len(logw)))
+}
+
+// CategoricalLogScratch is CategoricalLog with a caller-provided
+// scratch buffer (length ≥ len(logw)) for the exponentiated weights,
+// eliminating the per-draw allocation on sampler hot loops. The draw is
+// bit-identical to CategoricalLog. logw and scratch may not alias.
+func (r *RNG) CategoricalLogScratch(logw, scratch []float64) int {
 	m := math.Inf(-1)
 	for _, x := range logw {
 		if x > m {
@@ -171,7 +188,7 @@ func (r *RNG) CategoricalLog(logw []float64) int {
 	if math.IsInf(m, -1) {
 		panic("stats: CategoricalLog all weights -Inf")
 	}
-	w := make([]float64, len(logw))
+	w := scratch[:len(logw)]
 	for i, x := range logw {
 		w[i] = math.Exp(x - m)
 	}

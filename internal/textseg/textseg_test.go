@@ -271,3 +271,38 @@ func TestTrieMatchesReferenceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDictIDsMatchesDictTokens: the allocation-lean extraction path
+// must segment exactly like the full tokenizer.
+func TestDictIDsMatchesDictTokens(t *testing.T) {
+	tr := NewTrie()
+	tr.Insert("ぷるぷる", 1)
+	tr.Insert("ぷる", 2)
+	tr.Insert("かたい", 3)
+	tr.Insert("ねっとり", 4)
+	tok := NewTokenizer(tr)
+	for _, text := range []string{
+		"",
+		"このゼリーはぷるぷるでねっとりしていて、かたいです。",
+		"ぷるぷるぷるぷる",
+		"ぷるんぷるん",
+		"とても ぷるぷる です！ＰＵＲＵ",
+		"ｶﾀｲかたいカタイ",
+		"abcかたい123ねっとりxyz",
+		"。。。、、、",
+	} {
+		want := []int{}
+		for _, tk := range tok.DictTokens(text) {
+			want = append(want, tk.DictID)
+		}
+		got := tok.DictIDs(text)
+		if len(got) != len(want) {
+			t.Fatalf("%q: DictIDs %v, DictTokens IDs %v", text, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%q: DictIDs %v, DictTokens IDs %v", text, got, want)
+			}
+		}
+	}
+}

@@ -70,6 +70,45 @@ func (t *Tokenizer) Tokenize(text string) []Token {
 	return out
 }
 
+// Dict exposes the tokenizer's dictionary trie. The trie is shared,
+// not copied; callers must not Insert into it while the tokenizer is
+// in use.
+func (t *Tokenizer) Dict() *Trie {
+	return t.dict
+}
+
+// DictIDs returns the dictionary IDs matched in text, in order of
+// appearance. It walks the same longest-match segmentation as
+// Tokenize but materializes no surface strings and no Token records —
+// this is the extraction kernel the annotation hot path runs per
+// recipe.
+func (t *Tokenizer) DictIDs(text string) []int {
+	rs := []rune(Normalize(text))
+	var out []int
+	i := 0
+	for i < len(rs) {
+		c := ClassOf(rs[i])
+		if c == ClassSpace || c == ClassPunct {
+			i++
+			continue
+		}
+		if id, n, ok := t.dict.LongestMatch(rs, i); ok {
+			out = append(out, id)
+			i += n
+			continue
+		}
+		// Skip the unknown run, stopping where a dictionary word begins.
+		i++
+		for i < len(rs) && ClassOf(rs[i]) == c {
+			if _, _, ok := t.dict.LongestMatch(rs, i); ok {
+				break
+			}
+			i++
+		}
+	}
+	return out
+}
+
 // DictTokens returns only the dictionary-matched tokens of text, in
 // order. This is the operation the mining pipeline uses to extract
 // texture-term sequences from recipe descriptions.
