@@ -11,9 +11,9 @@ GO ?= go
 # ns/op.
 BENCHTIME ?= 100x
 BENCHCOUNT ?= 1
-BENCH_PATTERN := BenchmarkServeAnnotate|BenchmarkServeAnnotateBatch|BenchmarkFoldInPlacement|BenchmarkFoldInSteadyState|BenchmarkGibbsSweep|BenchmarkBundleSave|BenchmarkBundleLoad
+BENCH_PATTERN := BenchmarkServeAnnotate|BenchmarkServeAnnotateBatch|BenchmarkFoldInPlacement|BenchmarkFoldInSteadyState|BenchmarkGibbsSweep|BenchmarkBundleSave|BenchmarkBundleLoad|BenchmarkSupervisedFit|BenchmarkUnsupervisedFit
 
-.PHONY: build test verify bench-serve bench bench-compare bench-all profile fuzz-smoke
+.PHONY: build test verify smoke bench-serve bench bench-compare bench-all profile fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,16 @@ build:
 test:
 	$(GO) test ./...
 
-verify:
+verify: smoke
 	$(GO) vet ./... && $(GO) test -race ./...
+
+# The self-healing smoke: health classification, supervisor recovery
+# and checkpoint rollback under the race detector. A fast subset of
+# verify for iterating on the fit-recovery machinery, and an explicit
+# gate inside it — these paths involve watchdog goroutines and an
+# async checkpoint writer, so they must stay race-clean.
+smoke:
+	$(GO) test -race -run 'Health|Supervis|Rollback' ./internal/core ./internal/resilience ./internal/pipeline ./internal/serve
 
 # The pooled serve-path benchmark: tracks end-to-end /annotate
 # latency and shed count across PRs.

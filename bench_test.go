@@ -24,6 +24,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/recipe"
 	"repro/internal/report"
+	"repro/internal/resilience"
 	"repro/internal/rheology"
 	"repro/internal/rules"
 	"repro/internal/sensory"
@@ -1010,6 +1011,79 @@ func BenchmarkBundleSave(b *testing.B) {
 		size = buf.Len()
 	}
 	b.ReportMetric(float64(size), "bundle_bytes")
+}
+
+// supervisionBenchData draws a small well-separated three-topic corpus
+// from the model's generative process, sized so a full fit runs in
+// milliseconds — the point is the supervision delta, not sampler
+// throughput (BenchmarkGibbsSweep covers that).
+func supervisionBenchData() (*core.Data, core.Config) {
+	rng := stats.NewRNG(41, 99)
+	phi := [][]float64{
+		{.30, .30, .30, .03, .03, .02, .01, .005, .005},
+		{.01, .005, .005, .30, .30, .30, .03, .03, .02},
+		{.03, .03, .02, .01, .005, .005, .30, .30, .30},
+	}
+	gelMeans := [][]float64{{3, 9}, {6, 9}, {9, 4}}
+	emuMeans := [][]float64{{2, 8}, {8, 2}, {5, 5}}
+	data := &core.Data{V: 9}
+	for d := 0; d < 120; d++ {
+		k := d % 3
+		words := make([]int, 2+rng.IntN(4))
+		for i := range words {
+			words[i] = rng.Categorical(phi[k])
+		}
+		data.Words = append(data.Words, words)
+		data.Gel = append(data.Gel, []float64{rng.Normal(gelMeans[k][0], 0.25), rng.Normal(gelMeans[k][1], 0.25)})
+		data.Emu = append(data.Emu, []float64{rng.Normal(emuMeans[k][0], 0.3), rng.Normal(emuMeans[k][1], 0.3)})
+	}
+	cfg := core.DefaultConfig()
+	cfg.K = 3
+	cfg.Iterations = 30
+	cfg.BurnIn = 15
+	cfg.Seed = 9
+	return data, cfg
+}
+
+// BenchmarkUnsupervisedFit is the control for BenchmarkSupervisedFit:
+// the same fit with no health policy and no supervisor.
+func BenchmarkUnsupervisedFit(b *testing.B) {
+	data, cfg := supervisionBenchData()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fit(data, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSupervisedFit measures the same fit under the self-healing
+// supervisor with the always-on health classifier armed (NaN, collapse
+// and stall checks evaluated every sweep) on a chain that never
+// diverges — the steady-state overhead a healthy fit pays for the
+// safety net. Compare ns/op against BenchmarkUnsupervisedFit: the
+// delta is the supervision tax and must stay within a few percent.
+func BenchmarkSupervisedFit(b *testing.B) {
+	data, cfg := supervisionBenchData()
+	cfg.Health = core.HealthPolicy{
+		MaxLLDrop:    1e9, // armed but unreachable on a healthy chain
+		MinTopics:    1,
+		SweepTimeout: time.Hour,
+	}
+	sup := &resilience.Supervisor{MaxRestarts: 3}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, incidents, err := sup.RunFit(ctx, data, cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(incidents) != 0 {
+			b.Fatalf("healthy chain produced incidents: %+v", incidents)
+		}
+	}
 }
 
 // BenchmarkBundleLoad measures bundle deserialization with full

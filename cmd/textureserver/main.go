@@ -22,6 +22,7 @@
 //	textureserver [-addr :8080] [-bundle model.bundle]
 //	              [-scale 1.0] [-iters 300]
 //	              [-checkpoint-dir dir] [-checkpoint-every 25] [-resume]
+//	              [-supervise] [-max-restarts 3] [-sweep-timeout 0] [-max-ll-drop 0]
 //	              [-admin-token secret]
 //	              [-pool N] [-max-batch 64]
 //	              [-request-timeout 5s] [-drain-timeout 10s]
@@ -60,6 +61,10 @@ func main() {
 		ckDir        = flag.String("checkpoint-dir", "", "write startup-fit checkpoints into this directory")
 		ckEvery      = flag.Int("checkpoint-every", 25, "sweeps between checkpoints (with -checkpoint-dir)")
 		resume       = flag.Bool("resume", false, "resume the startup fit from -checkpoint-dir if a checkpoint exists")
+		supervise    = flag.Bool("supervise", false, "run the startup fit under the self-healing supervisor")
+		maxRst       = flag.Int("max-restarts", 3, "supervised recovery attempts after the first (with -supervise)")
+		sweepTO      = flag.Duration("sweep-timeout", 0, "supervised stall watchdog: abort a sweep exceeding this duration (0 disables)")
+		maxLLDrop    = flag.Float64("max-ll-drop", 0, "supervised divergence threshold below the best sweep's log-likelihood (0 disables)")
 		adminToken   = flag.String("admin-token", "", "X-Admin-Token required by POST /admin/reload (empty: no token check)")
 		pool         = flag.Int("pool", runtime.GOMAXPROCS(0), "concurrent fold-in annotators")
 		maxBatch     = flag.Int("max-batch", 64, "max recipes per POST /annotate/batch (413 over)")
@@ -109,6 +114,10 @@ func main() {
 			popts.Corpus.Scale = *scale
 			popts.Model.Iterations = *iters
 			popts.Checkpoint = pipeline.CheckpointOptions{Dir: *ckDir, Every: *ckEvery, Resume: *resume}
+			popts.Supervise = *supervise
+			popts.MaxRestarts = *maxRst
+			popts.SweepTimeout = *sweepTO
+			popts.MaxLLDrop = *maxLLDrop
 			// The fit records into the server's registry, so the sweep and
 			// stage series show up on the same /metrics page as the serving
 			// counters.

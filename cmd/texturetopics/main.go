@@ -10,6 +10,7 @@
 //	              [-collapsed] [-no-filter] [-no-emulsion]
 //	              [-model-out model.json] [-bundle-out model.bundle]
 //	              [-checkpoint-dir dir] [-checkpoint-every 25] [-resume]
+//	              [-supervise] [-max-restarts 3] [-sweep-timeout 0] [-max-ll-drop 0]
 //	              [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	              [-v] [-log-format text|json] [-log-every 50]
 package main
@@ -44,6 +45,10 @@ func main() {
 		ckDir     = flag.String("checkpoint-dir", "", "write crash-safe fit checkpoints into this directory")
 		ckEvery   = flag.Int("checkpoint-every", 25, "sweeps between checkpoints (with -checkpoint-dir)")
 		resume    = flag.Bool("resume", false, "resume the fit from -checkpoint-dir if a checkpoint exists")
+		supervise = flag.Bool("supervise", false, "run the fit under the self-healing supervisor (health checks, rollback, restart)")
+		maxRst    = flag.Int("max-restarts", 3, "supervised recovery attempts after the first (with -supervise)")
+		sweepTO   = flag.Duration("sweep-timeout", 0, "supervised stall watchdog: abort a sweep exceeding this duration (0 disables)")
+		maxLLDrop = flag.Float64("max-ll-drop", 0, "supervised divergence threshold: abort when log-likelihood drops this far below the best sweep (0 disables)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a post-run heap profile to this file")
 		verbose   = flag.Bool("v", false, "print progress and the validation summary")
@@ -91,6 +96,10 @@ func main() {
 	opts.Model.UseEmulsion = !*noEmu
 	opts.UseW2VFilter = !*noFilter
 	opts.Checkpoint = pipeline.CheckpointOptions{Dir: *ckDir, Every: *ckEvery, Resume: *resume}
+	opts.Supervise = *supervise
+	opts.MaxRestarts = *maxRst
+	opts.SweepTimeout = *sweepTO
+	opts.MaxLLDrop = *maxLLDrop
 	if *verbose {
 		logger := obs.NewLogger(os.Stderr, *logFormat)
 		opts.Model.Hooks = pipeline.SweepProgress(logger, *logEvery)
@@ -105,6 +114,10 @@ func main() {
 		fmt.Printf("corpus: %d recipes, %d kept (dropped: %d no-gel, %d no-texture, %d unrelated>10%%)\n",
 			len(out.AllRecipes), len(out.Kept),
 			out.FilterStats.NoGel, out.FilterStats.NoTexture, out.FilterStats.TooUnrelated)
+		for _, inc := range out.FitIncidents {
+			fmt.Printf("fit incident: attempt %d sweep %d %s → %s (%s)\n",
+				inc.Attempt, inc.Sweep, inc.Kind, inc.Action, inc.Detail)
+		}
 		if len(out.ExcludedTerms) > 0 {
 			fmt.Println("word2vec filter excluded terms:")
 			for term, offending := range out.ExcludedTerms {

@@ -127,6 +127,13 @@ type Config struct {
 	// log-likelihood, topic occupancy). The zero value disables it.
 	Hooks SweepHooks
 
+	// Health configures per-sweep numerical-health monitoring. The zero
+	// value keeps only the always-on NaN/±Inf log-likelihood check; see
+	// HealthPolicy for the opt-in classifiers. A violation aborts the
+	// chain with a typed *HealthError instead of sampling onward from a
+	// diverged state.
+	Health HealthPolicy
+
 	// CheckpointEvery, when positive together with a non-nil
 	// CheckpointFunc, emits a Snapshot of the full sampler state every
 	// that many completed sweeps. The snapshot is a deep copy taken

@@ -62,6 +62,12 @@ func (s *Sampler) sweepParallel(sweep int) (phaseTimes, error) {
 			weights := sc.weights
 			gv := s.cfg.Gamma * float64(s.data.V)
 			for d := lo; d < hi; d++ {
+				if s.aborted() {
+					// Cooperative watchdog stop: the partial sweep is
+					// abandoned by Run, so breaking between documents
+					// (counts still consistent) is safe.
+					break
+				}
 				ndk := s.ndk[d]
 				yd := s.Y[d]
 				for n, word := range s.data.Words[d] {
@@ -125,6 +131,9 @@ func (s *Sampler) sweepParallel(sweep int) (phaseTimes, error) {
 			rng.Reseed(s.cfg.Seed^0x9D1DA, uint64(sweep)<<16|uint64(si))
 			logw := sc.logw
 			for d := lo; d < hi; d++ {
+				if s.aborted() {
+					break
+				}
 				for k := 0; k < s.cfg.K; k++ {
 					lw := logFloat(float64(s.ndk[d][k]) + s.cfg.Alpha)
 					lw += s.gelComp[k].gauss.LogPdfScratch(s.data.Gel[d], sc.gelDiff)

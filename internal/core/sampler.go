@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
@@ -74,6 +76,12 @@ type Sampler struct {
 	// sweep is the number of completed Gibbs sweeps; Run continues from
 	// here, so a sampler restored from a Snapshot resumes mid-schedule.
 	sweep int
+
+	// abort carries an asynchronous stop request (Abort/AbortUnhealthy).
+	// The sampling loops poll it between documents, so a hung-looking
+	// chain can be stopped by a watchdog without losing the typed
+	// diagnosis. Never serialized; a resumed sampler starts clear.
+	abort atomic.Pointer[abortSignal]
 
 	// scr holds every per-sweep buffer the hot loops would otherwise
 	// allocate per document or per topic. It is pure scratch — never
@@ -247,9 +255,58 @@ func NewSampler(data *Data, cfg Config) (*Sampler, error) {
 // flows through cfg.Hooks. When cfg.CheckpointEvery and
 // cfg.CheckpointFunc are both set, a Snapshot is emitted after every
 // CheckpointEvery-th completed sweep.
-func (s *Sampler) Run(onSweep func(iter int, logLik float64)) error {
+//
+// Every completed sweep is classified by cfg.Health (see HealthPolicy);
+// a violation — or a degenerate Normal-Wishart posterior surfacing as
+// stats.ErrNumericalHealth, whether returned or panicked — aborts the
+// chain with a typed *HealthError wrapping ErrUnhealthy. The check runs
+// before the checkpoint emission, so an unhealthy state is never
+// persisted over a healthy one.
+func (s *Sampler) Run(onSweep func(iter int, logLik float64)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// The numerical kernels panic with error values wrapping
+			// stats.ErrNumericalHealth when the chain state is beyond
+			// repair (non-PD posterior after maximal jitter). Convert
+			// those — and only those — into a typed health diagnosis.
+			e, ok := r.(error)
+			if !ok || !errors.Is(e, stats.ErrNumericalHealth) {
+				panic(r)
+			}
+			err = &HealthError{
+				Event: HealthEvent{Kind: HealthDegenerateCovariance, Sweep: s.sweep, LogLik: math.NaN(), Detail: e.Error()},
+				Cause: e,
+			}
+		}
+		if err == nil {
+			return
+		}
+		var he *HealthError
+		if errors.As(err, &he) && s.cfg.Health.OnEvent != nil {
+			s.cfg.Health.OnEvent(he.Event)
+		}
+	}()
+	return s.run(onSweep)
+}
+
+// run is Run's loop body; Run wraps it with panic recovery and the
+// once-per-error OnEvent notification.
+func (s *Sampler) run(onSweep func(iter int, logLik float64)) error {
 	hook := s.cfg.Hooks.OnSweep
+	hp := s.cfg.Health
+	// The running best log-likelihood seeds from the existing trace, so
+	// a chain resumed from a checkpoint keeps the same collapse
+	// reference an uninterrupted run would hold.
+	best := math.Inf(-1)
+	for _, v := range s.LogLik {
+		if finite(v) && v > best {
+			best = v
+		}
+	}
 	for it := s.sweep; it < s.cfg.Iterations; it++ {
+		if err := s.abortErr(); err != nil {
+			return err
+		}
 		start := time.Now()
 		var pt phaseTimes
 		var err error
@@ -259,19 +316,35 @@ func (s *Sampler) Run(onSweep func(iter int, logLik float64)) error {
 			pt, err = s.sweepSequential()
 		}
 		if err != nil {
+			if errors.Is(err, stats.ErrNumericalHealth) {
+				return &HealthError{
+					Event: HealthEvent{Kind: HealthDegenerateCovariance, Sweep: it, LogLik: math.NaN(), Detail: err.Error()},
+					Cause: err,
+				}
+			}
 			return fmt.Errorf("core: sweep %d: %w", it, err)
+		}
+		if err := s.abortErr(); err != nil {
+			// An abort landed mid-sweep: the kernels bailed out between
+			// documents, so this sweep is partial — report it, don't
+			// record it.
+			return err
 		}
 		if s.cfg.LearnAlpha && it >= s.cfg.BurnIn {
 			s.updateAlpha()
 		}
 		ll := s.logLikelihood()
+		if hp.Perturb != nil {
+			ll = hp.Perturb(it, ll)
+		}
+		elapsed := time.Since(start)
 		s.LogLik = append(s.LogLik, ll)
 		s.sweep = it + 1
+		occupied, maxShare := occupancy(s.mk, s.data.NumDocs())
 		if hook != nil {
-			occupied, maxShare := occupancy(s.mk, s.data.NumDocs())
 			hook(SweepStats{
 				Sweep:          it,
-				Total:          time.Since(start),
+				Total:          elapsed,
 				ZPhase:         pt.z,
 				YPhase:         pt.y,
 				Components:     pt.components,
@@ -282,6 +355,14 @@ func (s *Sampler) Run(onSweep func(iter int, logLik float64)) error {
 		}
 		if onSweep != nil {
 			onSweep(it, ll)
+		}
+		// Classify before checkpointing: a diverged sweep must never
+		// overwrite the last healthy checkpoint.
+		if ev := hp.classifySweep(it, ll, best, occupied, elapsed); ev != nil {
+			return &HealthError{Event: *ev}
+		}
+		if finite(ll) && ll > best {
+			best = ll
 		}
 		if s.cfg.CheckpointEvery > 0 && s.cfg.CheckpointFunc != nil && (it+1)%s.cfg.CheckpointEvery == 0 {
 			if err := s.cfg.CheckpointFunc(s.Snapshot()); err != nil {
@@ -303,10 +384,16 @@ func (s *Sampler) Sweep() error {
 }
 
 // sweepSequential is Sweep with per-phase wall-clock for telemetry.
+// The per-document abort polls (one atomic load each) let a watchdog
+// stop a slow sweep mid-pass; Run detects the pending abort and
+// discards the partial sweep.
 func (s *Sampler) sweepSequential() (phaseTimes, error) {
 	var pt phaseTimes
 	t := time.Now()
 	for d := range s.data.Words {
+		if s.aborted() {
+			return pt, nil
+		}
 		s.sampleZ(d)
 	}
 	pt.z = time.Since(t)
@@ -317,6 +404,9 @@ func (s *Sampler) sweepSequential() (phaseTimes, error) {
 		return pt, nil
 	}
 	for d := range s.data.Words {
+		if s.aborted() {
+			return pt, nil
+		}
 		s.sampleY(d)
 	}
 	pt.y = time.Since(t)
@@ -396,6 +486,9 @@ func (s *Sampler) sampleY(d int) {
 func (s *Sampler) sampleYCollapsed() {
 	logw := s.scr.logw
 	for d := range s.data.Words {
+		if s.aborted() {
+			return
+		}
 		old := s.Y[d]
 		s.mk[old]--
 		s.gelAcc[old].Remove(s.data.Gel[d])

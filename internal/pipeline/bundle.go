@@ -40,7 +40,7 @@ func (o *Output) SaveBundle(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return writeContainer(w, kindBundle, bundleSchemaVersion, payload)
+	return writeContainer(w, kindBundle, bundleSchemaVersion, payload, nil)
 }
 
 // bundlePayload renders the gzip-compressed JSON bundle body.
@@ -84,13 +84,13 @@ func LoadBundle(r io.Reader) (*Output, error) {
 		if _, err := br.Discard(len(containerMagic)); err != nil {
 			return nil, fmt.Errorf("pipeline: reading bundle: %w", err)
 		}
-		payload, schema, err := readContainer(br, kindBundle)
+		payload, hdr, err := readContainer(br, kindBundle)
 		if err != nil {
 			return nil, err
 		}
-		if schema > bundleSchemaVersion || schema < 1 {
+		if hdr.Schema > bundleSchemaVersion || hdr.Schema < 1 {
 			return nil, fmt.Errorf("pipeline: bundle schema %d, this build reads ≤ %d: %w",
-				schema, bundleSchemaVersion, ErrVersion)
+				hdr.Schema, bundleSchemaVersion, ErrVersion)
 		}
 		return decodeBundleBody(bytes.NewReader(payload))
 	case len(magic) >= 2 && magic[0] == 0x1f && magic[1] == 0x8b:

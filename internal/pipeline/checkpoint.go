@@ -4,16 +4,20 @@ import (
 	"bufio"
 	"bytes"
 	"compress/gzip"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // CheckpointFile is the fixed name of the chain checkpoint inside a
@@ -25,10 +29,69 @@ const CheckpointFile = "checkpoint.ckpt"
 // core snapshot wire format rides inside; core versions that itself).
 const checkpointSchemaVersion = 1
 
+// ErrUnhealthyCheckpoint marks a checkpoint whose health digest (or
+// log-likelihood trace) shows the chain had already diverged when it
+// was written. The supervisor skips such checkpoints and restarts
+// fresh instead of resuming garbage.
+var ErrUnhealthyCheckpoint = errors.New("pipeline: checkpoint unhealthy")
+
+// CheckpointHealth is the health digest stamped into a checkpoint
+// container's header: enough for a supervisor to decide "safe to
+// resume?" without decompressing the payload.
+type CheckpointHealth struct {
+	// Sweep is the snapshot's completed-sweep index.
+	Sweep int `json:"sweep"`
+	// LogLik is the last finite log-likelihood in the trace (0 when the
+	// trace is empty). Kept finite by construction: JSON cannot carry
+	// NaN, and a non-finite trace flips Healthy off instead.
+	LogLik float64 `json:"loglik"`
+	// Healthy is false when the trace contains a non-finite value — the
+	// signature of a checkpoint written mid-divergence.
+	Healthy bool `json:"healthy"`
+	// Reason explains an unhealthy digest.
+	Reason string `json:"reason,omitempty"`
+}
+
+// snapshotHealth derives the digest from the snapshot's own trace: a
+// chain is presumed healthy unless its log-likelihood history says
+// otherwise. Also used on load, so a digest cannot claim health its
+// payload contradicts (and legacy digest-less checkpoints get the same
+// scrutiny).
+func snapshotHealth(sn *core.Snapshot) CheckpointHealth {
+	h := CheckpointHealth{Sweep: sn.Sweep, Healthy: true}
+	for i, v := range sn.LogLik {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			h.Healthy = false
+			h.Reason = fmt.Sprintf("non-finite log-likelihood at trace index %d", i)
+			continue
+		}
+		h.LogLik = v
+	}
+	return h
+}
+
 // WriteCheckpointFile persists the snapshot to dir/checkpoint.ckpt in
 // the format-2 durable container (kind "checkpoint"), crash-safely via
-// temp file + fsync + atomic rename. The directory is created if absent.
+// temp file + fsync + atomic rename, stamping the header with a health
+// digest derived from the snapshot's log-likelihood trace. The
+// directory is created if absent.
 func WriteCheckpointFile(dir string, sn *core.Snapshot) error {
+	h := snapshotHealth(sn)
+	return WriteCheckpointFileWithHealth(dir, sn, h)
+}
+
+// WriteCheckpointFileWithHealth is WriteCheckpointFile with an
+// explicit health digest — for callers that know more than the trace
+// shows (or tests forging diverged checkpoints). A non-finite LogLik
+// is sanitized to keep the header JSON-encodable.
+func WriteCheckpointFileWithHealth(dir string, sn *core.Snapshot, h CheckpointHealth) error {
+	if math.IsNaN(h.LogLik) || math.IsInf(h.LogLik, 0) {
+		h.LogLik = 0
+		h.Healthy = false
+		if h.Reason == "" {
+			h.Reason = "non-finite log-likelihood"
+		}
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("pipeline: checkpoint dir: %w", err)
 	}
@@ -41,7 +104,7 @@ func WriteCheckpointFile(dir string, sn *core.Snapshot) error {
 		return fmt.Errorf("pipeline: compressing checkpoint: %w", err)
 	}
 	return writeFileAtomic(filepath.Join(dir, CheckpointFile), func(w *bufio.Writer) error {
-		return writeContainer(w, kindCheckpoint, checkpointSchemaVersion, body.Bytes())
+		return writeContainer(w, kindCheckpoint, checkpointSchemaVersion, body.Bytes(), &h)
 	})
 }
 
@@ -50,46 +113,70 @@ func WriteCheckpointFile(dir string, sn *core.Snapshot) error {
 // fall back to a fresh fit; damaged or foreign files return wrapped
 // ErrCorrupt / ErrVersion / ErrKind like bundles do.
 func LoadCheckpointFile(dir string) (*core.Snapshot, error) {
+	sn, _, err := LoadCheckpointWithHealth(dir)
+	return sn, err
+}
+
+// LoadCheckpointWithHealth is LoadCheckpointFile exposing the health
+// digest. Checkpoints from writers predating the digest derive one
+// from the snapshot's trace; either way the digest is cross-checked
+// against the trace, so Healthy=true means both header and payload
+// agree the chain was clean.
+func LoadCheckpointWithHealth(dir string) (*core.Snapshot, CheckpointHealth, error) {
 	path := filepath.Join(dir, CheckpointFile)
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: opening checkpoint: %w", err)
+		return nil, CheckpointHealth{}, fmt.Errorf("pipeline: opening checkpoint: %w", err)
 	}
 	defer f.Close()
-	sn, err := readCheckpoint(f)
+	sn, h, err := readCheckpoint(f)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, h, fmt.Errorf("%s: %w", path, err)
 	}
-	return sn, nil
+	return sn, h, nil
 }
 
 // readCheckpoint parses a checkpoint container stream.
-func readCheckpoint(r io.Reader) (*core.Snapshot, error) {
+func readCheckpoint(r io.Reader) (*core.Snapshot, CheckpointHealth, error) {
+	var health CheckpointHealth
 	var magic [len(containerMagic)]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("pipeline: checkpoint magic missing: %w: %w", ErrCorrupt, err)
+		return nil, health, fmt.Errorf("pipeline: checkpoint magic missing: %w: %w", ErrCorrupt, err)
 	}
 	if string(magic[:]) != containerMagic {
-		return nil, fmt.Errorf("pipeline: not a checkpoint container: %w", ErrCorrupt)
+		return nil, health, fmt.Errorf("pipeline: not a checkpoint container: %w", ErrCorrupt)
 	}
-	payload, schema, err := readContainer(r, kindCheckpoint)
+	payload, hdr, err := readContainer(r, kindCheckpoint)
 	if err != nil {
-		return nil, err
+		return nil, health, err
 	}
-	if schema > checkpointSchemaVersion || schema < 1 {
-		return nil, fmt.Errorf("pipeline: checkpoint schema %d, this build reads ≤ %d: %w",
-			schema, checkpointSchemaVersion, ErrVersion)
+	if hdr.Schema > checkpointSchemaVersion || hdr.Schema < 1 {
+		return nil, health, fmt.Errorf("pipeline: checkpoint schema %d, this build reads ≤ %d: %w",
+			hdr.Schema, checkpointSchemaVersion, ErrVersion)
 	}
 	gz, err := gzip.NewReader(bytes.NewReader(payload))
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: opening checkpoint payload: %w: %w", ErrCorrupt, err)
+		return nil, health, fmt.Errorf("pipeline: opening checkpoint payload: %w: %w", ErrCorrupt, err)
 	}
 	defer gz.Close()
 	sn, err := core.ReadSnapshotJSON(gz)
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: decoding checkpoint: %w: %w", ErrCorrupt, err)
+		return nil, health, fmt.Errorf("pipeline: decoding checkpoint: %w: %w", ErrCorrupt, err)
 	}
-	return sn, nil
+	derived := snapshotHealth(sn)
+	if hdr.Health == nil {
+		// Pre-digest writer: judge the chain by its trace alone.
+		health = derived
+	} else {
+		health = *hdr.Health
+		if health.Healthy && !derived.Healthy {
+			// The header claims health the payload contradicts; trust the
+			// evidence over the label.
+			health.Healthy = false
+			health.Reason = derived.Reason
+		}
+	}
+	return sn, health, nil
 }
 
 // CheckpointWriter writes snapshots in the background so the sampler
@@ -100,6 +187,12 @@ func readCheckpoint(r io.Reader) (*core.Snapshot, error) {
 // instead of sampling on top of a dead disk.
 type CheckpointWriter struct {
 	dir string
+
+	// Injector, when non-nil, injects faults into the durable write
+	// path (operation "checkpoint.write") before the temp+rename
+	// sequence runs — the crash-during-checkpoint-write test hook. Set
+	// it before the first Write; it is read from the writer goroutine.
+	Injector resilience.Injector
 
 	writes *obs.Counter
 	errs   *obs.Counter
@@ -149,7 +242,10 @@ func (w *CheckpointWriter) Write(sn *core.Snapshot) error {
 	w.busy = true
 	w.wg.Add(1)
 	go func() {
-		err := WriteCheckpointFile(w.dir, sn)
+		err := resilience.Inject(context.Background(), w.Injector, "checkpoint.write")
+		if err == nil {
+			err = WriteCheckpointFile(w.dir, sn)
+		}
 		w.mu.Lock()
 		w.busy = false
 		if err != nil {
@@ -190,22 +286,77 @@ type CheckpointOptions struct {
 	Every int
 	// Resume loads an existing checkpoint from Dir and continues the
 	// chain from it instead of starting fresh. A missing checkpoint
-	// falls back to a fresh fit; a damaged one is an error.
+	// falls back to a fresh fit; a damaged one is an error (unless the
+	// fit is supervised, in which case the supervisor starts fresh and
+	// records the skip).
 	Resume bool
 }
 
-// fitModel runs the model stage, honouring restarts and checkpointing.
-func fitModel(data *core.Data, opts Options) (*core.Result, error) {
+// FitCheckpointStore adapts the pipeline's single-file durable
+// checkpoint to the supervisor's CheckpointStore: health-gated loads,
+// a fresh background writer per attempt, and discard-by-rename so a
+// burned checkpoint stays on disk for post-mortems.
+type FitCheckpointStore struct {
+	Dir     string
+	Metrics *obs.Registry
+	// Injector is forwarded to each attempt's CheckpointWriter (fault
+	// injection for the durable write path).
+	Injector resilience.Injector
+}
+
+// Writer returns a fresh CheckpointWriter pair for one fit attempt.
+func (st *FitCheckpointStore) Writer() (func(*core.Snapshot) error, func() error) {
+	w := NewCheckpointWriter(st.Dir, st.Metrics)
+	w.Injector = st.Injector
+	return w.Write, w.Flush
+}
+
+// LoadHealthy loads the checkpoint only when its health digest — and
+// the trace inside — agree the chain was clean at write time.
+func (st *FitCheckpointStore) LoadHealthy() (*core.Snapshot, error) {
+	sn, h, err := LoadCheckpointWithHealth(st.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if !h.Healthy {
+		return nil, fmt.Errorf("%w: sweep %d: %s", ErrUnhealthyCheckpoint, h.Sweep, h.Reason)
+	}
+	return sn, nil
+}
+
+// Discard retires the current checkpoint by renaming it to
+// checkpoint.ckpt.discarded (replacing any earlier discard), keeping
+// the diverged state inspectable. A missing checkpoint is a no-op.
+func (st *FitCheckpointStore) Discard(reason string) error {
+	_ = reason // recorded by the supervisor's incident, not on disk
+	src := filepath.Join(st.Dir, CheckpointFile)
+	err := os.Rename(src, src+".discarded")
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// fitModel runs the model stage, honouring restarts, checkpointing and
+// supervision. The incident slice is non-empty only for supervised
+// fits that needed recovery.
+func fitModel(data *core.Data, opts Options) (*core.Result, []resilience.Incident, error) {
+	if opts.Supervise {
+		return fitSupervised(data, opts)
+	}
 	restarts := opts.Restarts
 	if restarts < 1 {
 		restarts = 1
 	}
 	ck := opts.Checkpoint
 	if ck.Dir == "" {
-		return core.FitBest(data, opts.Model, restarts)
+		res, err := core.FitBest(data, opts.Model, restarts)
+		return res, nil, err
 	}
 	if restarts > 1 {
-		return nil, fmt.Errorf("pipeline: checkpointing supports a single chain, not Restarts=%d", restarts)
+		// Unreachable via Run/RunOnRecipes (Options.validate rejects the
+		// combination) but kept for direct callers.
+		return nil, nil, fmt.Errorf("checkpointing supports a single chain, not Restarts=%d: %w", restarts, ErrOptions)
 	}
 	cfg := opts.Model
 	cfg.CheckpointEvery = ck.Every
@@ -224,7 +375,7 @@ func fitModel(data *core.Data, opts Options) (*core.Result, error) {
 		case errors.Is(err, fs.ErrNotExist):
 			res, err = core.Fit(data, cfg) // nothing to resume yet
 		case err != nil:
-			return nil, err
+			return nil, nil, err
 		default:
 			if opts.Metrics != nil {
 				opts.Metrics.Counter("checkpoint_loads_total",
@@ -236,10 +387,99 @@ func fitModel(data *core.Data, opts Options) (*core.Result, error) {
 		res, err = core.Fit(data, cfg)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := writer.Flush(); err != nil {
-		return nil, fmt.Errorf("pipeline: final checkpoint: %w", err)
+		return nil, nil, fmt.Errorf("pipeline: final checkpoint: %w", err)
 	}
-	return res, nil
+	return res, nil, nil
+}
+
+// fitSupervised wires Options into the resilience supervisor: health
+// policy thresholds, the checkpoint store (when a checkpoint dir is
+// configured), health/restart/rollback metrics, and the startup
+// resume. Unlike the plain resume path, a corrupt or diverged
+// checkpoint is not fatal here — self-healing means starting fresh and
+// saying so.
+func fitSupervised(data *core.Data, opts Options) (*core.Result, []resilience.Incident, error) {
+	cfg := opts.Model
+	cfg.Health.MaxLLDrop = opts.MaxLLDrop
+	cfg.Health.SweepTimeout = opts.SweepTimeout
+	if cfg.Health.MinTopics == 0 {
+		cfg.Health.MinTopics = 1
+	}
+	if opts.Metrics != nil {
+		reg := opts.Metrics
+		prev := cfg.Health.OnEvent
+		cfg.Health.OnEvent = func(ev core.HealthEvent) {
+			reg.Counter("fit_health_events_total",
+				"Numerical-health violations detected during model fits.",
+				obs.Labels{"kind": string(ev.Kind)}).Inc()
+			if prev != nil {
+				prev(ev)
+			}
+		}
+	}
+
+	var store resilience.CheckpointStore
+	var initial *core.Snapshot
+	ck := opts.Checkpoint
+	if ck.Dir != "" {
+		cfg.CheckpointEvery = ck.Every
+		if cfg.CheckpointEvery <= 0 {
+			cfg.CheckpointEvery = 25
+		}
+		st := &FitCheckpointStore{Dir: ck.Dir, Metrics: opts.Metrics}
+		store = st
+		if ck.Resume {
+			sn, err := st.LoadHealthy()
+			switch {
+			case err == nil:
+				initial = sn
+				if opts.Metrics != nil {
+					opts.Metrics.Counter("checkpoint_loads_total",
+						"Chain checkpoints loaded for resume.", nil).Inc()
+				}
+			case errors.Is(err, fs.ErrNotExist):
+				// Nothing to resume yet.
+			case errors.Is(err, ErrUnhealthyCheckpoint) || errors.Is(err, ErrCorrupt) ||
+				errors.Is(err, core.ErrSnapshot):
+				// A diverged or damaged checkpoint must not block recovery;
+				// retire it and start fresh.
+				_ = st.Discard("unusable at startup resume: " + err.Error())
+			default:
+				return nil, nil, err
+			}
+		}
+	}
+
+	maxRestarts := opts.MaxRestarts
+	if maxRestarts == 0 {
+		maxRestarts = 3
+	}
+	sup := &resilience.Supervisor{
+		MaxRestarts: maxRestarts,
+		Backoff: resilience.Backoff{
+			Base: 50 * time.Millisecond,
+			Max:  2 * time.Second,
+			Seed: cfg.Seed,
+		},
+		Store: store,
+	}
+	if opts.Metrics != nil {
+		restartsC := opts.Metrics.Counter("fit_restarts_total",
+			"Supervised fit attempts restarted after an incident.", nil)
+		rollbackC := opts.Metrics.Counter("fit_rollback_sweeps_total",
+			"Sweeps of progress lost to checkpoint rollbacks.", nil)
+		sup.OnIncident = func(inc resilience.Incident) {
+			if inc.Action == resilience.ActionGaveUp {
+				return
+			}
+			restartsC.Inc()
+			if inc.Action == resilience.ActionRollback && inc.ResumedFrom >= 0 && inc.Sweep > inc.ResumedFrom {
+				rollbackC.Add(int64(inc.Sweep - inc.ResumedFrom))
+			}
+		}
+	}
+	return sup.RunFit(context.Background(), data, cfg, initial)
 }

@@ -62,10 +62,19 @@ type containerHeader struct {
 	Schema     int    `json:"schema"`
 	PayloadLen int64  `json:"payload_len"`
 	SHA256     string `json:"sha256"`
+
+	// Health is the checkpoint health digest (kind "checkpoint" only).
+	// Optional by design: readers ignore an absent digest (files from
+	// older writers) and older readers ignore the extra field, so no
+	// schema bump is needed. It lives in the header — parsed before any
+	// payload byte — so a supervisor can skip a corrupt-by-divergence
+	// checkpoint without decompressing the diverged state.
+	Health *CheckpointHealth `json:"health,omitempty"`
 }
 
-// writeContainer wraps payload in the format-2 envelope.
-func writeContainer(w io.Writer, kind string, schema int, payload []byte) error {
+// writeContainer wraps payload in the format-2 envelope. health may be
+// nil (bundles; legacy-shaped checkpoints in tests).
+func writeContainer(w io.Writer, kind string, schema int, payload []byte, health *CheckpointHealth) error {
 	digest := sha256.Sum256(payload)
 	hdr, err := json.Marshal(containerHeader{
 		Format:     containerFormat,
@@ -73,6 +82,7 @@ func writeContainer(w io.Writer, kind string, schema int, payload []byte) error 
 		Schema:     schema,
 		PayloadLen: int64(len(payload)),
 		SHA256:     hex.EncodeToString(digest[:]),
+		Health:     health,
 	})
 	if err != nil {
 		return fmt.Errorf("pipeline: encoding container header: %w", err)
@@ -89,52 +99,52 @@ func writeContainer(w io.Writer, kind string, schema int, payload []byte) error 
 
 // readContainer parses a format-2 envelope whose magic has already
 // been consumed by the caller, verifies the digest, and returns the
-// payload with the header's schema version.
-func readContainer(r io.Reader, wantKind string) ([]byte, int, error) {
+// payload with the full header (schema version, health digest).
+func readContainer(r io.Reader, wantKind string) ([]byte, containerHeader, error) {
+	var hdr containerHeader
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, 0, fmt.Errorf("pipeline: container header length missing: %w: %w", ErrCorrupt, err)
+		return nil, hdr, fmt.Errorf("pipeline: container header length missing: %w: %w", ErrCorrupt, err)
 	}
 	hdrLen := binary.BigEndian.Uint32(lenBuf[:])
 	if hdrLen == 0 || hdrLen > maxHeaderLen {
-		return nil, 0, fmt.Errorf("pipeline: container header length %d implausible: %w", hdrLen, ErrCorrupt)
+		return nil, hdr, fmt.Errorf("pipeline: container header length %d implausible: %w", hdrLen, ErrCorrupt)
 	}
 	hdrBytes := make([]byte, hdrLen)
 	if _, err := io.ReadFull(r, hdrBytes); err != nil {
-		return nil, 0, fmt.Errorf("pipeline: container header truncated: %w: %w", ErrCorrupt, err)
+		return nil, hdr, fmt.Errorf("pipeline: container header truncated: %w: %w", ErrCorrupt, err)
 	}
-	var hdr containerHeader
 	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
-		return nil, 0, fmt.Errorf("pipeline: container header unparseable: %w: %w", ErrCorrupt, err)
+		return nil, hdr, fmt.Errorf("pipeline: container header unparseable: %w: %w", ErrCorrupt, err)
 	}
 	if hdr.Format != containerFormat {
-		return nil, 0, fmt.Errorf("pipeline: container format %d, this build reads %d: %w",
+		return nil, hdr, fmt.Errorf("pipeline: container format %d, this build reads %d: %w",
 			hdr.Format, containerFormat, ErrVersion)
 	}
 	if hdr.Kind != wantKind {
-		return nil, 0, fmt.Errorf("pipeline: container holds a %q, want a %q: %w", hdr.Kind, wantKind, ErrKind)
+		return nil, hdr, fmt.Errorf("pipeline: container holds a %q, want a %q: %w", hdr.Kind, wantKind, ErrKind)
 	}
 	if hdr.PayloadLen < 0 || hdr.PayloadLen > maxPayloadLen {
-		return nil, 0, fmt.Errorf("pipeline: payload length %d implausible: %w", hdr.PayloadLen, ErrCorrupt)
+		return nil, hdr, fmt.Errorf("pipeline: payload length %d implausible: %w", hdr.PayloadLen, ErrCorrupt)
 	}
 	payload := make([]byte, hdr.PayloadLen)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, 0, fmt.Errorf("pipeline: payload truncated: %w: %w", ErrCorrupt, err)
+		return nil, hdr, fmt.Errorf("pipeline: payload truncated: %w: %w", ErrCorrupt, err)
 	}
 	// A container is exactly one envelope; bytes past the declared
 	// payload mean the file was overwritten, concatenated, or the
 	// header lies — none of which should load silently.
 	var trailer [1]byte
 	if n, _ := io.ReadFull(r, trailer[:]); n != 0 {
-		return nil, 0, fmt.Errorf("pipeline: %d+ trailing bytes after payload: %w", n, ErrCorrupt)
+		return nil, hdr, fmt.Errorf("pipeline: %d+ trailing bytes after payload: %w", n, ErrCorrupt)
 	}
 	digest := sha256.Sum256(payload)
 	want, err := hex.DecodeString(hdr.SHA256)
 	if err != nil || len(want) != sha256.Size {
-		return nil, 0, fmt.Errorf("pipeline: container digest unparseable: %w", ErrCorrupt)
+		return nil, hdr, fmt.Errorf("pipeline: container digest unparseable: %w", ErrCorrupt)
 	}
 	if !bytes.Equal(digest[:], want) {
-		return nil, 0, fmt.Errorf("pipeline: payload digest mismatch (bit flip or torn write): %w", ErrCorrupt)
+		return nil, hdr, fmt.Errorf("pipeline: payload digest mismatch (bit flip or torn write): %w", ErrCorrupt)
 	}
-	return payload, hdr.Schema, nil
+	return payload, hdr, nil
 }

@@ -139,14 +139,14 @@ func TestLoadBundleRejectsDamage(t *testing.T) {
 	}
 	futureSchema := func() []byte {
 		var buf bytes.Buffer
-		if err := writeContainer(&buf, kindBundle, 99, []byte("opaque future payload")); err != nil {
+		if err := writeContainer(&buf, kindBundle, 99, []byte("opaque future payload"), nil); err != nil {
 			t.Fatal(err)
 		}
 		return buf.Bytes()
 	}()
 	wrongKind := func() []byte {
 		var buf bytes.Buffer
-		if err := writeContainer(&buf, kindCheckpoint, 1, []byte("snapshot bytes")); err != nil {
+		if err := writeContainer(&buf, kindCheckpoint, 1, []byte("snapshot bytes"), nil); err != nil {
 			t.Fatal(err)
 		}
 		return buf.Bytes()

@@ -60,7 +60,7 @@ func FuzzReadCheckpoint(f *testing.F) {
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		sn, err := readCheckpoint(bytes.NewReader(data))
+		sn, _, err := readCheckpoint(bytes.NewReader(data))
 		if err == nil {
 			if sn == nil {
 				t.Fatal("nil snapshot without error")

@@ -5,6 +5,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/lexicon"
 	"repro/internal/obs"
 	"repro/internal/recipe"
+	"repro/internal/resilience"
 	"repro/internal/textseg"
 	"repro/internal/word2vec"
 )
@@ -41,6 +43,25 @@ type Options struct {
 	// Checkpoint enables durable crash recovery for the model-fit stage
 	// (see CheckpointOptions). Incompatible with Restarts > 1.
 	Checkpoint CheckpointOptions
+
+	// Supervise runs the fit under the self-healing supervisor: sweeps
+	// are health-checked (NaN / log-likelihood collapse / topic
+	// implosion / degenerate covariance / stalls), and unhealthy chains
+	// roll back to the last healthy checkpoint (when Checkpoint.Dir is
+	// set) or restart reseeded. Incompatible with Restarts > 1 — the
+	// supervisor owns the single chain.
+	Supervise bool
+	// MaxRestarts bounds supervised recovery attempts after the first
+	// (default 3 when Supervise is set).
+	MaxRestarts int
+	// SweepTimeout arms the supervised stall watchdog: a sweep taking
+	// longer than this aborts the attempt. 0 disables the watchdog.
+	SweepTimeout time.Duration
+	// MaxLLDrop is the supervised divergence threshold: a sweep whose
+	// log-likelihood falls more than this below the best seen so far
+	// aborts the attempt. 0 disables the drop check (NaN/±Inf is always
+	// fatal under supervision).
+	MaxLLDrop float64
 
 	// Metrics, when non-nil, receives stage timings
 	// (pipeline_stage_seconds{stage=…}) and per-sweep sampler telemetry
@@ -92,10 +113,43 @@ type Output struct {
 	W2V           *word2vec.Model
 	// Timings holds per-stage wall times in execution order.
 	Timings []StageTiming
+	// FitIncidents is the supervised fit's recovery history: empty for
+	// unsupervised runs and for supervised runs that never needed a
+	// rollback or restart. Not persisted in bundles.
+	FitIncidents []resilience.Incident
+}
+
+// ErrOptions marks an Options combination the pipeline refuses to run.
+var ErrOptions = errors.New("pipeline: invalid options")
+
+// validate rejects option combinations with no coherent semantics
+// before any stage spends work.
+func (o *Options) validate() error {
+	if o.Restarts > 1 && o.Checkpoint.Dir != "" {
+		return fmt.Errorf("%w: Checkpoint.Dir with Restarts=%d (checkpointing tracks a single chain; drop Restarts or the checkpoint dir)",
+			ErrOptions, o.Restarts)
+	}
+	if o.Restarts > 1 && o.Supervise {
+		return fmt.Errorf("%w: Supervise with Restarts=%d (the supervisor owns a single chain; use MaxRestarts for recovery attempts)",
+			ErrOptions, o.Restarts)
+	}
+	if o.MaxRestarts < 0 {
+		return fmt.Errorf("%w: MaxRestarts=%d negative", ErrOptions, o.MaxRestarts)
+	}
+	if o.SweepTimeout < 0 {
+		return fmt.Errorf("%w: SweepTimeout=%v negative", ErrOptions, o.SweepTimeout)
+	}
+	if o.MaxLLDrop < 0 {
+		return fmt.Errorf("%w: MaxLLDrop=%g negative", ErrOptions, o.MaxLLDrop)
+	}
+	return nil
 }
 
 // Run executes the full pipeline.
 func Run(opts Options) (*Output, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	recipes, err := corpus.Generate(opts.Corpus)
 	if err != nil {
@@ -119,6 +173,9 @@ func Run(opts Options) (*Output, error) {
 // RunOnRecipes executes the pipeline on an existing (resolved) corpus,
 // so callers can bring their own recipe collection.
 func RunOnRecipes(recipes []*recipe.Recipe, opts Options) (*Output, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	out := &Output{Dict: lexicon.Default(), AllRecipes: recipes, ExcludedTerms: map[string][]string{}}
 
 	// Word2vec relatedness filter, trained on all descriptions.
@@ -167,7 +224,8 @@ func RunOnRecipes(recipes []*recipe.Recipe, opts Options) (*Output, error) {
 		opts.Model.Hooks = opts.Model.Hooks.Then(SamplerMetrics(opts.Metrics))
 	}
 	modelStart := time.Now()
-	res, err := fitModel(data, opts)
+	res, incidents, err := fitModel(data, opts)
+	out.FitIncidents = incidents
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: model: %w", err)
 	}

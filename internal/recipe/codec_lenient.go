@@ -1,0 +1,121 @@
+package recipe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DefaultMaxRecordBytes is the lenient decoders' per-record size cap.
+// A single recipe is a few KB; a megabyte-sized element is a scrape
+// artifact (or an attack), not data.
+const DefaultMaxRecordBytes = 1 << 20
+
+// SkippedRecord reports one array element the lenient decoder dropped.
+type SkippedRecord struct {
+	// Index is the element's position in the input array.
+	Index int `json:"index"`
+	// Offset is the byte offset in the input stream where the element
+	// began — enough to find it in the source file.
+	Offset int64 `json:"offset"`
+	// Reason says why it was dropped (unmarshal error, size cap, null).
+	Reason string `json:"reason"`
+}
+
+// DecodeReport summarizes a lenient decode: how many records made it
+// and exactly which ones did not.
+type DecodeReport struct {
+	// Decoded counts records successfully decoded.
+	Decoded int `json:"decoded"`
+	// Skipped lists every dropped record in input order.
+	Skipped []SkippedRecord `json:"skipped,omitempty"`
+}
+
+// ReadJSONLenient reads a JSON array of recipes like ReadJSON, but in
+// a streaming element-at-a-time mode that skips malformed records
+// instead of failing the whole file — the reality of scraped recipe
+// dumps, where one bad row should not discard a million good ones.
+// Records larger than maxRecordBytes (DefaultMaxRecordBytes when ≤ 0)
+// and JSON null elements are skipped too. Every skip is reported with
+// its array index and byte offset.
+//
+// Leniency is per-element only: the input must still be one
+// well-formed JSON array. A syntax error breaks the element framing
+// itself — there is no safe way to resynchronize — so it fails the
+// decode like ReadJSON does.
+func ReadJSONLenient(r io.Reader, maxRecordBytes int) ([]*Recipe, *DecodeReport, error) {
+	return decodeLenient[*Recipe](r, maxRecordBytes, "recipe")
+}
+
+// ReadDocsJSONLenient is ReadJSONLenient for model-ready docs.
+func ReadDocsJSONLenient(r io.Reader, maxRecordBytes int) ([]Doc, *DecodeReport, error) {
+	return decodeLenient[Doc](r, maxRecordBytes, "doc")
+}
+
+// validLenient filters decoded values the report should still skip:
+// a JSON null decodes into a nil *Recipe without error, and nothing
+// downstream tolerates nil recipes.
+func validLenient(v any) (string, bool) {
+	if p, ok := v.(*Recipe); ok && p == nil {
+		return "null record", false
+	}
+	return "", true
+}
+
+func decodeLenient[T any](r io.Reader, maxRecordBytes int, what string) ([]T, *DecodeReport, error) {
+	if maxRecordBytes <= 0 {
+		maxRecordBytes = DefaultMaxRecordBytes
+	}
+	dec := json.NewDecoder(r)
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, nil, fmt.Errorf("recipe: decoding %ss: %w", what, err)
+	}
+	if delim, ok := tok.(json.Delim); !ok || delim != '[' {
+		return nil, nil, fmt.Errorf("recipe: decoding %ss: input is not a JSON array (starts with %v)", what, tok)
+	}
+	var out []T
+	report := &DecodeReport{}
+	for index := 0; dec.More(); index++ {
+		offset := dec.InputOffset()
+		// Capture the raw element first: a per-record size or unmarshal
+		// problem must consume exactly one element and move on. Only a
+		// raw-level error is a syntax error in the framing itself — fatal.
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return nil, nil, fmt.Errorf("recipe: decoding %ss: array element %d at offset %d: %w",
+				what, index, offset, err)
+		}
+		if len(raw) > maxRecordBytes {
+			report.Skipped = append(report.Skipped, SkippedRecord{
+				Index:  index,
+				Offset: offset,
+				Reason: fmt.Sprintf("record is %d bytes, cap is %d", len(raw), maxRecordBytes),
+			})
+			continue
+		}
+		var v T
+		if err := json.Unmarshal(raw, &v); err != nil {
+			report.Skipped = append(report.Skipped, SkippedRecord{
+				Index:  index,
+				Offset: offset,
+				Reason: err.Error(),
+			})
+			continue
+		}
+		if reason, ok := validLenient(v); !ok {
+			report.Skipped = append(report.Skipped, SkippedRecord{
+				Index:  index,
+				Offset: offset,
+				Reason: reason,
+			})
+			continue
+		}
+		out = append(out, v)
+		report.Decoded++
+	}
+	if _, err := dec.Token(); err != nil { // closing ']'
+		return nil, nil, fmt.Errorf("recipe: decoding %ss: unterminated array: %w", what, err)
+	}
+	return out, report, nil
+}

@@ -1,0 +1,119 @@
+package recipe
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadJSONLenientSkipsMalformedRecords(t *testing.T) {
+	input := `[
+		{"id":"r1","title":"ゼリー","description":"ぷるぷる"},
+		{"id":"r2","title":123,"description":"bad title type"},
+		null,
+		{"id":"r3","title":"ムース","description":"ふわふわ","ingredients":[{"name":"ゼラチン","amount":"5g"}]}
+	]`
+	recipes, report, err := ReadJSONLenient(strings.NewReader(input), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recipes) != 2 || recipes[0].ID != "r1" || recipes[1].ID != "r3" {
+		t.Fatalf("kept %v, want r1 and r3", recipes)
+	}
+	if report.Decoded != 2 || len(report.Skipped) != 2 {
+		t.Fatalf("report = %+v, want 2 decoded / 2 skipped", report)
+	}
+	if report.Skipped[0].Index != 1 {
+		t.Fatalf("first skip index = %d, want 1 (the type-mismatch record)", report.Skipped[0].Index)
+	}
+	if report.Skipped[1].Index != 2 || report.Skipped[1].Reason != "null record" {
+		t.Fatalf("second skip = %+v, want the null at index 2", report.Skipped[1])
+	}
+	for _, sk := range report.Skipped {
+		if sk.Offset <= 0 {
+			t.Fatalf("skip %+v carries no byte offset", sk)
+		}
+	}
+}
+
+func TestReadJSONLenientEnforcesRecordSizeCap(t *testing.T) {
+	huge := `{"id":"big","title":"` + strings.Repeat("あ", 400) + `","description":"x"}`
+	input := `[{"id":"ok","title":"t","description":"d"},` + huge + `]`
+	recipes, report, err := ReadJSONLenient(strings.NewReader(input), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recipes) != 1 || recipes[0].ID != "ok" {
+		t.Fatalf("kept %v, want only the small record", recipes)
+	}
+	if len(report.Skipped) != 1 || !strings.Contains(report.Skipped[0].Reason, "cap") {
+		t.Fatalf("report = %+v, want one size-cap skip", report)
+	}
+}
+
+// TestReadJSONLenientStrictFraming: leniency is per-element; broken
+// array framing cannot be resynchronized and must fail the decode.
+func TestReadJSONLenientStrictFraming(t *testing.T) {
+	for name, input := range map[string]string{
+		"not-array":    `{"id":"x"}`,
+		"syntax-error": `[{"id":"a"}, {]`,
+		"truncated":    `[{"id":"a"},`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := ReadJSONLenient(strings.NewReader(input), 0); err == nil {
+				t.Fatal("broken framing decoded without error")
+			}
+		})
+	}
+}
+
+// TestReadJSONLenientMatchesStrictOnCleanInput: on a well-formed file
+// the lenient decoder is a drop-in for ReadJSON.
+func TestReadJSONLenientMatchesStrictOnCleanInput(t *testing.T) {
+	recipes := []*Recipe{
+		{ID: "a", Title: "t1", Description: "d1", Truth: -1},
+		{ID: "b", Title: "t2", Description: "d2", Truth: 2,
+			Ingredients: []Ingredient{{Name: "寒天", Amount: "2g"}}},
+	}
+	var buf strings.Builder
+	if err := WriteJSON(&buf, recipes); err != nil {
+		t.Fatal(err)
+	}
+	strict, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenient, report, err := ReadJSONLenient(strings.NewReader(buf.String()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Skipped) != 0 || report.Decoded != len(strict) {
+		t.Fatalf("report = %+v on clean input", report)
+	}
+	if len(lenient) != len(strict) {
+		t.Fatalf("lenient decoded %d, strict %d", len(lenient), len(strict))
+	}
+	for i := range strict {
+		if !reflect.DeepEqual(lenient[i], strict[i]) {
+			t.Fatalf("record %d differs: %+v vs %+v", i, lenient[i], strict[i])
+		}
+	}
+}
+
+func TestReadDocsJSONLenient(t *testing.T) {
+	input := `[
+		{"recipe_id":"a","term_ids":[1,2],"gel":[0.1],"emulsion":[0.2],"truth":-1},
+		{"recipe_id":"b","term_ids":"oops","gel":[0.1],"emulsion":[0.2],"truth":0},
+		{"recipe_id":"c","term_ids":[3],"gel":[0.3],"emulsion":[0.4],"truth":1}
+	]`
+	docs, report, err := ReadDocsJSONLenient(strings.NewReader(input), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 || docs[0].RecipeID != "a" || docs[1].RecipeID != "c" {
+		t.Fatalf("kept %+v, want docs a and c", docs)
+	}
+	if len(report.Skipped) != 1 || report.Skipped[0].Index != 1 {
+		t.Fatalf("report = %+v, want one skip at index 1", report)
+	}
+}

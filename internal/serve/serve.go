@@ -341,11 +341,15 @@ type Stats struct {
 	Panics     int64 `json:"panics"`
 	Timeouts   int64 `json:"timeouts"`
 	Generation int64 `json:"generation"`
+	// LastFitIncidents is the installed model's supervised-fit recovery
+	// history (rollbacks, reseeded restarts). Empty when the fit never
+	// needed recovery or supervision was off.
+	LastFitIncidents []resilience.Incident `json:"last_fit_incidents,omitempty"`
 }
 
 // Stats snapshots the runtime counters.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Ready:      s.ready.Load(),
 		Draining:   s.draining.Load(),
 		Pool:       s.opts.Pool,
@@ -356,6 +360,12 @@ func (s *Server) Stats() Stats {
 		Timeouts:   s.mTimeouts.Value(),
 		Generation: s.generation.Load(),
 	}
+	s.mu.RLock()
+	if s.out != nil {
+		st.LastFitIncidents = s.out.FitIncidents
+	}
+	s.mu.RUnlock()
+	return st
 }
 
 // Handler returns the HTTP routes wrapped in the resilience

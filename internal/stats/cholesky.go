@@ -6,8 +6,32 @@ import (
 	"math"
 )
 
-// ErrNotPositiveDefinite is returned when a Cholesky factorization fails.
-var ErrNotPositiveDefinite = errors.New("stats: matrix is not positive definite")
+// ErrNumericalHealth is the umbrella sentinel for numerical-health
+// violations: states a correct algorithm only reaches when the chain
+// has already diverged (non-positive-definite posteriors, jitter
+// regularization that cannot converge). Every such failure — returned
+// or panicked — wraps this sentinel, so a fit supervisor can
+// distinguish "the numbers went bad, roll back and retry" from
+// ordinary I/O or configuration errors with one errors.Is check.
+var ErrNumericalHealth = errors.New("stats: numerical health violated")
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization
+// fails. It wraps ErrNumericalHealth.
+var ErrNotPositiveDefinite error = sentinelError{
+	msg:   "stats: matrix is not positive definite",
+	cause: ErrNumericalHealth,
+}
+
+// sentinelError is a named sentinel that also wraps a broader one, so
+// both errors.Is(err, ErrNotPositiveDefinite) and
+// errors.Is(err, ErrNumericalHealth) hold for the same failure.
+type sentinelError struct {
+	msg   string
+	cause error
+}
+
+func (e sentinelError) Error() string { return e.msg }
+func (e sentinelError) Unwrap() error { return e.cause }
 
 // Cholesky holds the lower-triangular factor L of a symmetric positive
 // definite matrix A = L·Lᵀ.
@@ -255,5 +279,9 @@ func RegularizeSPD(a *Mat, jitter float64) *Mat {
 		}
 		jitter *= 2
 	}
-	panic("stats: RegularizeSPD failed to produce a positive definite matrix")
+	// Panic with an error value wrapping ErrNumericalHealth: a matrix
+	// that stays indefinite through 60 jitter doublings means the chain
+	// state is garbage, and a supervisor recovering the panic needs the
+	// sentinel to classify it as a health event rather than a crash.
+	panic(fmt.Errorf("stats: RegularizeSPD failed to produce a positive definite matrix after 60 jitter doublings: %w", ErrNumericalHealth))
 }

@@ -193,7 +193,10 @@ func (a *NWAccum) ensurePred() {
 		a.m.AddOuterScaled(-betaC, a.predMean, a.predMean)
 		c, cerr := NewCholesky(RegularizeSPD(a.m, 1e-12))
 		if cerr != nil {
-			panic("stats: NWAccum predictive scale not positive definite: " + cerr.Error())
+			// Panic with the error value so it keeps wrapping
+			// ErrNotPositiveDefinite → ErrNumericalHealth; a supervised fit
+			// recovers this into a typed degenerate-covariance health event.
+			panic(fmt.Errorf("stats: NWAccum predictive scale not positive definite: %w", cerr))
 		}
 		copy(a.predL.Data, c.L.Data)
 	}
