@@ -24,13 +24,15 @@ test:
 verify: smoke
 	$(GO) vet ./... && $(GO) test -race ./...
 
-# The self-healing smoke: health classification, supervisor recovery
-# and checkpoint rollback under the race detector. A fast subset of
-# verify for iterating on the fit-recovery machinery, and an explicit
-# gate inside it — these paths involve watchdog goroutines and an
-# async checkpoint writer, so they must stay race-clean.
+# The self-healing smoke: health classification, supervisor recovery,
+# checkpoint rollback, the robust store envelope (breaker/retry), the
+# model registry, and the replica follower — all under the race
+# detector. A fast subset of verify for iterating on the fit-recovery
+# and fleet-rollout machinery, and an explicit gate inside it — these
+# paths involve watchdog goroutines, an async checkpoint writer, and a
+# polling hot-swap loop, so they must stay race-clean.
 smoke:
-	$(GO) test -race -run 'Health|Supervis|Rollback' ./internal/core ./internal/resilience ./internal/pipeline ./internal/serve
+	$(GO) test -race -run 'Health|Supervis|Rollback|Breaker|Robust|Store|Registry|Follower' ./internal/core ./internal/resilience ./internal/pipeline ./internal/storage ./internal/serve
 
 # The pooled serve-path benchmark: tracks end-to-end /annotate
 # latency and shed count across PRs.
@@ -69,5 +71,6 @@ profile:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzLoadBundle -fuzztime 10s ./internal/pipeline
 	$(GO) test -run '^$$' -fuzz FuzzReadCheckpoint -fuzztime 10s ./internal/pipeline
+	$(GO) test -run '^$$' -fuzz FuzzRegistryManifest -fuzztime 10s ./internal/storage
 	$(GO) test -run '^$$' -fuzz FuzzTokenize -fuzztime 10s ./internal/textseg
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/units

@@ -11,15 +11,19 @@
 //	GET  /metrics                      → Prometheus text exposition
 //	POST /admin/reload                 → swap in the bundle file again (with -bundle)
 //
-// The model comes from one of two places: a -bundle file saved by
+// The model comes from one of three places: a -bundle file saved by
 // texturetopics (instant startup, reloadable at runtime via SIGHUP or
-// POST /admin/reload), or a startup fit (-scale/-iters). A startup fit
-// with -checkpoint-dir writes crash-safe checkpoints; with -resume it
-// continues a half-finished fit instead of starting over.
+// POST /admin/reload), a model -store published to by texturetopics
+// (the replica follows the registry's promoted generation, hot-swapping
+// new rollouts and degrading gracefully when the store is unreachable),
+// or a startup fit (-scale/-iters). A startup fit with -checkpoint-dir
+// writes crash-safe checkpoints; with -resume it continues a
+// half-finished fit instead of starting over.
 //
 // Usage:
 //
 //	textureserver [-addr :8080] [-bundle model.bundle]
+//	              [-store fs:DIR|mem:] [-registry-poll 5s] [-generation-pin N]
 //	              [-scale 1.0] [-iters 300]
 //	              [-checkpoint-dir dir] [-checkpoint-every 25] [-resume]
 //	              [-supervise] [-max-restarts 3] [-sweep-timeout 0] [-max-ll-drop 0]
@@ -50,12 +54,16 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/serve"
+	"repro/internal/storage"
 )
 
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		bundlePath   = flag.String("bundle", "", "serve this bundle file instead of fitting at startup")
+		storeSpec    = flag.String("store", "", "follow the model registry in this store (fs:DIR, mem:, or a bare directory)")
+		registryPoll = flag.Duration("registry-poll", 5*time.Second, "registry poll interval (with -store)")
+		genPin       = flag.Int64("generation-pin", 0, "pin this replica to a registry generation ID instead of following promotions (with -store)")
 		scale        = flag.Float64("scale", 1.0, "training corpus scale")
 		iters        = flag.Int("iters", 300, "Gibbs sweeps for the startup fit")
 		ckDir        = flag.String("checkpoint-dir", "", "write startup-fit checkpoints into this directory")
@@ -79,6 +87,13 @@ func main() {
 
 	logger := obs.NewLogger(os.Stderr, *logFormat)
 
+	if *storeSpec != "" && *bundlePath != "" {
+		log.Fatal("textureserver: -store and -bundle are mutually exclusive; a replica follows the registry or a file, not both")
+	}
+	if *genPin != 0 && *storeSpec == "" {
+		log.Fatal("textureserver: -generation-pin requires -store")
+	}
+
 	opts := serve.DefaultOptions()
 	opts.Pool = *pool
 	opts.MaxBatch = *maxBatch
@@ -97,47 +112,79 @@ func main() {
 	}
 	srv := serve.NewPending(opts)
 
+	// Registry follower mode: the model comes from the store's promoted
+	// generation, so the startup fit/load goroutine below is skipped and
+	// the follower loop (started once the signal context exists) owns
+	// the model lifecycle end to end.
+	var follower *serve.Follower
+	if *storeSpec != "" {
+		// A breaker cooldown of half the poll interval guarantees a
+		// recovered backend gets its half-open probe by the next poll, so
+		// replicas converge within one interval of recovery.
+		st, err := storage.Open(*storeSpec, storage.RobustOptions{BreakerCooldown: *registryPoll / 2})
+		if err != nil {
+			log.Fatalf("textureserver: %v", err)
+		}
+		reg := storage.NewRegistry(st)
+		follower, err = srv.NewFollower(serve.FollowOptions{
+			Registry: reg,
+			Interval: *registryPoll,
+			Pin:      *genPin,
+		})
+		if err != nil {
+			log.Fatalf("textureserver: %v", err)
+		}
+		logger.Info("following model registry", "store", *storeSpec,
+			"poll", registryPoll.String(), "pin", *genPin)
+	}
+
 	// Bind first, load or fit later: /healthz and /readyz answer while
 	// the model is acquired, so orchestrators see a live-but-not-ready
 	// pod instead of a connection refused.
-	go func() {
-		start := time.Now()
-		var out *pipeline.Output
-		var err error
-		if *bundlePath != "" {
-			logger.Info("loading bundle", "path", *bundlePath)
-			out, err = pipeline.LoadBundleFile(*bundlePath)
-		} else {
-			logger.Info("fitting topic model", "scale", *scale, "sweeps", *iters,
-				"checkpoint_dir", *ckDir, "resume", *resume)
-			popts := pipeline.DefaultOptions()
-			popts.Corpus.Scale = *scale
-			popts.Model.Iterations = *iters
-			popts.Checkpoint = pipeline.CheckpointOptions{Dir: *ckDir, Every: *ckEvery, Resume: *resume}
-			popts.Supervise = *supervise
-			popts.MaxRestarts = *maxRst
-			popts.SweepTimeout = *sweepTO
-			popts.MaxLLDrop = *maxLLDrop
-			// The fit records into the server's registry, so the sweep and
-			// stage series show up on the same /metrics page as the serving
-			// counters.
-			popts.Metrics = srv.Metrics()
-			popts.Model.Hooks = pipeline.SweepProgress(logger, *logEvery)
-			out, err = pipeline.Run(popts)
-		}
-		if err != nil {
-			log.Fatalf("model acquisition failed; the server can never become ready: %v", err)
-		}
-		if err := srv.SetOutput(out); err != nil {
-			log.Fatal(err)
-		}
-		logger.Info("model ready",
-			"elapsed", time.Since(start).Round(time.Millisecond).String(),
-			"recipes", len(out.Docs), "topics", out.Model.K)
-	}()
+	if follower == nil {
+		go func() {
+			start := time.Now()
+			var out *pipeline.Output
+			var err error
+			if *bundlePath != "" {
+				logger.Info("loading bundle", "path", *bundlePath)
+				out, err = pipeline.LoadBundleFile(*bundlePath)
+			} else {
+				logger.Info("fitting topic model", "scale", *scale, "sweeps", *iters,
+					"checkpoint_dir", *ckDir, "resume", *resume)
+				popts := pipeline.DefaultOptions()
+				popts.Corpus.Scale = *scale
+				popts.Model.Iterations = *iters
+				popts.Checkpoint = pipeline.CheckpointOptions{Dir: *ckDir, Every: *ckEvery, Resume: *resume}
+				popts.Supervise = *supervise
+				popts.MaxRestarts = *maxRst
+				popts.SweepTimeout = *sweepTO
+				popts.MaxLLDrop = *maxLLDrop
+				// The fit records into the server's registry, so the sweep and
+				// stage series show up on the same /metrics page as the serving
+				// counters.
+				popts.Metrics = srv.Metrics()
+				popts.Model.Hooks = pipeline.SweepProgress(logger, *logEvery)
+				out, err = pipeline.Run(popts)
+			}
+			if err != nil {
+				log.Fatalf("model acquisition failed; the server can never become ready: %v", err)
+			}
+			if err := srv.SetOutput(out); err != nil {
+				log.Fatal(err)
+			}
+			logger.Info("model ready",
+				"elapsed", time.Since(start).Round(time.Millisecond).String(),
+				"recipes", len(out.Docs), "topics", out.Model.K)
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if follower != nil {
+		go follower.Run(ctx)
+	}
 
 	// SIGHUP = operator asking for a zero-downtime model reload.
 	hup := make(chan os.Signal, 1)

@@ -9,6 +9,7 @@
 //	texturetopics [-scale 1.0] [-k 10] [-iters 300] [-seed 1]
 //	              [-collapsed] [-no-filter] [-no-emulsion]
 //	              [-model-out model.json] [-bundle-out model.bundle]
+//	              [-store fs:DIR|mem:] [-publish-note text] [-promote]
 //	              [-checkpoint-dir dir] [-checkpoint-every 25] [-resume]
 //	              [-supervise] [-max-restarts 3] [-sweep-timeout 0] [-max-ll-drop 0]
 //	              [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -22,11 +23,14 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"context"
+
 	"repro/internal/lexicon"
 	"repro/internal/linkage"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/report"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -42,6 +46,9 @@ func main() {
 		noEmu     = flag.Bool("no-emulsion", false, "drop the emulsion likelihood (gel-only ablation)")
 		modelOut  = flag.String("model-out", "", "write the fitted model JSON to this file")
 		bundleOut = flag.String("bundle-out", "", "write the full serving bundle (model+docs+exclusions) to this file")
+		storeSpec = flag.String("store", "", "publish the bundle to this model store (fs:DIR, mem:, or a bare directory)")
+		pubNote   = flag.String("publish-note", "", "operator note recorded on the published generation (with -store)")
+		promote   = flag.Bool("promote", false, "promote the published generation so follower replicas roll to it (with -store)")
 		ckDir     = flag.String("checkpoint-dir", "", "write crash-safe fit checkpoints into this directory")
 		ckEvery   = flag.Int("checkpoint-every", 25, "sweeps between checkpoints (with -checkpoint-dir)")
 		resume    = flag.Bool("resume", false, "resume the fit from -checkpoint-dir if a checkpoint exists")
@@ -161,6 +168,35 @@ func main() {
 		}
 		if *verbose {
 			fmt.Println("bundle written to", *bundleOut)
+		}
+	}
+
+	if *storeSpec != "" {
+		st, err := storage.Open(*storeSpec, storage.RobustOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "texturetopics:", err)
+			os.Exit(1)
+		}
+		reg := storage.NewRegistry(st)
+		bundle, _, err := out.EncodeBundle()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "texturetopics:", err)
+			os.Exit(1)
+		}
+		ctx := context.Background()
+		gen, err := reg.Publish(ctx, bundle, *pubNote)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "texturetopics: publish:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("published generation %d (digest %s, %d bytes) to %s\n",
+			gen.ID, gen.Digest, gen.Size, *storeSpec)
+		if *promote {
+			if err := reg.Promote(ctx, gen.ID); err != nil {
+				fmt.Fprintln(os.Stderr, "texturetopics: promote:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("promoted generation %d; follower replicas converge within one poll interval\n", gen.ID)
 		}
 	}
 }

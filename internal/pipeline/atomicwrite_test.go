@@ -1,0 +1,119 @@
+package pipeline
+
+import (
+	"bufio"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tempLeftovers lists <base>.tmp-* files in dir — what a leaky atomic
+// write would strand.
+func tempLeftovers(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), tempSuffix) {
+			got = append(got, e.Name())
+		}
+	}
+	return got
+}
+
+// TestAtomicWriteCleansTempOnWriteError: a failing payload encoder
+// must not strand its temp file.
+func TestAtomicWriteCleansTempOnWriteError(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("encoder exploded")
+	err := AtomicWriteFile(filepath.Join(dir, "model.bundle"), func(w *bufio.Writer) error {
+		w.WriteString("partial payload")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the encoder's error", err)
+	}
+	if left := tempLeftovers(t, dir); len(left) != 0 {
+		t.Fatalf("temp files leaked on write error: %v", left)
+	}
+}
+
+// TestAtomicWriteCleansTempOnRenameError: when the rename into place
+// fails (here: the destination is a directory), the temp file is
+// removed and the destination untouched.
+func TestAtomicWriteCleansTempOnRenameError(t *testing.T) {
+	dir := t.TempDir()
+	dest := filepath.Join(dir, "model.bundle")
+	// A non-empty directory at the destination makes os.Rename fail the
+	// same way a failing disk would at the final step.
+	if err := os.MkdirAll(filepath.Join(dest, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := AtomicWriteFile(dest, func(w *bufio.Writer) error {
+		_, err := w.WriteString("payload")
+		return err
+	})
+	if err == nil {
+		t.Fatal("rename over a non-empty directory should fail")
+	}
+	if left := tempLeftovers(t, dir); len(left) != 0 {
+		t.Fatalf("temp files leaked on rename error: %v", left)
+	}
+}
+
+// TestAtomicWriteSweepsStaleTemps: temp files stranded by a crashed
+// writer (old mtime) are reclaimed by the next write to the same path;
+// fresh temps — possibly a live concurrent writer — are spared.
+func TestAtomicWriteSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	dest := filepath.Join(dir, "model.bundle")
+
+	stale := filepath.Join(dir, "model.bundle"+tempSuffix+"crashed")
+	fresh := filepath.Join(dir, "model.bundle"+tempSuffix+"inflight")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("torn"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := AtomicWriteFile(dest, func(w *bufio.Writer) error {
+		_, err := w.WriteString("payload")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("stale temp survived the sweep: %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp was swept (could have been a live writer): %v", err)
+	}
+	got, err := os.ReadFile(dest)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("destination = %q, %v; want the written payload", got, err)
+	}
+}
+
+// TestSaveBundleFileNoTempLeakOnError: the end-to-end bundle save path
+// cleans up after itself when it cannot complete (unfitted output →
+// encoder error before any byte hits the temp file’s final home).
+func TestSaveBundleFileNoTempLeakOnError(t *testing.T) {
+	dir := t.TempDir()
+	o := &Output{} // no model: SaveBundle refuses
+	if err := o.SaveBundleFile(filepath.Join(dir, "model.bundle")); err == nil {
+		t.Fatal("saving an unfitted output should fail")
+	}
+	if left := tempLeftovers(t, dir); len(left) != 0 {
+		t.Fatalf("temp files leaked: %v", left)
+	}
+}

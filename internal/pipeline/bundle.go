@@ -43,6 +43,23 @@ func (o *Output) SaveBundle(w io.Writer) error {
 	return writeContainer(w, kindBundle, bundleSchemaVersion, payload, nil)
 }
 
+// EncodeBundle renders the fitted state as container bytes plus the
+// hex SHA-256 payload digest the container carries — the content
+// address a registry stores the bundle under. The digest is re-derived
+// from the encoded bytes (not trusted from the writer), so the pair is
+// self-consistent by construction.
+func (o *Output) EncodeBundle() ([]byte, string, error) {
+	var buf bytes.Buffer
+	if err := o.SaveBundle(&buf); err != nil {
+		return nil, "", err
+	}
+	digest, err := BundleDigest(buf.Bytes())
+	if err != nil {
+		return nil, "", fmt.Errorf("pipeline: re-reading encoded bundle: %w", err)
+	}
+	return buf.Bytes(), digest, nil
+}
+
 // bundlePayload renders the gzip-compressed JSON bundle body.
 func (o *Output) bundlePayload() ([]byte, error) {
 	var modelBuf bytes.Buffer

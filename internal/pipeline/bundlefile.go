@@ -2,9 +2,12 @@ package pipeline
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 )
 
 // SaveBundleFile persists the bundle to path crash-safely: the bytes go
@@ -12,7 +15,7 @@ import (
 // atomically renamed over the destination. A crash at any point leaves
 // either the old file or the new one — never a torn hybrid.
 func (o *Output) SaveBundleFile(path string) error {
-	return writeFileAtomic(path, func(w *bufio.Writer) error {
+	return AtomicWriteFile(path, func(w *bufio.Writer) error {
 		return o.SaveBundle(w)
 	})
 }
@@ -31,42 +34,66 @@ func LoadBundleFile(path string) (*Output, error) {
 	return out, nil
 }
 
-// writeFileAtomic streams write's output into a temp file next to path,
-// fsyncs it, renames it into place, and fsyncs the directory so the
-// rename itself is durable.
-func writeFileAtomic(path string, write func(*bufio.Writer) error) error {
+// tempSuffix marks this package's atomic-write temp files:
+// <base>.tmp-<random>. The suffix is what the stale sweep matches on.
+const tempSuffix = ".tmp-"
+
+// staleTempAge is how old a leftover temp file must be before the
+// sweep reclaims it. The age gate keeps a sweep from deleting a temp
+// that a concurrent writer to the same path is still filling.
+const staleTempAge = 10 * time.Minute
+
+// AtomicWriteFile streams write's output into a temp file next to
+// path, fsyncs it, renames it into place, and fsyncs the directory so
+// the rename itself is durable. The temp file is removed on every
+// in-process failure (encode error, flush, fsync, chmod, rename), and
+// each call also sweeps temp files stranded by callers that died
+// between creating a temp and cleaning it up — a crash or kill -9
+// leaves a .tmp-* behind that no defer can reclaim, so the next
+// successful writer reclaims it instead.
+func AtomicWriteFile(path string, write func(*bufio.Writer) error) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	base := filepath.Base(path)
+	sweepStaleTemps(dir, base)
+
+	tmp, err := os.CreateTemp(dir, base+tempSuffix+"*")
 	if err != nil {
 		return fmt.Errorf("pipeline: creating temp file: %w", err)
 	}
 	tmpName := tmp.Name()
-	// On any failure below, remove the temp file; ignore errors — the
-	// prefix pattern makes leftovers identifiable anyway.
+	// Belt and braces: the error paths below remove the temp
+	// explicitly; this defer covers a panicking write callback. Once
+	// the rename lands, tmpName no longer exists and the Remove is a
+	// harmless ENOENT.
 	defer os.Remove(tmpName)
+
+	fail := func(err error) error {
+		tmp.Close()
+		if rmErr := os.Remove(tmpName); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
+			return fmt.Errorf("%w (and removing temp %s: %v)", err, tmpName, rmErr)
+		}
+		return err
+	}
 
 	bw := bufio.NewWriter(tmp)
 	if err := write(bw); err != nil {
-		tmp.Close()
-		return err
+		return fail(err)
 	}
 	if err := bw.Flush(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("pipeline: writing %s: %w", tmpName, err)
+		return fail(fmt.Errorf("pipeline: writing %s: %w", tmpName, err))
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("pipeline: fsync %s: %w", tmpName, err)
+		return fail(fmt.Errorf("pipeline: fsync %s: %w", tmpName, err))
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("pipeline: closing %s: %w", tmpName, err)
+		return fail(fmt.Errorf("pipeline: closing %s: %w", tmpName, err))
 	}
 	// CreateTemp makes 0600; these are shareable artifacts, not secrets.
 	if err := os.Chmod(tmpName, 0o644); err != nil {
-		return fmt.Errorf("pipeline: chmod %s: %w", tmpName, err)
+		return fail(fmt.Errorf("pipeline: chmod %s: %w", tmpName, err))
 	}
 	if err := os.Rename(tmpName, path); err != nil {
-		return fmt.Errorf("pipeline: renaming into place: %w", err)
+		return fail(fmt.Errorf("pipeline: renaming into place: %w", err))
 	}
 	// Make the rename durable: fsync the containing directory. Some
 	// filesystems don't support fsync on directories; that's not fatal.
@@ -75,4 +102,28 @@ func writeFileAtomic(path string, write func(*bufio.Writer) error) error {
 		d.Close()
 	}
 	return nil
+}
+
+// sweepStaleTemps removes <base>.tmp-* leftovers in dir older than
+// staleTempAge: the droppings of writers that crashed mid-write. Young
+// temps are spared (they may belong to a live concurrent writer), and
+// every error is ignored — the sweep is opportunistic hygiene, never a
+// reason to fail the write that triggered it.
+func sweepStaleTemps(dir, base string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-staleTempAge)
+	prefix := base + tempSuffix
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		os.Remove(filepath.Join(dir, e.Name()))
+	}
 }

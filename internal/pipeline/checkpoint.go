@@ -103,7 +103,7 @@ func WriteCheckpointFileWithHealth(dir string, sn *core.Snapshot, h CheckpointHe
 	if err := gz.Close(); err != nil {
 		return fmt.Errorf("pipeline: compressing checkpoint: %w", err)
 	}
-	return writeFileAtomic(filepath.Join(dir, CheckpointFile), func(w *bufio.Writer) error {
+	return AtomicWriteFile(filepath.Join(dir, CheckpointFile), func(w *bufio.Writer) error {
 		return writeContainer(w, kindCheckpoint, checkpointSchemaVersion, body.Bytes(), &h)
 	})
 }

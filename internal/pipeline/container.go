@@ -97,6 +97,33 @@ func writeContainer(w io.Writer, kind string, schema int, payload []byte, health
 	return nil
 }
 
+// BundleDigest parses the format-2 container envelope in b and returns
+// the hex SHA-256 payload digest from its header, after verifying that
+// the digest matches the payload bytes, the container kind is
+// "bundle", and nothing trails the payload. This digest is the content
+// address a bundle is stored and fetched under (internal/storage): two
+// byte-identical fitted models share one digest, and a fetched blob
+// whose recomputed digest disagrees is corruption, not a model.
+//
+// The gzip payload itself is NOT decompressed or decoded — digest
+// extraction must stay cheap enough to run on every registry publish
+// and fetch. Use LoadBundle for full validation.
+func BundleDigest(b []byte) (string, error) {
+	r := bytes.NewReader(b)
+	var magic [len(containerMagic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return "", fmt.Errorf("pipeline: bundle magic missing: %w: %w", ErrCorrupt, err)
+	}
+	if string(magic[:]) != containerMagic {
+		return "", fmt.Errorf("pipeline: not a bundle container: %w", ErrCorrupt)
+	}
+	_, hdr, err := readContainer(r, kindBundle)
+	if err != nil {
+		return "", err
+	}
+	return hdr.SHA256, nil
+}
+
 // readContainer parses a format-2 envelope whose magic has already
 // been consumed by the caller, verifies the digest, and returns the
 // payload with the full header (schema version, health digest).

@@ -119,6 +119,10 @@ type Server struct {
 	draining   atomic.Bool
 	generation atomic.Int64 // bumped on every model install/swap
 
+	// follower is the attached registry follower, nil when this server
+	// is not part of a registry-driven fleet. Set once by NewFollower.
+	follower atomic.Pointer[Follower]
+
 	reg             *obs.Registry
 	mServed         *obs.Counter
 	mPanics         *obs.Counter
@@ -345,6 +349,13 @@ type Stats struct {
 	// history (rollbacks, reseeded restarts). Empty when the fit never
 	// needed recovery or supervision was off.
 	LastFitIncidents []resilience.Incident `json:"last_fit_incidents,omitempty"`
+	// RegistryDegraded is true while the registry follower cannot reach
+	// its registry or store and the replica serves its last-good model.
+	// Always false when no follower is attached (see Registry).
+	RegistryDegraded bool `json:"registry_degraded"`
+	// Registry is the registry-follower detail (generation, digest,
+	// last error, staleness); nil when this server does not follow one.
+	Registry *RegistryStatus `json:"registry,omitempty"`
 }
 
 // Stats snapshots the runtime counters.
@@ -365,6 +376,11 @@ func (s *Server) Stats() Stats {
 		st.LastFitIncidents = s.out.FitIncidents
 	}
 	s.mu.RUnlock()
+	if f := s.follower.Load(); f != nil {
+		rs := f.Status()
+		st.Registry = &rs
+		st.RegistryDegraded = rs.Degraded
+	}
 	return st
 }
 

@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/pipeline"
+)
+
+// FSStore is the local-filesystem backend: objects live as files under
+// Root, written with the pipeline's crash-safe atomic idiom (temp file
+// in the destination directory, fsync, rename, directory fsync), so a
+// replica reading an object never sees a torn write even if the
+// publisher dies mid-Put.
+//
+// The zero value is unusable; set Root. Open creates the root
+// directory eagerly (and Put creates nested directories as needed), so
+// a root that goes missing afterwards reads as an outage
+// (ErrStoreUnavailable), not as every object being absent.
+type FSStore struct {
+	Root string
+}
+
+// NewFSStore builds a store rooted at dir.
+func NewFSStore(dir string) *FSStore { return &FSStore{Root: dir} }
+
+// Name identifies the backend in metrics.
+func (s *FSStore) Name() string { return "fs" }
+
+// keyPath maps a store key to a file path under Root, refusing keys
+// that would escape it. Keys are slash-separated regardless of OS.
+func (s *FSStore) keyPath(key string) (string, error) {
+	if s.Root == "" {
+		return "", fmt.Errorf("storage: FSStore has no root directory: %w", ErrStoreUnavailable)
+	}
+	if key == "" || strings.HasPrefix(key, "/") || path.Clean(key) != key ||
+		key == ".." || strings.HasPrefix(key, "../") {
+		return "", fmt.Errorf("storage: invalid key %q: %w", key, ErrNotFound)
+	}
+	return filepath.Join(s.Root, filepath.FromSlash(key)), nil
+}
+
+// wrapFSErr classifies a filesystem error. A missing file under a
+// present root is the caller's problem (ErrNotFound) — but a missing
+// file under a missing root is an unmounted volume or deleted store,
+// and "not found" would make an outage look like an empty registry.
+// Root presence disambiguates: gone root → ErrStoreUnavailable.
+func (s *FSStore) wrapFSErr(op, key string, err error) error {
+	if errors.Is(err, fs.ErrNotExist) {
+		if _, rerr := os.Stat(s.Root); rerr != nil {
+			return fmt.Errorf("storage: fs %s %q: store root %q unreachable: %w: %w",
+				op, key, s.Root, ErrStoreUnavailable, rerr)
+		}
+		return fmt.Errorf("storage: fs %s %q: %w", op, key, ErrNotFound)
+	}
+	return fmt.Errorf("storage: fs %s %q: %w: %w", op, key, ErrStoreUnavailable, err)
+}
+
+// Put writes data under key atomically.
+func (s *FSStore) Put(ctx context.Context, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p, err := s.keyPath(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("storage: fs put %q: %w: %w", key, ErrStoreUnavailable, err)
+	}
+	err = pipeline.AtomicWriteFile(p, func(w *bufio.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	})
+	if err != nil {
+		return fmt.Errorf("storage: fs put %q: %w: %w", key, ErrStoreUnavailable, err)
+	}
+	return nil
+}
+
+// Get reads the object under key.
+func (s *FSStore) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p, err := s.keyPath(key)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, s.wrapFSErr("get", key, err)
+	}
+	return data, nil
+}
+
+// Stat probes the object under key without reading it.
+func (s *FSStore) Stat(ctx context.Context, key string) (ObjectInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return ObjectInfo{}, err
+	}
+	p, err := s.keyPath(key)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	info, err := os.Stat(p)
+	if err != nil {
+		return ObjectInfo{}, s.wrapFSErr("stat", key, err)
+	}
+	if info.IsDir() {
+		return ObjectInfo{}, fmt.Errorf("storage: fs stat %q: is a directory: %w", key, ErrNotFound)
+	}
+	return ObjectInfo{Key: key, Size: info.Size()}, nil
+}
+
+// List walks Root and returns every object key under prefix. In-flight
+// atomic-write temp files are skipped — they are not objects yet. An
+// existing but empty root lists empty; a missing root is an outage
+// (Open creates the root, so its absence means the volume went away).
+func (s *FSStore) List(ctx context.Context, prefix string) ([]string, error) {
+	if s.Root == "" {
+		return nil, fmt.Errorf("storage: FSStore has no root directory: %w", ErrStoreUnavailable)
+	}
+	var keys []string
+	err := filepath.WalkDir(s.Root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if d.IsDir() || strings.Contains(d.Name(), ".tmp-") {
+			return nil
+		}
+		rel, rerr := filepath.Rel(s.Root, p)
+		if rerr != nil {
+			return rerr
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if errors.Is(err, fs.ErrNotExist) {
+		if _, rerr := os.Stat(s.Root); rerr != nil {
+			return nil, fmt.Errorf("storage: fs list %q: store root %q unreachable: %w: %w",
+				prefix, s.Root, ErrStoreUnavailable, rerr)
+		}
+		return nil, nil
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("storage: fs list %q: %w: %w", prefix, ErrStoreUnavailable, err)
+	}
+	return keys, nil
+}

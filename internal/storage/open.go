@@ -1,0 +1,48 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Open builds a robustness-wrapped store from an operator-facing spec,
+// the syntax behind the binaries' -store flag:
+//
+//	fs:/var/lib/texture/registry   local-FS backend rooted there
+//	/var/lib/texture/registry      same (bare paths mean fs)
+//	mem:                           in-process KV (demos and tests only:
+//	                               each process sees its own empty store)
+//
+// The returned store is always wrapped in Robust with opts, so every
+// caller gets timeouts, retries, the circuit breaker and typed errors
+// without opting in.
+func Open(spec string, opts RobustOptions) (*Robust, error) {
+	var inner BundleStore
+	switch {
+	case spec == "":
+		return nil, fmt.Errorf("storage: empty store spec")
+	case spec == "mem:" || spec == "mem":
+		inner = NewKVStore()
+	case strings.HasPrefix(spec, "fs:"):
+		dir := strings.TrimPrefix(spec, "fs:")
+		if dir == "" {
+			return nil, fmt.Errorf("storage: fs store spec %q has no directory", spec)
+		}
+		inner = NewFSStore(dir)
+	case strings.Contains(spec, ":"):
+		return nil, fmt.Errorf("storage: unknown store scheme in %q (want fs:DIR or mem:)", spec)
+	default:
+		inner = NewFSStore(spec)
+	}
+	// Create the FS root eagerly: "root exists" becomes an invariant
+	// from open time, so a root that later disappears is unambiguously
+	// an outage (ErrStoreUnavailable), never mistaken for an empty
+	// registry.
+	if fsStore, ok := inner.(*FSStore); ok {
+		if err := os.MkdirAll(fsStore.Root, 0o755); err != nil {
+			return nil, fmt.Errorf("storage: creating store root %q: %w", fsStore.Root, err)
+		}
+	}
+	return NewRobust(inner, opts), nil
+}
