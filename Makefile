@@ -26,13 +26,17 @@ verify: smoke
 
 # The self-healing smoke: health classification, supervisor recovery,
 # checkpoint rollback, the robust store envelope (breaker/retry), the
-# model registry, and the replica follower — all under the race
+# model registry, the replica follower, and the annotation cache with
+# its single-flight dedup and drain gating — all under the race
 # detector. A fast subset of verify for iterating on the fit-recovery
 # and fleet-rollout machinery, and an explicit gate inside it — these
-# paths involve watchdog goroutines, an async checkpoint writer, and a
-# polling hot-swap loop, so they must stay race-clean.
+# paths involve watchdog goroutines, an async checkpoint writer, a
+# polling hot-swap loop, and flight-completion channels, so they must
+# stay race-clean. The client SDK's retry/taxonomy contract tests ride
+# along (they are httptest-only and fast).
 smoke:
-	$(GO) test -race -run 'Health|Supervis|Rollback|Breaker|Robust|Store|Registry|Follower' ./internal/core ./internal/resilience ./internal/pipeline ./internal/storage ./internal/serve
+	$(GO) test -race -run 'Health|Supervis|Rollback|Breaker|Robust|Store|Registry|Follower|Cache|Drain' ./internal/core ./internal/resilience ./internal/pipeline ./internal/storage ./internal/serve
+	$(GO) test -race ./client
 
 # The pooled serve-path benchmark: tracks end-to-end /annotate
 # latency and shed count across PRs.

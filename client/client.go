@@ -1,0 +1,268 @@
+// Package client is the typed Go SDK for the texture annotation
+// server: the serving API as a consumable product surface instead of
+// hand-rolled HTTP. Every method takes a context that bounds the
+// whole call including retries, decodes into the same wire types the
+// server encodes (no parallel struct definitions to drift), and maps
+// the server's status taxonomy onto typed errors.
+//
+// Backpressure is handled the way the server asks for it: 429 (shed)
+// and 503 (not ready / draining) answers are retried on a jittered
+// exponential schedule, waiting at least as long as the server's
+// Retry-After header suggests. Everything else — 4xx recipe faults,
+// 504 deadlines, 5xx failures — surfaces immediately as an *APIError
+// wrapping its class sentinel (ErrRecipe, ErrTimeout, …).
+//
+//	c, _ := client.New("http://localhost:8080", client.Options{})
+//	card, err := c.Annotate(ctx, &recipe.Recipe{...})
+//	if errors.Is(err, client.ErrRecipe) { /* the recipe's fault */ }
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/annotate"
+	"repro/internal/recipe"
+	"repro/internal/resilience"
+	"repro/internal/serve"
+)
+
+// Options tunes a Client. The zero value is usable: default transport,
+// default retry schedule, server-default batch size.
+type Options struct {
+	// HTTPClient overrides the transport; http.DefaultClient when nil.
+	// Set one with a Timeout for belt-and-braces deadlines, though the
+	// per-call context is the primary bound.
+	HTTPClient *http.Client
+	// Retry is the backoff schedule for 429/503/transport failures.
+	// The zero value gets DefaultBackoff. Attempts: 1 disables
+	// retrying entirely.
+	Retry resilience.Backoff
+	// MaxBatch caps the recipes per /annotate/batch request;
+	// AnnotateAll splits larger inputs into chunks of this size.
+	// Defaults to 64, the server's own default limit.
+	MaxBatch int
+}
+
+// DefaultBackoff is the retry schedule when Options.Retry is zero:
+// four attempts spanning roughly a second — enough to ride out a
+// draining replica or a shed burst without hammering it.
+func DefaultBackoff() resilience.Backoff {
+	return resilience.Backoff{Attempts: 4, Base: 100 * time.Millisecond, Max: 2 * time.Second, Seed: 1}
+}
+
+// Client talks to one texture server.
+type Client struct {
+	base     string
+	hc       *http.Client
+	delays   []time.Duration
+	maxBatch int
+}
+
+// New builds a client for the server at baseURL (scheme and host,
+// e.g. "http://localhost:8080").
+func New(baseURL string, opts Options) (*Client, error) {
+	base := strings.TrimRight(baseURL, "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		return nil, fmt.Errorf("client: base URL %q needs an http(s) scheme", baseURL)
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	b := opts.Retry
+	if b == (resilience.Backoff{}) {
+		b = DefaultBackoff()
+	}
+	maxBatch := opts.MaxBatch
+	if maxBatch < 1 {
+		maxBatch = 64
+	}
+	return &Client{base: base, hc: hc, delays: b.Delays(), maxBatch: maxBatch}, nil
+}
+
+// Annotate posts one recipe and returns its texture card.
+func (c *Client) Annotate(ctx context.Context, r *recipe.Recipe) (*annotate.WireCard, error) {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding recipe: %w", err)
+	}
+	var card annotate.WireCard
+	if err := c.call(ctx, http.MethodPost, "/annotate", body, &card); err != nil {
+		return nil, err
+	}
+	return &card, nil
+}
+
+// AnnotateBatch posts up to MaxBatch recipes in one request. The
+// response is index-aligned with the input; items fail individually
+// (check BatchItem.Error/Status), so a non-nil error here means the
+// whole request failed, not one recipe.
+func (c *Client) AnnotateBatch(ctx context.Context, rs []*recipe.Recipe) (*serve.BatchResponse, error) {
+	if len(rs) == 0 {
+		return &serve.BatchResponse{}, nil
+	}
+	if len(rs) > c.maxBatch {
+		return nil, fmt.Errorf("client: batch of %d recipes over the %d limit; use AnnotateAll to chunk", len(rs), c.maxBatch)
+	}
+	body, err := json.Marshal(struct {
+		Recipes []*recipe.Recipe `json:"recipes"`
+	}{rs})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding batch: %w", err)
+	}
+	var resp serve.BatchResponse
+	if err := c.call(ctx, http.MethodPost, "/annotate/batch", body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// AnnotateAll is the batch helper for arbitrarily many recipes: the
+// input is split into MaxBatch-sized chunks, each posted as one batch
+// request, and the items re-indexed against the full input. On a
+// chunk failure the items gathered so far are returned alongside the
+// error, so a partial run is not lost.
+func (c *Client) AnnotateAll(ctx context.Context, rs []*recipe.Recipe) ([]serve.BatchItem, error) {
+	items := make([]serve.BatchItem, 0, len(rs))
+	for start := 0; start < len(rs); start += c.maxBatch {
+		end := min(start+c.maxBatch, len(rs))
+		resp, err := c.AnnotateBatch(ctx, rs[start:end])
+		if err != nil {
+			return items, fmt.Errorf("client: batch starting at recipe %d: %w", start, err)
+		}
+		for _, it := range resp.Results {
+			it.Index += start
+			items = append(items, it)
+		}
+	}
+	return items, nil
+}
+
+// Topics fetches the fitted topics with gel doses and top terms.
+func (c *Client) Topics(ctx context.Context) ([]serve.TopicInfo, error) {
+	var topics []serve.TopicInfo
+	if err := c.call(ctx, http.MethodGet, "/topics", nil, &topics); err != nil {
+		return nil, err
+	}
+	return topics, nil
+}
+
+// Status fetches the server's runtime counters from /statusz.
+func (c *Client) Status(ctx context.Context) (*serve.Stats, error) {
+	var st serve.Stats
+	if err := c.call(ctx, http.MethodGet, "/statusz", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Ready probes /readyz once, without retrying: nil when the server is
+// serving, ErrNotReady while it fits or drains. Poll it to wait for a
+// replica to come up.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.once(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// call is the retrying request loop: each attempt rebuilds the
+// request from the marshaled body, backpressure answers wait out the
+// longer of the scheduled backoff and the server's Retry-After, and
+// the caller's context bounds everything — a cancellation mid-wait
+// returns immediately with the last error noted.
+func (c *Client) call(ctx context.Context, method, path string, body []byte, out any) error {
+	var last error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return stopRetry(err, last)
+		}
+		last = c.once(ctx, method, path, body, out)
+		if last == nil || !retryable(last) || attempt >= len(c.delays) {
+			return last
+		}
+		d := c.delays[attempt]
+		var ae *APIError
+		if errors.As(last, &ae) && ae.RetryAfter > d {
+			d = ae.RetryAfter
+		}
+		if d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return stopRetry(ctx.Err(), last)
+			}
+		}
+	}
+}
+
+func stopRetry(ctxErr, last error) error {
+	if last == nil {
+		return ctxErr
+	}
+	return fmt.Errorf("client: retry stopped (%w) after: %w", ctxErr, last)
+}
+
+// once performs a single HTTP exchange and maps the outcome: 2xx
+// decodes into out, anything else becomes an *APIError carrying the
+// status, the server's diagnostic line, and its Retry-After advice.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// The caller's own cancellation is not a transport fault and
+		// must not be retried on its behalf.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return &transportError{err: err}
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// apiError reads the diagnostic line and retry advice off a non-2xx
+// response.
+func apiError(resp *http.Response) *APIError {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	ae := &APIError{
+		StatusCode: resp.StatusCode,
+		Message:    strings.TrimSpace(string(msg)),
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
+}

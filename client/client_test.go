@@ -1,0 +1,395 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/annotate"
+	"repro/internal/recipe"
+	"repro/internal/resilience"
+	"repro/internal/serve"
+)
+
+// fastRetry is a schedule that retries immediately — contract tests
+// exercise the retry logic, not the wall clock.
+func fastRetry(attempts int) Options {
+	return Options{Retry: resilience.Backoff{Attempts: attempts, Base: time.Millisecond, Max: time.Millisecond, Seed: 1}}
+}
+
+func jelly() *recipe.Recipe {
+	return &recipe.Recipe{
+		ID:    "web-1",
+		Title: "ゼリー",
+		Ingredients: []recipe.Ingredient{
+			{Name: "ゼラチン", Amount: "5g"},
+			{Name: "水", Amount: "400ml"},
+		},
+	}
+}
+
+func mustNew(t *testing.T, baseURL string, opts Options) *Client {
+	t.Helper()
+	c, err := New(baseURL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("localhost:8080", Options{}); err == nil {
+		t.Error("scheme-less base URL accepted")
+	}
+	if _, err := New("http://localhost:8080/", Options{}); err != nil {
+		t.Errorf("trailing slash rejected: %v", err)
+	}
+}
+
+// TestAnnotateDecodesCard: a 200 answer decodes into the same wire
+// type the server encodes.
+func TestAnnotateDecodesCard(t *testing.T) {
+	var gotPath, gotCT string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath, gotCT = r.URL.Path, r.Header.Get("Content-Type")
+		var rec recipe.Recipe
+		if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
+			t.Errorf("server could not decode the client's recipe: %v", err)
+		}
+		json.NewEncoder(w).Encode(annotate.WireCard{
+			RecipeID: rec.ID, Title: rec.Title, Topic: 3, Prob: 0.9,
+			Expected: []annotate.WireTerm{{Romaji: "purupuru", Prob: 0.4}},
+		})
+	}))
+	defer ts.Close()
+
+	card, err := mustNew(t, ts.URL, Options{}).Annotate(context.Background(), jelly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPath != "/annotate" || gotCT != "application/json" {
+		t.Errorf("request was %s with Content-Type %q", gotPath, gotCT)
+	}
+	if card.RecipeID != "web-1" || card.Topic != 3 || len(card.Expected) != 1 {
+		t.Errorf("card = %+v", card)
+	}
+}
+
+// TestRetryOn429HonorsRetryAfter: a shed answer with Retry-After is
+// retried no sooner than the server asked, even when the backoff
+// schedule alone would have gone back immediately.
+func TestRetryOn429HonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "annotator pool saturated; retry shortly", http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(annotate.WireCard{RecipeID: "web-1"})
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	card, err := mustNew(t, ts.URL, fastRetry(3)).Annotate(context.Background(), jelly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card.RecipeID != "web-1" {
+		t.Errorf("card = %+v", card)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("%d requests, want 2 (one shed, one retry)", n)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("retried after %v; Retry-After: 1 asked for ≥1s", elapsed)
+	}
+}
+
+// TestRetryOn503UntilReady: not-ready answers are retried on the
+// schedule until the server comes up.
+func TestRetryOn503UntilReady(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "model not ready", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(annotate.WireCard{RecipeID: "web-1"})
+	}))
+	defer ts.Close()
+
+	if _, err := mustNew(t, ts.URL, fastRetry(4)).Annotate(context.Background(), jelly()); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("%d requests, want 3", n)
+	}
+}
+
+// TestRetriesExhaustedSurfaceTypedError: a server that never recovers
+// runs the schedule dry and the last typed error comes back.
+func TestRetriesExhaustedSurfaceTypedError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	_, err := mustNew(t, ts.URL, fastRetry(3)).Annotate(context.Background(), jelly())
+	if !errors.Is(err, ErrNotReady) {
+		t.Errorf("err = %v, want ErrNotReady", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("%d requests, want the full 3-attempt schedule", n)
+	}
+}
+
+// TestNoRetryOnRecipeFault: 4xx taxonomy errors cannot succeed on
+// retry and must surface after exactly one request.
+func TestNoRetryOnRecipeFault(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "annotate: recipe not annotatable: no gel ingredient", http.StatusUnprocessableEntity)
+	}))
+	defer ts.Close()
+
+	_, err := mustNew(t, ts.URL, fastRetry(4)).Annotate(context.Background(), jelly())
+	if !errors.Is(err, ErrRecipe) {
+		t.Fatalf("err = %v, want ErrRecipe", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusUnprocessableEntity ||
+		!strings.Contains(ae.Message, "no gel ingredient") {
+		t.Errorf("APIError = %+v", ae)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("%d requests for a recipe fault, want 1 (no retry)", n)
+	}
+}
+
+// TestErrorTaxonomy maps every server status class onto its sentinel.
+func TestErrorTaxonomy(t *testing.T) {
+	for _, tc := range []struct {
+		status int
+		want   error
+	}{
+		{http.StatusBadRequest, ErrBadRequest},
+		{http.StatusForbidden, ErrForbidden},
+		{http.StatusRequestEntityTooLarge, ErrTooLarge},
+		{http.StatusUnprocessableEntity, ErrRecipe},
+		{http.StatusTooManyRequests, ErrOverloaded},
+		{http.StatusServiceUnavailable, ErrNotReady},
+		{http.StatusGatewayTimeout, ErrTimeout},
+		{http.StatusInternalServerError, ErrInternal},
+		{http.StatusBadGateway, ErrInternal},
+	} {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "nope", tc.status)
+		}))
+		_, err := mustNew(t, ts.URL, fastRetry(1)).Annotate(context.Background(), jelly())
+		ts.Close()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("status %d: err = %v, want %v", tc.status, err, tc.want)
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.StatusCode != tc.status {
+			t.Errorf("status %d: APIError = %+v", tc.status, ae)
+		}
+	}
+}
+
+// TestContextCancellationStopsRetries: the caller's deadline cuts the
+// retry loop mid-wait and surfaces both the context error and the last
+// server answer.
+func TestContextCancellationStopsRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	opts := Options{Retry: resilience.Backoff{Attempts: 10, Base: 200 * time.Millisecond, Max: 200 * time.Millisecond, Seed: 1}}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := mustNew(t, ts.URL, opts).Annotate(ctx, jelly())
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancellation ignored for %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want a DeadlineExceeded wrap", err)
+	}
+	if !errors.Is(err, ErrNotReady) {
+		t.Errorf("err = %v, want the last server answer preserved", err)
+	}
+	if n := calls.Load(); n < 1 || n > 2 {
+		t.Errorf("%d requests under a 100ms deadline with 200ms waits, want 1", n)
+	}
+}
+
+// TestTransportErrorRetried: a connection that dies before a response
+// is retryable; the next attempt succeeds.
+func TestTransportErrorRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Fatalf("hijack: %v", err)
+			}
+			conn.Close() // the client sees a dead connection, not a status
+			return
+		}
+		json.NewEncoder(w).Encode(annotate.WireCard{RecipeID: "web-1"})
+	}))
+	defer ts.Close()
+
+	card, err := mustNew(t, ts.URL, fastRetry(3)).Annotate(context.Background(), jelly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card.RecipeID != "web-1" || calls.Load() != 2 {
+		t.Errorf("card=%+v after %d calls", card, calls.Load())
+	}
+}
+
+// TestAnnotateBatchShape: the batch call round-trips the server's
+// index-aligned response, and an over-limit batch is refused locally.
+func TestAnnotateBatchShape(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/annotate/batch" {
+			t.Errorf("path %s", r.URL.Path)
+		}
+		var req struct {
+			Recipes []*recipe.Recipe `json:"recipes"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		resp := serve.BatchResponse{Served: len(req.Recipes)}
+		for i, rc := range req.Recipes {
+			resp.Results = append(resp.Results, serve.BatchItem{
+				Index: i, Card: &annotate.WireCard{RecipeID: rc.ID},
+			})
+		}
+		json.NewEncoder(w).Encode(resp)
+	}))
+	defer ts.Close()
+
+	c := mustNew(t, ts.URL, Options{MaxBatch: 2})
+	resp, err := c.AnnotateBatch(context.Background(), []*recipe.Recipe{jelly(), jelly()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 || resp.Served != 2 {
+		t.Errorf("batch response = %+v", resp)
+	}
+	if _, err := c.AnnotateBatch(context.Background(), []*recipe.Recipe{jelly(), jelly(), jelly()}); err == nil {
+		t.Error("over-limit batch accepted; should be refused before any request")
+	}
+}
+
+// TestAnnotateAllChunksAndReindexes: five recipes through a MaxBatch-2
+// client arrive as three requests, and every item keeps its index in
+// the full input.
+func TestAnnotateAllChunksAndReindexes(t *testing.T) {
+	var sizes []int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Recipes []*recipe.Recipe `json:"recipes"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		sizes = append(sizes, len(req.Recipes))
+		resp := serve.BatchResponse{Served: len(req.Recipes)}
+		for i, rc := range req.Recipes {
+			resp.Results = append(resp.Results, serve.BatchItem{
+				Index: i, Card: &annotate.WireCard{RecipeID: rc.ID},
+			})
+		}
+		json.NewEncoder(w).Encode(resp)
+	}))
+	defer ts.Close()
+
+	rs := make([]*recipe.Recipe, 5)
+	for i := range rs {
+		r := jelly()
+		r.ID = fmt.Sprintf("web-%d", i)
+		rs[i] = r
+	}
+	items, err := mustNew(t, ts.URL, Options{MaxBatch: 2}).AnnotateAll(context.Background(), rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(sizes) != "[2 2 1]" {
+		t.Errorf("chunk sizes = %v, want [2 2 1]", sizes)
+	}
+	if len(items) != 5 {
+		t.Fatalf("%d items, want 5", len(items))
+	}
+	for i, it := range items {
+		if it.Index != i || it.Card == nil || it.Card.RecipeID != rs[i].ID {
+			t.Errorf("items[%d] = %+v, want index %d for %s", i, it, i, rs[i].ID)
+		}
+	}
+}
+
+// TestTopicsAndStatus: the read-only endpoints decode into the
+// server's own wire types.
+func TestTopicsAndStatus(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /topics", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode([]serve.TopicInfo{{Topic: 0, Recipes: 12}, {Topic: 1, Recipes: 3}})
+	})
+	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(serve.Stats{Ready: true, Pool: 4, Served: 9,
+			Cache: &serve.CacheStats{Capacity: 4096, Hits: 7}})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := mustNew(t, ts.URL, Options{})
+	topics, err := c.Topics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topics) != 2 || topics[0].Recipes != 12 {
+		t.Errorf("topics = %+v", topics)
+	}
+	st, err := c.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ready || st.Pool != 4 || st.Cache == nil || st.Cache.Hits != 7 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+// TestReadyProbesOnce: the readiness probe never retries — polling is
+// the caller's loop, not the SDK's.
+func TestReadyProbesOnce(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "model not fitted yet", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	err := mustNew(t, ts.URL, fastRetry(5)).Ready(context.Background())
+	if !errors.Is(err, ErrNotReady) {
+		t.Errorf("err = %v, want ErrNotReady", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("%d probes, want exactly 1", n)
+	}
+}

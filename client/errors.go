@@ -1,0 +1,101 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Sentinel errors mirroring the server's status taxonomy. Every
+// non-2xx response surfaces as an *APIError whose Unwrap returns the
+// sentinel for its class, so callers branch with errors.Is and still
+// reach the raw status and message through errors.As.
+var (
+	// ErrBadRequest is a malformed request the server refused (400).
+	ErrBadRequest = errors.New("client: bad request")
+	// ErrForbidden is a rejected admin credential (403).
+	ErrForbidden = errors.New("client: forbidden")
+	// ErrTooLarge is a body or batch over the server's limits (413).
+	ErrTooLarge = errors.New("client: request too large")
+	// ErrRecipe is a well-formed recipe the model cannot annotate —
+	// unparseable amounts, no gel ingredient (422). The recipe's
+	// fault, not the server's; retrying cannot help.
+	ErrRecipe = errors.New("client: recipe not annotatable")
+	// ErrOverloaded is the admission gate shedding load (429). The
+	// client retries these automatically, honoring Retry-After.
+	ErrOverloaded = errors.New("client: server overloaded")
+	// ErrNotReady is a server without a model or draining for
+	// shutdown (503). Retried automatically like ErrOverloaded.
+	ErrNotReady = errors.New("client: server not ready")
+	// ErrTimeout is an annotation that ran out of its server-side
+	// deadline (504).
+	ErrTimeout = errors.New("client: annotation timed out")
+	// ErrInternal is any other 5xx.
+	ErrInternal = errors.New("client: internal server error")
+)
+
+// APIError is a non-2xx response from the texture server.
+type APIError struct {
+	// StatusCode is the HTTP status the server answered with.
+	StatusCode int
+	// Message is the server's response body (one diagnostic line).
+	Message string
+	// RetryAfter is the parsed Retry-After header; zero when absent.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server answered %d: %s", e.StatusCode, e.Message)
+}
+
+// Unwrap maps the status onto its class sentinel, so
+// errors.Is(err, client.ErrOverloaded) works on any wrapped APIError.
+func (e *APIError) Unwrap() error {
+	switch e.StatusCode {
+	case http.StatusBadRequest:
+		return ErrBadRequest
+	case http.StatusForbidden:
+		return ErrForbidden
+	case http.StatusRequestEntityTooLarge:
+		return ErrTooLarge
+	case http.StatusUnprocessableEntity:
+		return ErrRecipe
+	case http.StatusTooManyRequests:
+		return ErrOverloaded
+	case http.StatusServiceUnavailable:
+		return ErrNotReady
+	case http.StatusGatewayTimeout:
+		return ErrTimeout
+	default:
+		if e.StatusCode >= 500 {
+			return ErrInternal
+		}
+		return nil
+	}
+}
+
+// retryable reports whether the failure is worth another attempt: the
+// two backpressure statuses (429, 503) and transport-level failures.
+// Context cancellation is the caller's decision and never retried;
+// 4xx taxonomy errors cannot succeed on retry.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode == http.StatusTooManyRequests || ae.StatusCode == http.StatusServiceUnavailable
+	}
+	var te *transportError
+	return errors.As(err, &te)
+}
+
+// transportError marks a request that never produced a response —
+// refused connection, reset, DNS failure — as distinct from a typed
+// server answer. These are retryable unless caused by the caller's
+// own context.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "client: transport: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }

@@ -28,7 +28,7 @@
 //	              [-checkpoint-dir dir] [-checkpoint-every 25] [-resume]
 //	              [-supervise] [-max-restarts 3] [-sweep-timeout 0] [-max-ll-drop 0]
 //	              [-admin-token secret]
-//	              [-pool N] [-max-batch 64]
+//	              [-pool N] [-max-batch 64] [-cache] [-cache-size 4096]
 //	              [-request-timeout 5s] [-drain-timeout 10s]
 //	              [-admit-wait 250ms] [-log-format text|json] [-pprof]
 //
@@ -76,6 +76,8 @@ func main() {
 		adminToken   = flag.String("admin-token", "", "X-Admin-Token required by POST /admin/reload (empty: no token check)")
 		pool         = flag.Int("pool", runtime.GOMAXPROCS(0), "concurrent fold-in annotators")
 		maxBatch     = flag.Int("max-batch", 64, "max recipes per POST /annotate/batch (413 over)")
+		cacheOn      = flag.Bool("cache", true, "serve repeated annotation requests from the response cache (single-flight deduped)")
+		cacheSize    = flag.Int("cache-size", serve.DefaultCacheSize, "max cached annotation responses (with -cache)")
 		reqTimeout   = flag.Duration("request-timeout", 5*time.Second, "per-request deadline (504 past it; 0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "shutdown budget for in-flight requests")
 		admitWait    = flag.Duration("admit-wait", 250*time.Millisecond, "max wait for an annotator before shedding with 429")
@@ -97,6 +99,8 @@ func main() {
 	opts := serve.DefaultOptions()
 	opts.Pool = *pool
 	opts.MaxBatch = *maxBatch
+	opts.Cache = *cacheOn
+	opts.CacheSize = *cacheSize
 	opts.RequestTimeout = *reqTimeout
 	opts.AdmitWait = *admitWait
 	opts.AccessLog = logger

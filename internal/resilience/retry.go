@@ -28,9 +28,12 @@ type Backoff struct {
 	Seed uint64
 }
 
-// delays materialises the full schedule: Attempts-1 equal-jitter
+// Delays materialises the full schedule: Attempts-1 equal-jitter
 // delays (half fixed, half uniform-random), deterministic in Seed.
-func (b Backoff) delays() []time.Duration {
+// Exported for callers that interleave the schedule with external
+// advice (the client SDK takes the longer of the scheduled delay and
+// a server's Retry-After).
+func (b Backoff) Delays() []time.Duration {
 	n := b.Attempts
 	if n < 1 {
 		n = 1
@@ -59,7 +62,7 @@ func (b Backoff) delays() []time.Duration {
 // error seen (if any), so callers can distinguish "gave up" from
 // "was told to stop".
 func Retry(ctx context.Context, b Backoff, op func(ctx context.Context) error) error {
-	delays := b.delays()
+	delays := b.Delays()
 	var last error
 	for i := 0; ; i++ {
 		if err := ctx.Err(); err != nil {

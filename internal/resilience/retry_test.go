@@ -67,7 +67,7 @@ func TestRetryZeroValueRunsOnce(t *testing.T) {
 
 func TestBackoffScheduleDeterministicAndBounded(t *testing.T) {
 	b := Backoff{Attempts: 5, Base: 100 * time.Millisecond, Max: 300 * time.Millisecond, Seed: 7}
-	d1, d2 := b.delays(), b.delays()
+	d1, d2 := b.Delays(), b.Delays()
 	if len(d1) != 4 {
 		t.Fatalf("%d delays for 5 attempts", len(d1))
 	}
@@ -81,7 +81,7 @@ func TestBackoffScheduleDeterministicAndBounded(t *testing.T) {
 			t.Errorf("delay %d = %v outside jitter band [%v, %v]", i, d1[i], n/2, n)
 		}
 	}
-	other := Backoff{Attempts: 5, Base: 100 * time.Millisecond, Max: 300 * time.Millisecond, Seed: 8}.delays()
+	other := Backoff{Attempts: 5, Base: 100 * time.Millisecond, Max: 300 * time.Millisecond, Seed: 8}.Delays()
 	same := true
 	for i := range d1 {
 		same = same && d1[i] == other[i]

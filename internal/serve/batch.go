@@ -17,56 +17,60 @@ import (
 	"repro/internal/resilience"
 )
 
-// batchBufPool recycles the request/response byte buffers of the
-// batch endpoint, so steady-state batches do not reallocate megabyte
-// bodies per call.
-var batchBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+// bodyBufPool recycles the request/response byte buffers of the
+// annotate and batch endpoints, so steady-state traffic does not
+// reallocate bodies per call.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // batchRequest is the wire form of POST /annotate/batch.
 type batchRequest struct {
 	Recipes []*recipe.Recipe `json:"recipes"`
 }
 
-// batchItem is one recipe's outcome, index-aligned with the request.
+// BatchItem is one recipe's outcome, index-aligned with the request.
 // Exactly one of Card or Error is set; Status carries the HTTP status
-// the item would have received as a single request.
-type batchItem struct {
+// the item would have received as a single request. Shared with the
+// client SDK.
+type BatchItem struct {
 	Index  int                `json:"index"`
 	Card   *annotate.WireCard `json:"card,omitempty"`
 	Error  string             `json:"error,omitempty"`
 	Status int                `json:"status,omitempty"`
 }
 
-// batchResponse is the wire form of a batch result. Results preserve
+// BatchResponse is the wire form of a batch result. Results preserve
 // request order; a failed item never fails its siblings.
-type batchResponse struct {
-	Results []batchItem `json:"results"`
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
 	Served  int         `json:"served"`
 	Failed  int         `json:"failed"`
 }
 
 // handleAnnotateBatch folds a batch of recipes in parallel across the
-// annotator pool. Admission takes one gate slot the way a single
-// request would (shed with 429 when saturated), then claims
-// opportunistic extra slots — up to the pool size or the batch size,
-// whichever is smaller — so spare capacity shortens the batch without
-// starving single-recipe traffic. Items fail individually: a recipe
-// the model cannot cover reports its own error and status at its
-// index while the rest of the batch completes. When the request
-// context ends mid-batch the remaining items are shed with the
-// context's status instead of burning Gibbs sweeps on them.
+// annotator pool. With the cache enabled, a pre-pass resolves and
+// hashes every recipe first: cached items are answered immediately
+// without a pool slot, identical recipes within the batch fold in
+// once, and only the remaining misses claim annotators. Admission for
+// the misses takes one gate slot the way a single request would (shed
+// with 429 when saturated), then claims opportunistic extra slots —
+// up to the pool size or the miss count, whichever is smaller — so
+// spare capacity shortens the batch without starving single-recipe
+// traffic. Items fail individually: a recipe the model cannot cover
+// reports its own error and status at its index while the rest of the
+// batch completes. When the request context ends mid-batch the
+// remaining items are shed with the context's status instead of
+// burning Gibbs sweeps on them.
 func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.Ready() {
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "model not ready", http.StatusServiceUnavailable)
+		s.unavailable(w, "model not ready")
 		return
 	}
 	ctx := r.Context()
 
 	// The whole batch shares a body cap of MaxBody per allowed recipe.
-	buf := batchBufPool.Get().(*bytes.Buffer)
+	buf := bodyBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
-	defer batchBufPool.Put(buf)
+	defer bodyBufPool.Put(buf)
 	limit := s.opts.MaxBody * int64(s.opts.MaxBatch)
 	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, limit)); err != nil {
 		var tooBig *http.MaxBytesError
@@ -94,51 +98,106 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// One slot is admitted under the normal shed policy; extras are
-	// taken only if free right now.
-	if err := s.gate.Acquire(ctx); err != nil {
-		switch {
-		case errors.Is(err, resilience.ErrSaturated):
-			w.Header().Set("Retry-After", strconv.Itoa(int(s.gate.RetryAfter().Seconds())))
-			http.Error(w, "annotator pool saturated; retry shortly", http.StatusTooManyRequests)
-		case errors.Is(err, context.DeadlineExceeded):
-			s.mTimeouts.Inc()
-			http.Error(w, "timed out waiting for an annotator", http.StatusGatewayTimeout)
-		}
-		return
-	}
-	workers := 1
-	for workers < s.opts.Pool && workers < len(req.Recipes) && s.gate.TryAcquire() {
-		workers++
-	}
+	results := make([]BatchItem, len(req.Recipes))
 
-	s.mu.RLock()
-	pool := s.pool
-	s.mu.RUnlock()
-
-	results := make([]batchItem, len(req.Recipes))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer s.gate.Release()
-			ann := <-pool
-			defer func() { pool <- ann }()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(req.Recipes) {
-					return
-				}
-				results[i] = s.annotateBatchItem(ctx, ann, i, req.Recipes[i])
+	// Cache pre-pass: answer hits without pool work, collapse
+	// duplicates within the batch onto one fold-in, and leave only
+	// genuine misses for the workers.
+	var keys []cacheKey
+	pending := make([]int, 0, len(req.Recipes))
+	aliases := map[int]int{} // duplicate index → pending index that folds in for it
+	if s.cache != nil {
+		keys = make([]cacheKey, len(req.Recipes))
+		gen := s.generation.Load()
+		firstMiss := map[cacheKey]int{}
+		for i, rec := range req.Recipes {
+			if rec == nil {
+				results[i] = BatchItem{Index: i, Error: "null recipe", Status: http.StatusBadRequest}
+				continue
 			}
-		}()
+			if err := rec.Resolve(); err != nil {
+				results[i] = s.batchFailure(i, fmt.Errorf("annotate: %w: %w", annotate.ErrRecipe, err))
+				continue
+			}
+			keys[i] = cacheKey{gen: gen, hash: hashRecipe(rec)}
+			if card, ok := s.cache.get(keys[i]); ok {
+				s.mServed.Inc()
+				results[i] = BatchItem{Index: i, Card: card}
+				continue
+			}
+			if prev, dup := firstMiss[keys[i]]; dup {
+				aliases[i] = prev
+				continue
+			}
+			firstMiss[keys[i]] = i
+			pending = append(pending, i)
+		}
+	} else {
+		for i := range req.Recipes {
+			pending = append(pending, i)
+		}
 	}
-	wg.Wait()
+
+	if len(pending) > 0 {
+		// One slot is admitted under the normal shed policy; extras are
+		// taken only if free right now.
+		if err := s.gate.Acquire(ctx); err != nil {
+			switch {
+			case errors.Is(err, resilience.ErrSaturated):
+				w.Header().Set("Retry-After", strconv.Itoa(int(s.gate.RetryAfter().Seconds())))
+				http.Error(w, "annotator pool saturated; retry shortly", http.StatusTooManyRequests)
+			case errors.Is(err, context.DeadlineExceeded):
+				s.mTimeouts.Inc()
+				http.Error(w, "timed out waiting for an annotator", http.StatusGatewayTimeout)
+			}
+			return
+		}
+		workers := 1
+		for workers < s.opts.Pool && workers < len(pending) && s.gate.TryAcquire() {
+			workers++
+		}
+
+		s.mu.RLock()
+		pool := s.pool
+		s.mu.RUnlock()
+
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer s.gate.Release()
+				ann := <-pool
+				defer func() { pool <- ann }()
+				for {
+					n := int(next.Add(1)) - 1
+					if n >= len(pending) {
+						return
+					}
+					i := pending[n]
+					results[i] = s.annotateBatchItem(ctx, ann, i, req.Recipes[i])
+					if s.cache != nil && results[i].Card != nil {
+						s.cache.put(keys[i], results[i].Card)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Duplicates share their twin's outcome — same card pointer, same
+	// error, their own index.
+	for i, src := range aliases {
+		results[i] = results[src]
+		results[i].Index = i
+		if results[i].Card != nil {
+			s.mServed.Inc()
+		}
+	}
 	s.mBatches.Inc()
 
-	resp := batchResponse{Results: results}
+	resp := BatchResponse{Results: results}
 	for i := range results {
 		if results[i].Card != nil {
 			resp.Served++
@@ -146,9 +205,9 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Failed++
 		}
 	}
-	out := batchBufPool.Get().(*bytes.Buffer)
+	out := bodyBufPool.Get().(*bytes.Buffer)
 	out.Reset()
-	defer batchBufPool.Put(out)
+	defer bodyBufPool.Put(out)
 	enc := json.NewEncoder(out)
 	enc.SetEscapeHTML(false)
 	if err := enc.Encode(resp); err != nil {
@@ -166,16 +225,16 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 // annotateBatchItem runs one batch item, mapping its failure to the
 // status a single request would have seen. A panic is contained to
 // the item (the worker goroutine is outside the Recover middleware).
-func (s *Server) annotateBatchItem(ctx context.Context, ann *annotate.Annotator, i int, rec *recipe.Recipe) (item batchItem) {
+func (s *Server) annotateBatchItem(ctx context.Context, ann *annotate.Annotator, i int, rec *recipe.Recipe) (item BatchItem) {
 	defer func() {
 		if v := recover(); v != nil {
 			s.mPanics.Inc()
 			s.logf("serve: /annotate/batch item %d: panic: %v", i, v)
-			item = batchItem{Index: i, Error: "internal annotation failure", Status: http.StatusInternalServerError}
+			item = BatchItem{Index: i, Error: "internal annotation failure", Status: http.StatusInternalServerError}
 		}
 	}()
 	if rec == nil {
-		return batchItem{Index: i, Error: "null recipe", Status: http.StatusBadRequest}
+		return BatchItem{Index: i, Error: "null recipe", Status: http.StatusBadRequest}
 	}
 	// A dead context sheds the rest of the batch before any sweeps run.
 	if err := ctx.Err(); err != nil {
@@ -190,24 +249,24 @@ func (s *Server) annotateBatchItem(ctx context.Context, ann *annotate.Annotator,
 	}
 	s.mServed.Inc()
 	wire := card.Wire()
-	return batchItem{Index: i, Card: &wire}
+	return BatchItem{Index: i, Card: &wire}
 }
 
-// batchFailure is failAnnotate for one batch index: same status
+// batchFailure is writeAnnotateError for one batch index: same status
 // mapping, but recorded in the item instead of the response status.
-func (s *Server) batchFailure(i int, err error) batchItem {
+func (s *Server) batchFailure(i int, err error) BatchItem {
 	switch {
 	case errors.Is(err, annotate.ErrRecipe):
-		return batchItem{Index: i, Error: err.Error(), Status: http.StatusUnprocessableEntity}
+		return BatchItem{Index: i, Error: err.Error(), Status: http.StatusUnprocessableEntity}
 	case errors.Is(err, context.DeadlineExceeded):
 		s.mTimeouts.Inc()
-		return batchItem{Index: i, Error: "annotation timed out", Status: http.StatusGatewayTimeout}
+		return BatchItem{Index: i, Error: "annotation timed out", Status: http.StatusGatewayTimeout}
 	case errors.Is(err, context.Canceled), errors.Is(err, core.ErrCanceled):
 		// 499: client closed request (the nginx convention) — there is
 		// no one left to read the card.
-		return batchItem{Index: i, Error: "annotation canceled", Status: 499}
+		return BatchItem{Index: i, Error: "annotation canceled", Status: 499}
 	default:
 		s.logf("serve: /annotate/batch item %d: internal: %v", i, err)
-		return batchItem{Index: i, Error: "internal annotation failure", Status: http.StatusInternalServerError}
+		return BatchItem{Index: i, Error: "internal annotation failure", Status: http.StatusInternalServerError}
 	}
 }

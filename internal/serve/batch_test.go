@@ -31,9 +31,9 @@ func jellyWithID(id string) string {
 	}`, id)
 }
 
-func decodeBatch(t *testing.T, rec *httptest.ResponseRecorder) batchResponse {
+func decodeBatch(t *testing.T, rec *httptest.ResponseRecorder) BatchResponse {
 	t.Helper()
-	var resp batchResponse
+	var resp BatchResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatalf("batch response not JSON: %v\n%s", err, rec.Body.String())
 	}

@@ -13,7 +13,9 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -58,6 +60,16 @@ type Options struct {
 	// FoldInIters overrides the Gibbs sweeps per annotation when
 	// positive (the annotator default otherwise).
 	FoldInIters int
+	// Cache enables the request-level annotation cache: responses are
+	// stored in a bounded LRU keyed by (model generation, recipe
+	// content hash) and repeats are served without a pool slot or a
+	// Gibbs sweep, with concurrent identical misses collapsed onto one
+	// fold-in. Off by default so a server stays a pure fold-in engine
+	// unless asked; cmd/textureserver turns it on.
+	Cache bool
+	// CacheSize caps the cached responses (with Cache);
+	// DefaultCacheSize when zero or negative.
+	CacheSize int
 	// Seed drives the pool's fold-in chains; pool member i uses
 	// Seed+i so concurrent chains are decorrelated but reproducible.
 	Seed uint64
@@ -89,6 +101,11 @@ type Options struct {
 	Pprof bool
 }
 
+// DefaultCacheSize is the annotation-cache capacity when Options.Cache
+// is set without a size: at ~600 bytes per encoded card this bounds
+// the cache around 2.5 MB — cheap insurance against a hot key.
+const DefaultCacheSize = 4096
+
 // DefaultOptions is the production-shaped configuration.
 func DefaultOptions() Options {
 	return Options{
@@ -110,6 +127,10 @@ type Server struct {
 	mu   sync.RWMutex // guards out and pool installation
 	out  *pipeline.Output
 	pool chan *annotate.Annotator
+
+	// cache is the request-level annotation cache; nil when
+	// Options.Cache is off.
+	cache *annotCache
 
 	// reloadMu serializes Reload calls so two concurrent /admin/reload
 	// requests cannot interleave building and installing pools.
@@ -148,6 +169,9 @@ func NewPending(opts Options) *Server {
 	}
 	if opts.MaxBatch < 1 {
 		opts.MaxBatch = 64
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = DefaultCacheSize
 	}
 	logf := opts.Logf
 	if logf == nil {
@@ -194,6 +218,9 @@ func NewPending(opts Options) *Server {
 			}
 			return 0
 		})
+	if opts.Cache {
+		s.cache = newAnnotCache(opts.CacheSize, reg)
+	}
 	return s
 }
 
@@ -356,6 +383,22 @@ type Stats struct {
 	// Registry is the registry-follower detail (generation, digest,
 	// last error, staleness); nil when this server does not follow one.
 	Registry *RegistryStatus `json:"registry,omitempty"`
+	// Cache is the request-level annotation cache state; nil when the
+	// cache is disabled.
+	Cache *CacheStats `json:"cache,omitempty"`
+}
+
+// CacheStats is the point-in-time state of the annotation cache on
+// /statusz.
+type CacheStats struct {
+	Capacity  int   `json:"capacity"`
+	Size      int   `json:"size"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Waiters   int64 `json:"inflight_waiters"`
+	Evictions int64 `json:"evictions"`
+	// Leaders is the number of single-flight fold-ins running right now.
+	Leaders int `json:"inflight_leaders"`
 }
 
 // Stats snapshots the runtime counters.
@@ -380,6 +423,17 @@ func (s *Server) Stats() Stats {
 		rs := f.Status()
 		st.Registry = &rs
 		st.RegistryDegraded = rs.Degraded
+	}
+	if c := s.cache; c != nil {
+		st.Cache = &CacheStats{
+			Capacity:  c.capacity,
+			Size:      c.Len(),
+			Hits:      c.hits.Value(),
+			Misses:    c.misses.Value(),
+			Waiters:   c.waiters.Value(),
+			Evictions: c.evictions.Value(),
+			Leaders:   c.Leaders(),
+		}
 	}
 	return st
 }
@@ -471,41 +525,156 @@ func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, "/admin/reload", map[string]int64{"generation": gen})
 }
 
+// unavailable answers 503 with the same Retry-After advice the shed
+// path derives from the gate — one helper so every not-ready and
+// cache-layer 503 carries the header, set exactly once, instead of
+// three hardcoded copies drifting apart.
+func (s *Server) unavailable(w http.ResponseWriter, reason string) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(s.gate.RetryAfter().Seconds())))
+	http.Error(w, reason, http.StatusServiceUnavailable)
+}
+
 func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	if !s.Ready() {
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "model not ready", http.StatusServiceUnavailable)
+		s.unavailable(w, "model not ready")
 		return
 	}
 	ctx := r.Context()
 
-	var rec recipe.Recipe
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&rec); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			http.Error(w, fmt.Sprintf("recipe JSON over %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+	if s.cache == nil {
+		var rec recipe.Recipe
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&rec); err != nil {
+			writeRecipeDecodeError(w, err)
 			return
 		}
-		http.Error(w, "bad recipe JSON: "+err.Error(), http.StatusBadRequest)
+		card, err := s.annotateOnce(ctx, &rec)
+		if err != nil {
+			s.writeAnnotateError(w, r, err)
+			return
+		}
+		s.mServed.Inc()
+		s.writeJSON(w, "/annotate", card)
 		return
 	}
 
-	// Admission: bounded concurrency with a bounded queue-wait. Past
-	// the wait budget the request is shed — an overloaded annotator
-	// answers "try later" fast instead of queueing into timeout.
-	if err := s.gate.Acquire(ctx); err != nil {
-		switch {
-		case errors.Is(err, resilience.ErrSaturated):
-			w.Header().Set("Retry-After", strconv.Itoa(int(s.gate.RetryAfter().Seconds())))
-			http.Error(w, "annotator pool saturated; retry shortly", http.StatusTooManyRequests)
-		case errors.Is(err, context.DeadlineExceeded):
-			s.mTimeouts.Inc()
-			http.Error(w, "timed out waiting for an annotator", http.StatusGatewayTimeout)
-		}
-		// context.Canceled: the client is gone; nothing to write.
+	// Cache path: buffer the body once. A byte-identical repeat — the
+	// hot-key shape — answers straight from the raw index without even
+	// a JSON decode; everything else decodes and lands on the
+	// canonical key.
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyBufPool.Put(buf)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.opts.MaxBody)); err != nil {
+		writeRecipeDecodeError(w, err)
 		return
+	}
+	gen := s.generation.Load()
+	rk := cacheKey{gen: gen, hash: sha256.Sum256(buf.Bytes())}
+	if body, ok := s.cache.rawLookup(rk); ok {
+		s.mServed.Inc()
+		s.writeBody(w, "hit", body)
+		return
+	}
+
+	var rec recipe.Recipe
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		writeRecipeDecodeError(w, err)
+		return
+	}
+	// Canonicalize before hashing: Resolve applies the same
+	// normalization the fold-in consumes (amount strings → grams), so
+	// textual variants of one recipe share a key. Resolve failures are
+	// the recipe's fault — same 422 the fold-in path would produce.
+	if err := rec.Resolve(); err != nil {
+		s.writeAnnotateError(w, r, fmt.Errorf("annotate: %w: %w", annotate.ErrRecipe, err))
+		return
+	}
+	key := cacheKey{gen: gen, hash: hashRecipe(&rec)}
+	body, f, leader := s.cache.lookup(key)
+	switch {
+	case body != nil:
+		// Hit: served straight from memory — no pool slot, no sweeps.
+		s.cache.addRaw(key, rk)
+		s.mServed.Inc()
+		s.writeBody(w, "hit", body)
+	case !leader:
+		// An identical fold-in is already running; wait for its result
+		// under this request's own deadline. An expired waiter answers
+		// for itself and leaves the leader folding for everyone else.
+		select {
+		case <-f.done:
+			if f.err != nil {
+				s.writeWaiterError(w, r, f.err)
+				return
+			}
+			s.cache.addRaw(key, rk)
+			s.mServed.Inc()
+			s.writeBody(w, "wait", f.body)
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				s.mTimeouts.Inc()
+				http.Error(w, "timed out waiting for an identical in-flight annotation", http.StatusGatewayTimeout)
+			}
+		}
+	default:
+		// Leader: exactly one fold-in feeds the cache and every waiter.
+		// A panic mid-fold-in must complete the flight before it
+		// reaches the Recover middleware — a stranded flight would turn
+		// every future identical request into a waiter that can only
+		// time out.
+		runLeader := func() (*annotate.WireCard, error) {
+			defer func() {
+				if v := recover(); v != nil {
+					s.cache.finish(key, f, nil, fmt.Errorf("annotation panic: %v", v))
+					panic(v)
+				}
+			}()
+			return s.annotateOnce(ctx, &rec)
+		}
+		card, err := runLeader()
+		cached, err := s.cache.finish(key, f, card, err)
+		if err != nil {
+			s.writeAnnotateError(w, r, err)
+			return
+		}
+		s.cache.addRaw(key, rk)
+		s.mServed.Inc()
+		s.writeBody(w, "miss", cached)
+	}
+}
+
+// writeRecipeDecodeError maps a body-read or JSON failure on
+// /annotate: over the cap is 413, anything else malformed is 400.
+func writeRecipeDecodeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		http.Error(w, fmt.Sprintf("recipe JSON over %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, "bad recipe JSON: "+err.Error(), http.StatusBadRequest)
+}
+
+// errAdmitTimeout marks a deadline that expired while waiting for a
+// pool slot, keeping its 504 message distinct from a mid-fold-in
+// expiry.
+var errAdmitTimeout = errors.New("timed out waiting for an annotator")
+
+// annotateOnce is the fold-in path of one annotation: admission
+// through the gate (bounded concurrency with a bounded queue-wait —
+// past the wait budget the request is shed so an overloaded annotator
+// answers "try later" fast instead of queueing into timeout), an
+// annotator checkout, and the Gibbs chain. Failures come back as the
+// typed errors writeAnnotateError maps to statuses.
+func (s *Server) annotateOnce(ctx context.Context, rec *recipe.Recipe) (*annotate.WireCard, error) {
+	if err := s.gate.Acquire(ctx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("%w: %w", errAdmitTimeout, err)
+		}
+		return nil, err
 	}
 	defer s.gate.Release()
 
@@ -518,25 +687,29 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	defer func() { pool <- ann }()
 
 	if err := resilience.Inject(ctx, s.opts.Injector, "annotate"); err != nil {
-		s.failAnnotate(w, r, err)
-		return
+		return nil, err
 	}
-	card, err := ann.Annotate(ctx, &rec)
+	card, err := ann.Annotate(ctx, rec)
 	if err != nil {
-		s.failAnnotate(w, r, err)
-		return
+		return nil, err
 	}
-	s.mServed.Inc()
-	s.writeJSON(w, "/annotate", card.Wire())
+	wire := card.Wire()
+	return &wire, nil
 }
 
-// failAnnotate maps an annotation failure to its status: recipe
-// faults are the client's (422), expired deadlines are 504, a
-// vanished client gets nothing, and everything else is a 500 —
-// logged, because a 5xx the operator cannot see is a 5xx that never
-// gets fixed.
-func (s *Server) failAnnotate(w http.ResponseWriter, r *http.Request, err error) {
+// writeAnnotateError maps an annotation failure to its status: a
+// saturated gate is 429 with retry advice, recipe faults are the
+// client's (422), expired deadlines are 504, a vanished client gets
+// nothing, and everything else is a 500 — logged, because a 5xx the
+// operator cannot see is a 5xx that never gets fixed.
+func (s *Server) writeAnnotateError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
+	case errors.Is(err, resilience.ErrSaturated):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.gate.RetryAfter().Seconds())))
+		http.Error(w, "annotator pool saturated; retry shortly", http.StatusTooManyRequests)
+	case errors.Is(err, errAdmitTimeout):
+		s.mTimeouts.Inc()
+		http.Error(w, errAdmitTimeout.Error(), http.StatusGatewayTimeout)
 	case errors.Is(err, annotate.ErrRecipe):
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 	case errors.Is(err, context.DeadlineExceeded):
@@ -550,8 +723,35 @@ func (s *Server) failAnnotate(w http.ResponseWriter, r *http.Request, err error)
 	}
 }
 
-// topicInfo is the wire form of one fitted topic.
-type topicInfo struct {
+// writeWaiterError maps the leader's failure for a single-flight
+// waiter. One difference from the leader's own mapping: a canceled
+// leader (its client vanished mid-fold-in) is not this waiter's
+// fault and not a timeout — the waiter is told to retry with the
+// cache layer's 503.
+func (s *Server) writeWaiterError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, core.ErrCanceled) {
+		s.unavailable(w, "in-flight annotation canceled; retry")
+		return
+	}
+	s.writeAnnotateError(w, r, err)
+}
+
+// writeBody writes a cached (or just-cached) annotation response. The
+// X-Annotation-Cache header says how this request was served: "hit"
+// from the cache, "wait" from an in-flight fold-in, "miss" by leading
+// one.
+func (s *Server) writeBody(w http.ResponseWriter, state string, body []byte) {
+	w.Header().Set("X-Annotation-Cache", state)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	if _, err := w.Write(body); err != nil {
+		s.logf("serve: /annotate: response write: %v", err)
+	}
+}
+
+// TopicInfo is the wire form of one fitted topic on GET /topics,
+// shared with the client SDK.
+type TopicInfo struct {
 	Topic   int                 `json:"topic"`
 	Recipes int                 `json:"recipes"`
 	Gels    map[string]float64  `json:"gels"`
@@ -559,18 +759,19 @@ type topicInfo struct {
 }
 
 func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
-	if !s.ready.Load() {
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "model not ready", http.StatusServiceUnavailable)
+	// Same readiness check as the annotate routes: a draining server
+	// must stop accepting new /topics work too, not just fold-ins.
+	if !s.Ready() {
+		s.unavailable(w, "model not ready")
 		return
 	}
 	s.mu.RLock()
 	out := s.out
 	s.mu.RUnlock()
 	counts := out.Model.DocsPerTopic()
-	topics := make([]topicInfo, 0, out.Model.K)
+	topics := make([]TopicInfo, 0, out.Model.K)
 	for k := 0; k < out.Model.K; k++ {
-		info := topicInfo{Topic: k, Recipes: counts[k], Gels: map[string]float64{}}
+		info := TopicInfo{Topic: k, Recipes: counts[k], Gels: map[string]float64{}}
 		for axis, conc := range linkage.TopicMeanConcentrations(out.Model, k, 0.0005) {
 			info.Gels[recipe.Gel(axis).String()] = conc
 		}

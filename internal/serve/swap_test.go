@@ -128,7 +128,11 @@ func TestSwapOutputConcurrent(t *testing.T) {
 // is not supported: buildPool installs fold-in telemetry on the model.
 func cloneOutput(t *testing.T) *pipeline.Output {
 	t.Helper()
-	src := fixtureOutput(t)
+	return cloneOf(fixtureOutput(t))
+}
+
+// cloneOf is cloneOutput for an arbitrary source output.
+func cloneOf(src *pipeline.Output) *pipeline.Output {
 	o := *src
 	o.Model = src.Model.ShallowClone()
 	return &o
