@@ -11,7 +11,7 @@ GO ?= go
 # ns/op.
 BENCHTIME ?= 100x
 BENCHCOUNT ?= 1
-BENCH_PATTERN := BenchmarkServeAnnotate|BenchmarkServeAnnotateBatch|BenchmarkFoldInPlacement|BenchmarkFoldInSteadyState|BenchmarkGibbsSweep|BenchmarkBundleSave|BenchmarkBundleLoad|BenchmarkSupervisedFit|BenchmarkUnsupervisedFit
+BENCH_PATTERN := BenchmarkServeAnnotate|BenchmarkServeAnnotateBatch|BenchmarkFoldInPlacement|BenchmarkFoldInSteadyState|BenchmarkGibbsSweep|BenchmarkBundleSave|BenchmarkBundleLoad|BenchmarkSupervisedFit|BenchmarkUnsupervisedFit|BenchmarkShardedFit
 
 .PHONY: build test verify smoke bench-serve bench bench-compare bench-all profile fuzz-smoke
 
@@ -33,9 +33,12 @@ verify: smoke
 # paths involve watchdog goroutines, an async checkpoint writer, a
 # polling hot-swap loop, and flight-completion channels, so they must
 # stay race-clean. The client SDK's retry/taxonomy contract tests ride
-# along (they are httptest-only and fast).
+# along (they are httptest-only and fast), as does the whole sharded-fit
+# suite — the orchestrator runs shard workers concurrently and its
+# chaos/crash-resume tests are exactly the paths that must not race.
 smoke:
-	$(GO) test -race -run 'Health|Supervis|Rollback|Breaker|Robust|Store|Registry|Follower|Cache|Drain' ./internal/core ./internal/resilience ./internal/pipeline ./internal/storage ./internal/serve
+	$(GO) test -race -run 'Health|Supervis|Rollback|Breaker|Robust|Store|Registry|Follower|Cache|Drain|Shard|Chaos|Stream' ./internal/core ./internal/resilience ./internal/pipeline ./internal/storage ./internal/serve
+	$(GO) test -race ./internal/shardfit
 	$(GO) test -race ./client
 
 # The pooled serve-path benchmark: tracks end-to-end /annotate
@@ -75,6 +78,7 @@ profile:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzLoadBundle -fuzztime 10s ./internal/pipeline
 	$(GO) test -run '^$$' -fuzz FuzzReadCheckpoint -fuzztime 10s ./internal/pipeline
+	$(GO) test -run '^$$' -fuzz FuzzShardManifest -fuzztime 10s ./internal/pipeline
 	$(GO) test -run '^$$' -fuzz FuzzRegistryManifest -fuzztime 10s ./internal/storage
 	$(GO) test -run '^$$' -fuzz FuzzTokenize -fuzztime 10s ./internal/textseg
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/units

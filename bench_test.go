@@ -13,6 +13,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/sensory"
 	"repro/internal/serve"
+	_ "repro/internal/shardfit" // registers the sharded fitter with the pipeline
 	"repro/internal/stats"
 	"repro/internal/textseg"
 	"repro/internal/word2vec"
@@ -1227,6 +1229,43 @@ func BenchmarkSupervisedFit(b *testing.B) {
 			b.Fatalf("healthy chain produced incidents: %+v", incidents)
 		}
 	}
+}
+
+// BenchmarkShardedFit measures the corpus-scale path end to end:
+// streaming ingestion of a generated JSONL corpus (never materialized)
+// plus a 4-shard fit merged from per-shard sufficient statistics.
+// recipes/s counts streamed records; heap_inuse_mb is the post-merge
+// resident heap — with streaming ingestion it tracks the kept
+// documents, not the corpus bytes, so it stays flat as -corpus-size
+// grows (the peak-RSS claim EXPERIMENTS.md spot-checks at 1M records).
+func BenchmarkShardedFit(b *testing.B) {
+	opts := pipeline.DefaultOptions()
+	opts.UseW2VFilter = false
+	opts.Model.K = 3
+	opts.Model.Iterations = 60
+	opts.Model.BurnIn = 30
+	opts.Model.Seed = 9
+	opts.ShardCount = 4
+	const n = 400
+	src := pipeline.GeneratedSource(opts.Corpus, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := pipeline.RunStream(src, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Shards == nil || out.Shards.Fitted != 4 {
+			b.Fatalf("shard summary = %+v, want 4 fitted", out.Shards)
+		}
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(n*b.N)/s, "recipes/s")
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapInuse)/(1<<20), "heap_inuse_mb")
 }
 
 // BenchmarkBundleLoad measures bundle deserialization with full

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	corpusgen [-scale 1.0] [-seed 7] [-funnel] [-o corpus.json] [-stats]
+//	corpusgen [-scale 1.0] [-seed 7] [-funnel] [-n 0] [-o corpus.json] [-stats]
+//
+// With -n > 0 the corpus is streamed as JSONL — exactly n records,
+// generated one at a time and never held in memory — the input shape
+// texturetopics -stream expects. -stats needs the in-memory path and
+// is rejected with -n.
 package main
 
 import (
@@ -25,6 +30,7 @@ func main() {
 		seed   = flag.Uint64("seed", 7, "generator seed")
 		funnel = flag.Bool("funnel", false, "reproduce the full 63k→10k→3k collection funnel")
 		out    = flag.String("o", "-", "output file, - for stdout")
+		n      = flag.Int("n", 0, "stream exactly this many recipes as JSONL without materializing the corpus (overrides -scale)")
 		stats  = flag.Bool("stats", false, "print collection statistics to stderr")
 	)
 	flag.Parse()
@@ -37,12 +43,6 @@ func main() {
 	}
 	cfg.Seed = *seed
 
-	recipes, err := corpus.Generate(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "corpusgen:", err)
-		os.Exit(1)
-	}
-
 	var w io.Writer = os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
@@ -52,6 +52,24 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	if *n > 0 {
+		if *stats {
+			fmt.Fprintln(os.Stderr, "corpusgen: -stats needs the in-memory corpus; drop -n")
+			os.Exit(1)
+		}
+		if err := corpus.GenerateTo(cfg, w, *n); err != nil {
+			fmt.Fprintln(os.Stderr, "corpusgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	recipes, err := corpus.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
 	}
 	if err := recipe.WriteJSON(w, recipes); err != nil {
 		fmt.Fprintln(os.Stderr, "corpusgen:", err)

@@ -54,6 +54,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/serve"
+	_ "repro/internal/shardfit" // registers the sharded fitter with the pipeline
 	"repro/internal/storage"
 )
 
@@ -73,6 +74,8 @@ func main() {
 		maxRst       = flag.Int("max-restarts", 3, "supervised recovery attempts after the first (with -supervise)")
 		sweepTO      = flag.Duration("sweep-timeout", 0, "supervised stall watchdog: abort a sweep exceeding this duration (0 disables)")
 		maxLLDrop    = flag.Float64("max-ll-drop", 0, "supervised divergence threshold below the best sweep's log-likelihood (0 disables)")
+		shards       = flag.Int("shards", 1, "fit the startup corpus as this many supervised shards merged by sufficient statistics")
+		shardDir     = flag.String("shard-dir", "", "durable shard manifest + statistics directory for the startup fit (with -shards)")
 		adminToken   = flag.String("admin-token", "", "X-Admin-Token required by POST /admin/reload (empty: no token check)")
 		pool         = flag.Int("pool", runtime.GOMAXPROCS(0), "concurrent fold-in annotators")
 		maxBatch     = flag.Int("max-batch", 64, "max recipes per POST /annotate/batch (413 over)")
@@ -164,6 +167,8 @@ func main() {
 				popts.MaxRestarts = *maxRst
 				popts.SweepTimeout = *sweepTO
 				popts.MaxLLDrop = *maxLLDrop
+				popts.ShardCount = *shards
+				popts.ShardDir = *shardDir
 				// The fit records into the server's registry, so the sweep and
 				// stage series show up on the same /metrics page as the serving
 				// counters.

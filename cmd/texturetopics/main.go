@@ -8,6 +8,8 @@
 //
 //	texturetopics [-scale 1.0] [-k 10] [-iters 300] [-seed 1]
 //	              [-collapsed] [-no-filter] [-no-emulsion]
+//	              [-stream corpus.jsonl] [-corpus-size 0]
+//	              [-shards 1] [-shard-retries 2] [-straggler-timeout 0] [-shard-dir dir]
 //	              [-model-out model.json] [-bundle-out model.bundle]
 //	              [-store fs:DIR|mem:] [-publish-note text] [-promote]
 //	              [-checkpoint-dir dir] [-checkpoint-every 25] [-resume]
@@ -30,6 +32,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/report"
+	_ "repro/internal/shardfit" // registers the sharded fitter with the pipeline
 	"repro/internal/storage"
 )
 
@@ -44,6 +47,12 @@ func main() {
 		workers   = flag.Int("workers", 1, "parallel Gibbs workers (AD-LDA approximation when > 1)")
 		restarts  = flag.Int("restarts", 1, "independent chains; the best by log-likelihood is kept")
 		noEmu     = flag.Bool("no-emulsion", false, "drop the emulsion likelihood (gel-only ablation)")
+		stream    = flag.String("stream", "", "stream this JSONL corpus file record-at-a-time instead of generating in memory")
+		corpSize  = flag.Int("corpus-size", 0, "stream exactly this many synthetic recipes through ingestion without materializing them (overrides -scale)")
+		shards    = flag.Int("shards", 1, "fit the corpus as this many independently supervised shards merged by sufficient statistics")
+		shardRtr  = flag.Int("shard-retries", 2, "orchestrator retries per failed shard (with -shards)")
+		stragTO   = flag.Duration("straggler-timeout", 0, "split and refit a shard attempt exceeding this duration (0 disables; with -shards)")
+		shardDir  = flag.String("shard-dir", "", "durable shard manifest + statistics directory; a killed run resumes from it (with -shards)")
 		modelOut  = flag.String("model-out", "", "write the fitted model JSON to this file")
 		bundleOut = flag.String("bundle-out", "", "write the full serving bundle (model+docs+exclusions) to this file")
 		storeSpec = flag.String("store", "", "publish the bundle to this model store (fs:DIR, mem:, or a bare directory)")
@@ -107,20 +116,43 @@ func main() {
 	opts.MaxRestarts = *maxRst
 	opts.SweepTimeout = *sweepTO
 	opts.MaxLLDrop = *maxLLDrop
+	opts.ShardCount = *shards
+	opts.ShardRetries = *shardRtr
+	opts.StragglerTimeout = *stragTO
+	opts.ShardDir = *shardDir
 	if *verbose {
 		logger := obs.NewLogger(os.Stderr, *logFormat)
 		opts.Model.Hooks = pipeline.SweepProgress(logger, *logEvery)
 	}
 
-	out, err := pipeline.Run(opts)
+	var out *pipeline.Output
+	var err error
+	switch {
+	case *stream != "":
+		out, err = pipeline.RunStream(pipeline.FileSource(*stream), opts)
+	case *corpSize > 0:
+		out, err = pipeline.RunStream(pipeline.GeneratedSource(opts.Corpus, *corpSize), opts)
+	default:
+		out, err = pipeline.Run(opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "texturetopics:", err)
 		os.Exit(1)
 	}
 	if *verbose {
-		fmt.Printf("corpus: %d recipes, %d kept (dropped: %d no-gel, %d no-texture, %d unrelated>10%%)\n",
-			len(out.AllRecipes), len(out.Kept),
-			out.FilterStats.NoGel, out.FilterStats.NoTexture, out.FilterStats.TooUnrelated)
+		if out.Ingest != nil {
+			fmt.Printf("corpus: %d records streamed (%d skipped), %d kept (dropped: %d no-gel, %d no-texture, %d unrelated>10%%)\n",
+				out.Ingest.Decoded+len(out.Ingest.Skipped), len(out.Ingest.Skipped), len(out.Docs),
+				out.FilterStats.NoGel, out.FilterStats.NoTexture, out.FilterStats.TooUnrelated)
+		} else {
+			fmt.Printf("corpus: %d recipes, %d kept (dropped: %d no-gel, %d no-texture, %d unrelated>10%%)\n",
+				len(out.AllRecipes), len(out.Kept),
+				out.FilterStats.NoGel, out.FilterStats.NoTexture, out.FilterStats.TooUnrelated)
+		}
+		if sh := out.Shards; sh != nil {
+			fmt.Printf("sharded fit: %d shards (%d resumed, %d fitted, %d retried, %d resharded)\n",
+				sh.ShardCount, sh.Resumed, sh.Fitted, sh.Retried, sh.Resharded)
+		}
 		for _, inc := range out.FitIncidents {
 			fmt.Printf("fit incident: attempt %d sweep %d %s → %s (%s)\n",
 				inc.Attempt, inc.Sweep, inc.Kind, inc.Action, inc.Detail)

@@ -73,6 +73,16 @@ func (d *Data) Validate() (gelDim, emuDim int, err error) {
 // NumDocs returns the number of recipes.
 func (d *Data) NumDocs() int { return len(d.Words) }
 
+// Slice returns a view of the documents in [lo, hi) sharing the
+// underlying token and feature slices — the per-shard input of a
+// sharded fit. The bounds must satisfy 0 ≤ lo ≤ hi ≤ NumDocs.
+func (d *Data) Slice(lo, hi int) *Data {
+	if lo < 0 || hi < lo || hi > d.NumDocs() {
+		panic(fmt.Sprintf("core: Data.Slice(%d,%d) outside [0,%d]", lo, hi, d.NumDocs()))
+	}
+	return &Data{V: d.V, Words: d.Words[lo:hi], Gel: d.Gel[lo:hi], Emu: d.Emu[lo:hi]}
+}
+
 // Config controls inference.
 type Config struct {
 	K     int     // number of topics

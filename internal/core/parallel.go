@@ -20,7 +20,7 @@ import (
 func (s *Sampler) sweepParallel(sweep int) (phaseTimes, error) {
 	var pt phaseTimes
 	w := s.cfg.Workers
-	shards := shardRanges(s.data.NumDocs(), w)
+	shards := ShardRanges(s.data.NumDocs(), w)
 	if len(shards) == 0 {
 		// No documents: the z and y phases are vacuous, but the
 		// components are still redrawn from their priors so the sweep
@@ -196,10 +196,10 @@ func newParShard(v, k, gelDim, emuDim int) parShard {
 	}
 }
 
-// shardRanges splits n items into at most w contiguous [lo,hi) ranges.
+// ShardRanges splits n items into at most w contiguous [lo,hi) ranges.
 // Zero items yield no shards (rather than a division by zero from the
 // w = n clamp); a non-positive worker count is treated as one worker.
-func shardRanges(n, w int) [][2]int {
+func ShardRanges(n, w int) [][2]int {
 	if n <= 0 {
 		return nil
 	}

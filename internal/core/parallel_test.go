@@ -107,7 +107,7 @@ func TestParallelValidation(t *testing.T) {
 }
 
 func TestShardRanges(t *testing.T) {
-	shards := shardRanges(10, 3)
+	shards := ShardRanges(10, 3)
 	if len(shards) != 3 {
 		t.Fatalf("%d shards", len(shards))
 	}
@@ -124,7 +124,7 @@ func TestShardRanges(t *testing.T) {
 		t.Fatalf("covered %d", covered)
 	}
 	// More workers than items clamps.
-	if got := shardRanges(2, 8); len(got) != 2 {
+	if got := ShardRanges(2, 8); len(got) != 2 {
 		t.Errorf("clamped shards = %d", len(got))
 	}
 }
@@ -132,18 +132,18 @@ func TestShardRanges(t *testing.T) {
 // TestShardRangesDegenerate is the regression test for the integer
 // division by zero: n == 0 used to clamp w to 0 and panic on n / w.
 func TestShardRangesDegenerate(t *testing.T) {
-	if got := shardRanges(0, 4); got != nil {
-		t.Errorf("shardRanges(0,4) = %v, want nil", got)
+	if got := ShardRanges(0, 4); got != nil {
+		t.Errorf("ShardRanges(0,4) = %v, want nil", got)
 	}
-	if got := shardRanges(0, 0); got != nil {
-		t.Errorf("shardRanges(0,0) = %v, want nil", got)
+	if got := ShardRanges(0, 0); got != nil {
+		t.Errorf("ShardRanges(0,0) = %v, want nil", got)
 	}
 	// Non-positive worker counts degrade to a single shard instead of
 	// dividing by zero.
 	for _, w := range []int{0, -3} {
-		got := shardRanges(5, w)
+		got := ShardRanges(5, w)
 		if len(got) != 1 || got[0] != [2]int{0, 5} {
-			t.Errorf("shardRanges(5,%d) = %v, want one full shard", w, got)
+			t.Errorf("ShardRanges(5,%d) = %v, want one full shard", w, got)
 		}
 	}
 }

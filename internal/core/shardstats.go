@@ -1,0 +1,380 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// shardStatsVersion guards the shard-statistics wire format.
+const shardStatsVersion = 1
+
+// ErrShardStats marks shard statistics that cannot be restored or
+// merged — wrong shape, mismatched hyperparameters, non-adjacent
+// document ranges, or a future format version.
+var ErrShardStats = errors.New("shard stats incompatible")
+
+// ShardStats is the mergeable summary of one fitted shard: everything
+// a divide-and-conquer merge needs to assemble a corpus-wide Result
+// from independently fitted document ranges. The count matrices are
+// integers, so merging them is exact; the Normal-Wishart accumulators
+// merge by summing sufficient statistics (commutative up to
+// floating-point summation order).
+//
+// Per-document state (Theta, Y) is kept in global document order:
+// a shard covers the contiguous range [Lo, Hi) and MergeWith only
+// accepts an adjacent right neighbour, so concatenation preserves the
+// corpus order without a permutation step.
+type ShardStats struct {
+	K, V   int
+	Lo, Hi int    // global document range [Lo, Hi)
+	Seed   uint64 // seed the shard's chain ran under
+
+	// Inference hyperparameters — must agree across merged shards.
+	Alpha          float64
+	Gamma          float64
+	UseEmulsion    bool
+	EmulsionWeight float64
+
+	Nwk [][]int // vocab × topics token counts (vocab-major, like Sampler)
+	Nk  []int   // per-topic token totals
+
+	Theta  [][]float64 // per-document topic distributions, rows Lo..Hi
+	Y      []int       // per-document concentration topics, rows Lo..Hi
+	LogLik []float64   // per-sweep trace; summed elementwise on merge
+
+	// Per-topic concentration accumulators over the shard's final
+	// assignment, freshly accumulated in document order (never copied
+	// from a collapsed sampler's live accumulators), so a retried shard
+	// reproduces them bit-for-bit.
+	GelAcc []*stats.NWAccum
+	EmuAcc []*stats.NWAccum
+}
+
+// NumDocs returns the number of documents the statistics cover.
+func (st *ShardStats) NumDocs() int { return st.Hi - st.Lo }
+
+// ShardStats summarizes the sampler's final state as mergeable shard
+// statistics for the global document range [lo, lo+numDocs). The count
+// matrices are deep copies; Theta is computed with the same point
+// estimate Estimate uses; the accumulators are rebuilt from the final
+// assignment in document order regardless of sampler mode, so capture
+// is a pure, deterministic function of the final chain state.
+func (s *Sampler) ShardStats(lo int) *ShardStats {
+	d := s.data.NumDocs()
+	st := &ShardStats{
+		K:              s.cfg.K,
+		V:              s.data.V,
+		Lo:             lo,
+		Hi:             lo + d,
+		Seed:           s.cfg.Seed,
+		Alpha:          s.cfg.Alpha,
+		Gamma:          s.cfg.Gamma,
+		UseEmulsion:    s.cfg.UseEmulsion,
+		EmulsionWeight: s.cfg.EmulsionWeight,
+		Nwk:            makeCountTable(s.data.V, s.cfg.K),
+		Nk:             append([]int(nil), s.nk...),
+		Y:              append([]int(nil), s.Y...),
+		LogLik:         append([]float64(nil), s.LogLik...),
+	}
+	for v := range s.nwk {
+		copy(st.Nwk[v], s.nwk[v])
+	}
+	st.Theta = make([][]float64, d)
+	sumAlpha := s.cfg.Alpha * float64(s.cfg.K)
+	for i := range s.data.Words {
+		row := make([]float64, s.cfg.K)
+		denom := float64(s.nd[i]) + 1 + sumAlpha
+		for k := 0; k < s.cfg.K; k++ {
+			m := 0.0
+			if s.Y[i] == k {
+				m = 1
+			}
+			row[k] = (float64(s.ndk[i][k]) + m + s.cfg.Alpha) / denom
+		}
+		st.Theta[i] = row
+	}
+	st.GelAcc = make([]*stats.NWAccum, s.cfg.K)
+	st.EmuAcc = make([]*stats.NWAccum, s.cfg.K)
+	for k := 0; k < s.cfg.K; k++ {
+		st.GelAcc[k] = stats.NewNWAccum(s.cfg.GelPrior)
+		st.EmuAcc[k] = stats.NewNWAccum(s.cfg.EmuPrior)
+	}
+	for i, y := range s.Y {
+		st.GelAcc[y].Add(s.data.Gel[i])
+		st.EmuAcc[y].Add(s.data.Emu[i])
+	}
+	return st
+}
+
+// compatible reports why two shard summaries cannot be merged, or nil.
+func (st *ShardStats) compatible(o *ShardStats) error {
+	switch {
+	case o == nil:
+		return fmt.Errorf("core: merging nil shard stats: %w", ErrShardStats)
+	case st.K != o.K || st.V != o.V:
+		return fmt.Errorf("core: shard shapes differ: K=%d/%d V=%d/%d: %w", st.K, o.K, st.V, o.V, ErrShardStats)
+	case st.Alpha != o.Alpha || st.Gamma != o.Gamma:
+		return fmt.Errorf("core: shard hyperparameters differ (α=%g/%g γ=%g/%g): %w",
+			st.Alpha, o.Alpha, st.Gamma, o.Gamma, ErrShardStats)
+	case st.UseEmulsion != o.UseEmulsion || st.EmulsionWeight != o.EmulsionWeight:
+		return fmt.Errorf("core: shard emulsion settings differ: %w", ErrShardStats)
+	case o.Lo != st.Hi:
+		return fmt.Errorf("core: shards not adjacent: [%d,%d) then [%d,%d): %w",
+			st.Lo, st.Hi, o.Lo, o.Hi, ErrShardStats)
+	}
+	return nil
+}
+
+// MergeWith folds the adjacent right-neighbour shard o into st: count
+// matrices sum exactly (integers), the concentration accumulators
+// merge their sufficient statistics, per-document rows concatenate in
+// corpus order, and the log-likelihood traces sum elementwise (each
+// shard's trace is its own chain's joint log-likelihood; the sum is
+// the joint log-likelihood of the independent chains). o is left
+// untouched, so a merge tree can reuse its inputs.
+func (st *ShardStats) MergeWith(o *ShardStats) error {
+	if err := st.compatible(o); err != nil {
+		return err
+	}
+	for v := range st.Nwk {
+		row, orow := st.Nwk[v], o.Nwk[v]
+		for k := range row {
+			row[k] += orow[k]
+		}
+	}
+	for k := range st.Nk {
+		st.Nk[k] += o.Nk[k]
+	}
+	for k := range st.GelAcc {
+		if err := st.GelAcc[k].MergeWith(o.GelAcc[k]); err != nil {
+			return fmt.Errorf("core: gel accumulator %d: %w", k, err)
+		}
+		if err := st.EmuAcc[k].MergeWith(o.EmuAcc[k]); err != nil {
+			return fmt.Errorf("core: emulsion accumulator %d: %w", k, err)
+		}
+	}
+	st.Theta = append(st.Theta, o.Theta...)
+	st.Y = append(st.Y, o.Y...)
+	n := len(st.LogLik)
+	if len(o.LogLik) < n {
+		n = len(o.LogLik)
+	}
+	for i := 0; i < n; i++ {
+		st.LogLik[i] += o.LogLik[i]
+	}
+	if len(o.LogLik) > len(st.LogLik) {
+		st.LogLik = append(st.LogLik, o.LogLik[len(st.LogLik):]...)
+	}
+	st.Hi = o.Hi
+	return nil
+}
+
+// Result assembles the fitted model from (merged) shard statistics:
+// φ from the summed count matrices with the same smoothing Estimate
+// applies, θ and y concatenated in corpus order, and per-topic
+// components as Normal-Wishart posterior means given all merged
+// members — the same estimator Estimate reports, computed from the
+// merged sufficient statistics instead of a member list.
+func (st *ShardStats) Result() (*Result, error) {
+	if len(st.Theta) != st.NumDocs() || len(st.Y) != st.NumDocs() {
+		return nil, fmt.Errorf("core: shard stats cover [%d,%d) but carry %d θ rows / %d y: %w",
+			st.Lo, st.Hi, len(st.Theta), len(st.Y), ErrShardStats)
+	}
+	res := &Result{
+		K:              st.K,
+		V:              st.V,
+		Alpha:          st.Alpha,
+		Gamma:          st.Gamma,
+		UseEmulsion:    st.UseEmulsion,
+		EmulsionWeight: st.EmulsionWeight,
+		LogLik:         append([]float64(nil), st.LogLik...),
+		Y:              append([]int(nil), st.Y...),
+	}
+	res.Phi = make([][]float64, st.K)
+	gv := st.Gamma * float64(st.V)
+	for k := 0; k < st.K; k++ {
+		res.Phi[k] = make([]float64, st.V)
+	}
+	for w := 0; w < st.V; w++ {
+		row := st.Nwk[w]
+		for k := 0; k < st.K; k++ {
+			res.Phi[k][w] = (float64(row[k]) + st.Gamma) / (float64(st.Nk[k]) + gv)
+		}
+	}
+	res.Theta = make([][]float64, len(st.Theta))
+	for d, row := range st.Theta {
+		res.Theta[d] = append([]float64(nil), row...)
+	}
+	res.Gel = make([]Component, st.K)
+	res.Emu = make([]Component, st.K)
+	for k := 0; k < st.K; k++ {
+		mu, lam := st.GelAcc[k].Posterior().MeanParams()
+		res.Gel[k] = Component{Mean: mu, Precision: lam}
+		m, l := st.EmuAcc[k].Posterior().MeanParams()
+		res.Emu[k] = Component{Mean: m, Precision: l}
+	}
+	if _, err := res.BuildKernel(); err != nil {
+		return nil, fmt.Errorf("core: merged model: %w", err)
+	}
+	return res, nil
+}
+
+// shardStatsWire is the JSON form of ShardStats. The accumulators
+// serialize as raw sufficient statistics (the same accumState wire the
+// snapshot format uses); the priors are not part of the document — the
+// reader supplies them, exactly as ResumeSampler does.
+type shardStatsWire struct {
+	FormatVersion  int          `json:"format_version"`
+	K              int          `json:"k"`
+	V              int          `json:"v"`
+	Lo             int          `json:"lo"`
+	Hi             int          `json:"hi"`
+	Seed           uint64       `json:"seed"`
+	Alpha          float64      `json:"alpha"`
+	Gamma          float64      `json:"gamma"`
+	UseEmulsion    bool         `json:"use_emulsion"`
+	EmulsionWeight float64      `json:"emulsion_weight"`
+	Nwk            [][]int      `json:"nwk"`
+	Nk             []int        `json:"nk"`
+	Theta          [][]float64  `json:"theta"`
+	Y              []int        `json:"y"`
+	LogLik         []float64    `json:"loglik"`
+	GelAcc         []accumState `json:"gel_acc"`
+	EmuAcc         []accumState `json:"emu_acc"`
+}
+
+// WriteJSON serializes the shard statistics as one JSON document. The
+// floats round-trip exactly (Go emits the shortest representation that
+// parses back to the same float64), so a shard loaded from disk merges
+// bit-identically to one kept in memory.
+func (st *ShardStats) WriteJSON(w io.Writer) error {
+	sw := shardStatsWire{
+		FormatVersion:  shardStatsVersion,
+		K:              st.K,
+		V:              st.V,
+		Lo:             st.Lo,
+		Hi:             st.Hi,
+		Seed:           st.Seed,
+		Alpha:          st.Alpha,
+		Gamma:          st.Gamma,
+		UseEmulsion:    st.UseEmulsion,
+		EmulsionWeight: st.EmulsionWeight,
+		Nwk:            st.Nwk,
+		Nk:             st.Nk,
+		Theta:          st.Theta,
+		Y:              st.Y,
+		LogLik:         st.LogLik,
+		GelAcc:         accumStates(st.GelAcc),
+		EmuAcc:         accumStates(st.EmuAcc),
+	}
+	if err := json.NewEncoder(w).Encode(&sw); err != nil {
+		return fmt.Errorf("core: encoding shard stats: %w", err)
+	}
+	return nil
+}
+
+// ReadShardStatsJSON deserializes shard statistics written by
+// WriteJSON, validating shape self-consistency and restoring the
+// accumulators under the supplied priors (which must be the ones the
+// shard was fitted with — the orchestrator derives both from the same
+// corpus-wide empirical estimate).
+func ReadShardStatsJSON(r io.Reader, gelPrior, emuPrior *stats.NormalWishart) (*ShardStats, error) {
+	var sw shardStatsWire
+	if err := json.NewDecoder(r).Decode(&sw); err != nil {
+		return nil, fmt.Errorf("core: decoding shard stats: %w", err)
+	}
+	if sw.FormatVersion != shardStatsVersion {
+		return nil, fmt.Errorf("core: shard stats format %d, this build reads %d: %w",
+			sw.FormatVersion, shardStatsVersion, ErrShardStats)
+	}
+	d := sw.Hi - sw.Lo
+	switch {
+	case sw.K < 2 || sw.V < 1:
+		return nil, fmt.Errorf("core: shard stats shape K=%d V=%d: %w", sw.K, sw.V, ErrShardStats)
+	case sw.Lo < 0 || d < 0:
+		return nil, fmt.Errorf("core: shard stats range [%d,%d): %w", sw.Lo, sw.Hi, ErrShardStats)
+	case len(sw.Nwk) != sw.V || len(sw.Nk) != sw.K:
+		return nil, fmt.Errorf("core: shard stats count tables %d×?/%d, want %d×%d/%d: %w",
+			len(sw.Nwk), len(sw.Nk), sw.V, sw.K, sw.K, ErrShardStats)
+	case len(sw.Theta) != d || len(sw.Y) != d:
+		return nil, fmt.Errorf("core: shard stats carry %d θ rows / %d y for range [%d,%d): %w",
+			len(sw.Theta), len(sw.Y), sw.Lo, sw.Hi, ErrShardStats)
+	case len(sw.GelAcc) != sw.K || len(sw.EmuAcc) != sw.K:
+		return nil, fmt.Errorf("core: shard stats carry %d/%d accumulators, want %d: %w",
+			len(sw.GelAcc), len(sw.EmuAcc), sw.K, ErrShardStats)
+	}
+	st := &ShardStats{
+		K:              sw.K,
+		V:              sw.V,
+		Lo:             sw.Lo,
+		Hi:             sw.Hi,
+		Seed:           sw.Seed,
+		Alpha:          sw.Alpha,
+		Gamma:          sw.Gamma,
+		UseEmulsion:    sw.UseEmulsion,
+		EmulsionWeight: sw.EmulsionWeight,
+		Nwk:            makeCountTable(sw.V, sw.K),
+		Nk:             sw.Nk,
+		Theta:          sw.Theta,
+		Y:              sw.Y,
+		LogLik:         sw.LogLik,
+	}
+	for v, row := range sw.Nwk {
+		if len(row) != sw.K {
+			return nil, fmt.Errorf("core: shard stats nwk row %d has %d topics, want %d: %w",
+				v, len(row), sw.K, ErrShardStats)
+		}
+		copy(st.Nwk[v], row)
+	}
+	for i, y := range sw.Y {
+		if y < 0 || y >= sw.K {
+			return nil, fmt.Errorf("core: shard stats y[%d]=%d outside [0,%d): %w", i, y, sw.K, ErrShardStats)
+		}
+	}
+	st.GelAcc = make([]*stats.NWAccum, sw.K)
+	st.EmuAcc = make([]*stats.NWAccum, sw.K)
+	for k := 0; k < sw.K; k++ {
+		ga, err := restoreAccum(gelPrior, sw.GelAcc[k])
+		if err != nil {
+			return nil, fmt.Errorf("core: gel accumulator %d: %w: %v", k, ErrShardStats, err)
+		}
+		ea, err := restoreAccum(emuPrior, sw.EmuAcc[k])
+		if err != nil {
+			return nil, fmt.Errorf("core: emulsion accumulator %d: %w: %v", k, ErrShardStats, err)
+		}
+		st.GelAcc[k], st.EmuAcc[k] = ga, ea
+	}
+	return st, nil
+}
+
+// MergeShardStats merges adjacent shard summaries (ordered by Lo) into
+// one with the divide-and-conquer scheme: the list is split in half,
+// each half merged recursively, and the halves combined — the shape of
+// the recursive MergeWith exemplar, applied to sufficient statistics.
+// The inputs are consumed (the leftmost summary of each subtree is
+// mutated in place).
+func MergeShardStats(parts []*ShardStats) (*ShardStats, error) {
+	switch len(parts) {
+	case 0:
+		return nil, fmt.Errorf("core: merging zero shards: %w", ErrShardStats)
+	case 1:
+		return parts[0], nil
+	}
+	mid := len(parts) / 2
+	left, err := MergeShardStats(parts[:mid])
+	if err != nil {
+		return nil, err
+	}
+	right, err := MergeShardStats(parts[mid:])
+	if err != nil {
+		return nil, err
+	}
+	if err := left.MergeWith(right); err != nil {
+		return nil, err
+	}
+	return left, nil
+}

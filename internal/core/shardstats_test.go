@@ -1,0 +1,293 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// fitShard fits one contiguous document range as an independent chain
+// (shared corpus-wide priors, per-shard seed) and captures its
+// mergeable statistics — the worker half of a sharded fit, inlined.
+func fitShard(t *testing.T, data *Data, cfg Config, lo, hi int, seed uint64) *ShardStats {
+	t.Helper()
+	c := cfg
+	c.Seed = seed
+	s, err := NewSampler(data.Slice(lo, hi), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	return s.ShardStats(lo)
+}
+
+// shardCfg is smallCfg with the priors pinned from the full dataset —
+// the sharded-fit contract: per-shard empirical priors would make the
+// accumulators non-mergeable.
+func shardCfg(t *testing.T, data *Data) Config {
+	t.Helper()
+	cfg := smallCfg()
+	cfg.Iterations = 40
+	gp, ep, err := EmpiricalPriors(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.GelPrior, cfg.EmuPrior = gp, ep
+	return cfg
+}
+
+// TestShardStatsMergeEquivalence: the divide-and-conquer merge of
+// N independently fitted shards must reproduce, exactly for the
+// integer count matrices and to 1e-10 for the accumulators, a
+// reference that accumulates the same per-shard chains directly in
+// global document order.
+func TestShardStatsMergeEquivalence(t *testing.T) {
+	data, _ := synthData(21, 90)
+	cfg := shardCfg(t, data)
+	for _, nShards := range []int{2, 3, 5} {
+		ranges := ShardRanges(data.NumDocs(), nShards)
+		parts := make([]*ShardStats, len(ranges))
+		for i, r := range ranges {
+			parts[i] = fitShard(t, data, cfg, r[0], r[1], cfg.Seed+uint64(i))
+		}
+		// Reference: fold the same chains' statistics left-to-right into
+		// fresh reference accumulators and plain integer sums.
+		refNwk := makeCountTable(data.V, cfg.K)
+		refNk := make([]int, cfg.K)
+		refGel := make([]*stats.NWAccum, cfg.K)
+		refEmu := make([]*stats.NWAccum, cfg.K)
+		for k := 0; k < cfg.K; k++ {
+			refGel[k] = stats.NewNWAccum(cfg.GelPrior)
+			refEmu[k] = stats.NewNWAccum(cfg.EmuPrior)
+		}
+		for i, r := range ranges {
+			for v := range refNwk {
+				for k, c := range parts[i].Nwk[v] {
+					refNwk[v][k] += c
+				}
+			}
+			for k, c := range parts[i].Nk {
+				refNk[k] += c
+			}
+			for d := r[0]; d < r[1]; d++ {
+				refGel[parts[i].Y[d-r[0]]].Add(data.Gel[d])
+				refEmu[parts[i].Y[d-r[0]]].Add(data.Emu[d])
+			}
+		}
+		// Re-fit the parts (the merge consumes them) and tree-merge.
+		for i, r := range ranges {
+			parts[i] = fitShard(t, data, cfg, r[0], r[1], cfg.Seed+uint64(i))
+		}
+		merged, err := MergeShardStats(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged.Lo != 0 || merged.Hi != data.NumDocs() {
+			t.Fatalf("nShards=%d: merged range [%d,%d)", nShards, merged.Lo, merged.Hi)
+		}
+		for v := range refNwk {
+			for k := range refNwk[v] {
+				if merged.Nwk[v][k] != refNwk[v][k] {
+					t.Fatalf("nShards=%d: nwk[%d][%d] = %d, reference %d",
+						nShards, v, k, merged.Nwk[v][k], refNwk[v][k])
+				}
+			}
+		}
+		for k := range refNk {
+			if merged.Nk[k] != refNk[k] {
+				t.Fatalf("nShards=%d: nk[%d] = %d, reference %d", nShards, k, merged.Nk[k], refNk[k])
+			}
+		}
+		for k := 0; k < cfg.K; k++ {
+			assertAccumClose(t, merged.GelAcc[k], refGel[k], 1e-10)
+			assertAccumClose(t, merged.EmuAcc[k], refEmu[k], 1e-10)
+		}
+		if res, err := merged.Result(); err != nil {
+			t.Fatalf("nShards=%d: merged result: %v", nShards, err)
+		} else if len(res.Theta) != data.NumDocs() || len(res.Y) != data.NumDocs() {
+			t.Fatalf("nShards=%d: merged result covers %d/%d docs", nShards, len(res.Theta), len(res.Y))
+		}
+	}
+}
+
+func assertAccumClose(t *testing.T, a, b *stats.NWAccum, tol float64) {
+	t.Helper()
+	an, asum, aouter := a.State()
+	bn, bsum, bouter := b.State()
+	if an != bn {
+		t.Fatalf("accumulator counts differ: %g vs %g", an, bn)
+	}
+	for i := range asum {
+		if math.Abs(asum[i]-bsum[i]) > tol {
+			t.Fatalf("accumulator sum[%d]: %g vs %g", i, asum[i], bsum[i])
+		}
+	}
+	if d := aouter.MaxAbsDiff(bouter); d > tol {
+		t.Fatalf("accumulator outer products differ by %g", d)
+	}
+}
+
+// TestShardStatsSingleShardMatchesFit: one shard covering the whole
+// corpus, passed through capture + Result, must agree with the plain
+// Fit estimate — byte-identical Phi/Theta/Y (same counts, same
+// formulas) and components within the accumulator/batch posterior
+// round-off.
+func TestShardStatsSingleShardMatchesFit(t *testing.T) {
+	data, _ := synthData(22, 60)
+	cfg := shardCfg(t, data)
+	ref, err := Fit(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := fitShard(t, data, cfg, 0, data.NumDocs(), cfg.Seed)
+	res, err := st.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range ref.Y {
+		if res.Y[d] != ref.Y[d] {
+			t.Fatalf("Y[%d] = %d, Fit gave %d", d, res.Y[d], ref.Y[d])
+		}
+		for k := range ref.Theta[d] {
+			if res.Theta[d][k] != ref.Theta[d][k] {
+				t.Fatalf("Theta[%d][%d] = %g, Fit gave %g", d, k, res.Theta[d][k], ref.Theta[d][k])
+			}
+		}
+	}
+	for k := range ref.Phi {
+		for v := range ref.Phi[k] {
+			if res.Phi[k][v] != ref.Phi[k][v] {
+				t.Fatalf("Phi[%d][%d] = %g, Fit gave %g", k, v, res.Phi[k][v], ref.Phi[k][v])
+			}
+		}
+	}
+	for k := range ref.Gel {
+		for i := range ref.Gel[k].Mean {
+			if math.Abs(res.Gel[k].Mean[i]-ref.Gel[k].Mean[i]) > 1e-8 {
+				t.Fatalf("gel mean[%d][%d]: %g vs %g", k, i, res.Gel[k].Mean[i], ref.Gel[k].Mean[i])
+			}
+		}
+		if d := res.Gel[k].Precision.MaxAbsDiff(ref.Gel[k].Precision); d > 1e-6 {
+			t.Fatalf("gel precision %d differs by %g", k, d)
+		}
+	}
+}
+
+// TestShardStatsCaptureDeterministic: re-fitting the same shard with
+// the same seed must reproduce the statistics bit-for-bit — the
+// property that makes a killed-and-retried shard worker converge to
+// the same merged model.
+func TestShardStatsCaptureDeterministic(t *testing.T) {
+	data, _ := synthData(23, 45)
+	cfg := shardCfg(t, data)
+	a := fitShard(t, data, cfg, 15, 45, 7)
+	b := fitShard(t, data, cfg, 15, 45, 7)
+	var wa, wb bytes.Buffer
+	if err := a.WriteJSON(&wa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wa.Bytes(), wb.Bytes()) {
+		t.Fatal("same shard, same seed: serialized statistics differ")
+	}
+}
+
+func TestShardStatsJSONRoundTrip(t *testing.T) {
+	data, _ := synthData(24, 40)
+	cfg := shardCfg(t, data)
+	st := fitShard(t, data, cfg, 0, 20, 3)
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadShardStatsJSON(bytes.NewReader(buf.Bytes()), cfg.GelPrior, cfg.EmuPrior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bytes.Buffer
+	if err := got.WriteJSON(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), back.Bytes()) {
+		t.Fatal("shard stats do not round-trip byte-identically")
+	}
+	// A loaded shard must merge like an in-memory one.
+	if err := got.MergeWith(fitShard(t, data, cfg, 20, 40, 4)); err != nil {
+		t.Fatalf("merging adjacent shard into a loaded one: %v", err)
+	}
+	if got.Lo != 0 || got.Hi != 40 {
+		t.Fatalf("merged range [%d,%d)", got.Lo, got.Hi)
+	}
+}
+
+func TestShardStatsMergeRejections(t *testing.T) {
+	data, _ := synthData(25, 40)
+	cfg := shardCfg(t, data)
+	a := fitShard(t, data, cfg, 0, 20, 1)
+	b := fitShard(t, data, cfg, 20, 40, 2)
+
+	// Non-adjacent: merging b into itself-shaped gap.
+	gap := fitShard(t, data, cfg, 0, 10, 1)
+	if err := gap.MergeWith(b); !errors.Is(err, ErrShardStats) {
+		t.Errorf("non-adjacent merge: err = %v, want ErrShardStats", err)
+	}
+	// Mismatched hyperparameters.
+	b2 := fitShard(t, data, cfg, 20, 40, 2)
+	b2.Alpha++
+	if err := a.MergeWith(b2); !errors.Is(err, ErrShardStats) {
+		t.Errorf("mismatched α merge: err = %v, want ErrShardStats", err)
+	}
+	if err := a.MergeWith(nil); !errors.Is(err, ErrShardStats) {
+		t.Errorf("nil merge: err = %v, want ErrShardStats", err)
+	}
+	if _, err := MergeShardStats(nil); !errors.Is(err, ErrShardStats) {
+		t.Errorf("zero-shard merge: err = %v, want ErrShardStats", err)
+	}
+}
+
+func TestReadShardStatsRejectsDamage(t *testing.T) {
+	data, _ := synthData(26, 20)
+	cfg := shardCfg(t, data)
+	st := fitShard(t, data, cfg, 0, 20, 1)
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(*shardStatsWire)) error {
+		var sw shardStatsWire
+		if err := json.Unmarshal(buf.Bytes(), &sw); err != nil {
+			t.Fatal(err)
+		}
+		f(&sw)
+		var out bytes.Buffer
+		if err := json.NewEncoder(&out).Encode(&sw); err != nil {
+			t.Fatal(err)
+		}
+		_, err := ReadShardStatsJSON(&out, cfg.GelPrior, cfg.EmuPrior)
+		return err
+	}
+	cases := map[string]func(*shardStatsWire){
+		"future version": func(sw *shardStatsWire) { sw.FormatVersion = 99 },
+		"range mismatch": func(sw *shardStatsWire) { sw.Hi += 3 },
+		"short nk":       func(sw *shardStatsWire) { sw.Nk = sw.Nk[:1] },
+		"ragged nwk":     func(sw *shardStatsWire) { sw.Nwk[2] = sw.Nwk[2][:1] },
+		"bad y":          func(sw *shardStatsWire) { sw.Y[0] = 99 },
+		"lost accum":     func(sw *shardStatsWire) { sw.GelAcc = sw.GelAcc[:1] },
+	}
+	for name, f := range cases {
+		if err := mutate(f); !errors.Is(err, ErrShardStats) {
+			t.Errorf("%s: err = %v, want ErrShardStats", name, err)
+		}
+	}
+	if _, err := ReadShardStatsJSON(bytes.NewReader([]byte("{garbage")), cfg.GelPrior, cfg.EmuPrior); err == nil {
+		t.Error("garbage input decoded")
+	}
+}

@@ -1,6 +1,8 @@
 package corpus
 
 import (
+	"bytes"
+	"io"
 	"math"
 	"strings"
 	"testing"
@@ -321,5 +323,72 @@ func TestGenerateStepsMatchComposition(t *testing.T) {
 			emus[recipe.RawCream] == 0 && emus[recipe.EggAlbumen] == 0 {
 			t.Errorf("%s: whip step without cream or albumen", r.ID)
 		}
+	}
+}
+
+func TestGenerateToStreamsValidJSONL(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UntaggedPerTagged = 2
+	var buf bytes.Buffer
+	const n = 400
+	if err := GenerateTo(cfg, &buf, n); err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(buf.Bytes(), []byte{'\n'}); got != n {
+		t.Fatalf("emitted %d lines, want %d", got, n)
+	}
+	recipes, report, err := recipe.ReadJSONLenient(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Skipped) != 0 || len(recipes) != n {
+		t.Fatalf("lenient decode: %d recipes, report %+v", len(recipes), report)
+	}
+	tagged, untagged := 0, 0
+	for _, r := range recipes {
+		if err := r.Resolve(); err != nil {
+			t.Fatalf("streamed recipe %s does not resolve: %v", r.ID, err)
+		}
+		if r.Truth >= 0 {
+			tagged++
+		} else {
+			untagged++
+		}
+	}
+	// U = 2 → untagged fraction converges to 2/3.
+	frac := float64(untagged) / float64(n)
+	if frac < 0.55 || frac > 0.78 {
+		t.Errorf("untagged fraction = %.2f (%d/%d), want ≈ 2/3", frac, untagged, n)
+	}
+}
+
+func TestGenerateToDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	var a, b bytes.Buffer
+	if err := GenerateTo(cfg, &a, 120); err != nil {
+		t.Fatal(err)
+	}
+	if err := GenerateTo(cfg, &b, 120); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed, same n: streamed corpora differ")
+	}
+	var c bytes.Buffer
+	cfg.Seed++
+	if err := GenerateTo(cfg, &c, 120); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateToRejectsNegativeSize(t *testing.T) {
+	if err := GenerateTo(DefaultConfig(), io.Discard, -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if err := GenerateTo(DefaultConfig(), io.Discard, 0); err != nil {
+		t.Fatalf("zero size should be a no-op, got %v", err)
 	}
 }

@@ -1,7 +1,10 @@
 package corpus
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 
 	"repro/internal/lexicon"
@@ -103,6 +106,52 @@ func Generate(cfg Config) ([]*recipe.Recipe, error) {
 	// Shuffle so topic blocks are not contiguous.
 	g.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out, nil
+}
+
+// GenerateTo streams n generated recipes to w as JSONL — one compact
+// JSON object per line, the framing recipe.StreamJSONLenient reads
+// back record-at-a-time — without ever holding more than one recipe in
+// memory, which is what makes million-recipe corpora generable on a
+// laptop. Each record draws its topic from the Table II(a) population
+// weights; with UntaggedPerTagged = U, a record is an untagged filler
+// with probability U/(1+U), so the tagged:untagged ratio converges to
+// the paper's funnel. Output is deterministic for a fixed seed.
+func GenerateTo(cfg Config, w io.Writer, n int) error {
+	if n < 0 {
+		return fmt.Errorf("corpus: negative corpus size %d", n)
+	}
+	g := &generator{cfg: cfg, rng: stats.NewRNG(cfg.Seed, 0xC0FFEE), dict: lexicon.Default()}
+	weights := make([]float64, len(Topics))
+	for i, spec := range Topics {
+		weights[i] = float64(spec.Recipes)
+	}
+	pUntagged := 0.0
+	if cfg.UntaggedPerTagged > 0 {
+		pUntagged = cfg.UntaggedPerTagged / (1 + cfg.UntaggedPerTagged)
+	}
+	bw := bufio.NewWriterSize(w, 64<<10)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	for serial := 1; serial <= n; serial++ {
+		spec := Topics[g.rng.Categorical(weights)]
+		var r *recipe.Recipe
+		var err error
+		if pUntagged > 0 && g.rng.Float64() < pUntagged {
+			r, err = g.untagged(spec, serial)
+		} else {
+			r, err = g.recipe(spec, serial)
+		}
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("corpus: writing record %d: %w", serial, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("corpus: flushing stream: %w", err)
+	}
+	return nil
 }
 
 type generator struct {

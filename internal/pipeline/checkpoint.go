@@ -337,10 +337,33 @@ func (st *FitCheckpointStore) Discard(reason string) error {
 	return err
 }
 
-// fitModel runs the model stage, honouring restarts, checkpointing and
-// supervision. The incident slice is non-empty only for supervised
-// fits that needed recovery.
-func fitModel(data *core.Data, opts Options) (*core.Result, []resilience.Incident, error) {
+// fitModel runs the model stage, honouring sharding, restarts,
+// checkpointing and supervision. The incident slice is non-empty only
+// for supervised fits that needed recovery; the summary is non-nil
+// only for sharded fits.
+func fitModel(data *core.Data, opts Options) (*core.Result, []resilience.Incident, *ShardFitSummary, error) {
+	if opts.ShardCount > 1 {
+		if shardFitter == nil {
+			return nil, nil, nil, fmt.Errorf("%w: ShardCount=%d but no shard fitter is registered (import repro/internal/shardfit)",
+				ErrOptions, opts.ShardCount)
+		}
+		res, sum, err := shardFitter(data, opts)
+		if err != nil {
+			var inc []resilience.Incident
+			if sum != nil {
+				inc = sum.Incidents
+			}
+			return nil, inc, sum, err
+		}
+		return res, sum.Incidents, sum, nil
+	}
+	res, incidents, err := fitUnsharded(data, opts)
+	return res, incidents, nil, err
+}
+
+// fitUnsharded is the single-model fit path (every mode except
+// ShardCount > 1).
+func fitUnsharded(data *core.Data, opts Options) (*core.Result, []resilience.Incident, error) {
 	if opts.Supervise {
 		return fitSupervised(data, opts)
 	}

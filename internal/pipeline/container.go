@@ -32,12 +32,14 @@ import (
 )
 
 const (
-	containerMagic   = "RHEODUR1"
-	containerFormat  = 2
-	maxHeaderLen     = 1 << 16 // a header is a few hundred bytes; anything huge is garbage
-	maxPayloadLen    = 1 << 31 // 2 GiB; beyond this the length field itself is suspect
-	kindBundle       = "bundle"
-	kindCheckpoint   = "checkpoint"
+	containerMagic    = "RHEODUR1"
+	containerFormat   = 2
+	maxHeaderLen      = 1 << 16 // a header is a few hundred bytes; anything huge is garbage
+	maxPayloadLen     = 1 << 31 // 2 GiB; beyond this the length field itself is suspect
+	kindBundle        = "bundle"
+	kindCheckpoint    = "checkpoint"
+	kindShardStats    = "shardstats"
+	kindShardManifest = "shardmanifest"
 )
 
 // Typed load errors. Every rejected load wraps exactly one of these,

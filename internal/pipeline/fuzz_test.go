@@ -42,6 +42,43 @@ func FuzzLoadBundle(f *testing.F) {
 	})
 }
 
+// FuzzShardManifest drives arbitrary bytes through the shard-manifest
+// loader: never panic, every rejection typed, every accepted manifest
+// internally consistent (Validate runs inside the loader).
+func FuzzShardManifest(f *testing.F) {
+	dir := f.TempDir()
+	if err := SaveShardManifest(dir, validManifest()); err != nil {
+		f.Fatal(err)
+	}
+	good, err := os.ReadFile(filepath.Join(dir, ShardManifestFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2]) // torn write
+	f.Add(good[:12])          // magic + header length only
+	f.Add(validBundleV2(f))   // wrong kind
+	f.Add([]byte(containerMagic))
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := readShardManifest(bytes.NewReader(data))
+		if err == nil {
+			if m == nil {
+				t.Fatal("nil manifest without error")
+			}
+			if verr := m.Validate(); verr != nil {
+				t.Fatalf("loader accepted an invalid manifest: %v", verr)
+			}
+			return
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) && !errors.Is(err, ErrKind) {
+			t.Fatalf("untyped manifest error: %v", err)
+		}
+	})
+}
+
 // FuzzReadCheckpoint gives the checkpoint loader the same treatment.
 func FuzzReadCheckpoint(f *testing.F) {
 	_, _, snap := checkpointSnapshot(f)

@@ -63,6 +63,30 @@ type Options struct {
 	// fatal under supervision).
 	MaxLLDrop float64
 
+	// ShardCount > 1 partitions the documents into that many contiguous
+	// shards, fits each as an independent supervised chain, and merges
+	// the shards' sufficient statistics into one model — the
+	// corpus-scale fault-tolerant fit (internal/shardfit, which must be
+	// imported to register the fitter). Incompatible with Restarts > 1,
+	// Checkpoint.Dir (shards checkpoint under ShardDir) and
+	// Model.LearnAlpha (α must stay fixed and shared across shards for
+	// the statistics to merge).
+	ShardCount int
+	// ShardRetries bounds orchestrator-level retries per shard after a
+	// worker dies (default 2). Retries replay the shard's own seed, so a
+	// killed-and-retried worker reproduces its statistics bit-for-bit.
+	ShardRetries int
+	// StragglerTimeout, when positive, is the wall-clock budget of one
+	// shard attempt. A shard that exhausts it (and its retries) is split
+	// in half and the halves fitted separately — progress over
+	// replaying the straggler forever.
+	StragglerTimeout time.Duration
+	// ShardDir, when non-empty, makes the sharded fit resumable: a
+	// digest-checked manifest plus per-shard statistics files are
+	// maintained there, and a restarted run refits only the shards that
+	// were not durably fitted yet. Requires ShardCount > 1.
+	ShardDir string
+
 	// Metrics, when non-nil, receives stage timings
 	// (pipeline_stage_seconds{stage=…}) and per-sweep sampler telemetry
 	// (see SamplerMetrics). Stage timings are also always available on
@@ -117,7 +141,42 @@ type Output struct {
 	// unsupervised runs and for supervised runs that never needed a
 	// rollback or restart. Not persisted in bundles.
 	FitIncidents []resilience.Incident
+	// Shards summarizes the sharded fit when ShardCount > 1 (nil
+	// otherwise). Not persisted in bundles.
+	Shards *ShardFitSummary
+	// Ingest reports what the streaming decoder skipped (RunStream only).
+	Ingest *recipe.DecodeReport
 }
+
+// ShardFitSummary is the orchestrator's account of a sharded fit —
+// what /statusz shows and what the chaos/resume tests assert on.
+type ShardFitSummary struct {
+	// ShardCount is the number of shards after any resharding.
+	ShardCount int `json:"shard_count"`
+	// Resumed counts shards whose statistics were reused from the shard
+	// directory instead of being refitted.
+	Resumed int `json:"resumed"`
+	// Fitted counts shards fitted (or refitted) by this run.
+	Fitted int `json:"fitted"`
+	// Retried counts orchestrator-level worker retries after failures.
+	Retried int `json:"retried"`
+	// Resharded counts shards that were split after straggler timeouts.
+	Resharded int `json:"resharded"`
+	// Incidents aggregates the per-shard supervisors' recovery history.
+	Incidents []resilience.Incident `json:"incidents,omitempty"`
+}
+
+// ShardFitter is the sharded-fit entry point. internal/shardfit
+// registers its orchestrator here at init; the indirection keeps the
+// pipeline free of an import cycle (shardfit builds on the pipeline's
+// durable shard files).
+type ShardFitter func(data *core.Data, opts Options) (*core.Result, *ShardFitSummary, error)
+
+var shardFitter ShardFitter
+
+// RegisterShardFitter installs the sharded-fit implementation used
+// when Options.ShardCount > 1. Called from internal/shardfit's init.
+func RegisterShardFitter(f ShardFitter) { shardFitter = f }
 
 // ErrOptions marks an Options combination the pipeline refuses to run.
 var ErrOptions = errors.New("pipeline: invalid options")
@@ -141,6 +200,31 @@ func (o *Options) validate() error {
 	}
 	if o.MaxLLDrop < 0 {
 		return fmt.Errorf("%w: MaxLLDrop=%g negative", ErrOptions, o.MaxLLDrop)
+	}
+	if o.ShardCount < 0 {
+		return fmt.Errorf("%w: ShardCount=%d negative", ErrOptions, o.ShardCount)
+	}
+	if o.ShardRetries < 0 {
+		return fmt.Errorf("%w: ShardRetries=%d negative", ErrOptions, o.ShardRetries)
+	}
+	if o.StragglerTimeout < 0 {
+		return fmt.Errorf("%w: StragglerTimeout=%v negative", ErrOptions, o.StragglerTimeout)
+	}
+	if o.ShardCount > 1 {
+		switch {
+		case o.Restarts > 1:
+			return fmt.Errorf("%w: ShardCount=%d with Restarts=%d (shards are single chains; retries and supervision handle recovery)",
+				ErrOptions, o.ShardCount, o.Restarts)
+		case o.Checkpoint.Dir != "":
+			return fmt.Errorf("%w: ShardCount=%d with Checkpoint.Dir (shard checkpoints live under ShardDir)",
+				ErrOptions, o.ShardCount)
+		case o.Model.LearnAlpha:
+			return fmt.Errorf("%w: ShardCount=%d with Model.LearnAlpha (α must stay fixed and shared for shard statistics to merge)",
+				ErrOptions, o.ShardCount)
+		}
+	} else if o.ShardDir != "" {
+		return fmt.Errorf("%w: ShardDir set but ShardCount=%d (the shard directory only serves a sharded fit)",
+			ErrOptions, o.ShardCount)
 	}
 	return nil
 }
@@ -224,8 +308,9 @@ func RunOnRecipes(recipes []*recipe.Recipe, opts Options) (*Output, error) {
 		opts.Model.Hooks = opts.Model.Hooks.Then(SamplerMetrics(opts.Metrics))
 	}
 	modelStart := time.Now()
-	res, incidents, err := fitModel(data, opts)
+	res, incidents, shards, err := fitModel(data, opts)
 	out.FitIncidents = incidents
+	out.Shards = shards
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: model: %w", err)
 	}
@@ -265,6 +350,21 @@ func (o *Output) termIDs(r *recipe.Recipe) []int {
 // glues onto the following particles (なっつをのせて as one token) and
 // the filter can never see the ingredient as a neighbour.
 func (o *Output) trainFilter(recipes []*recipe.Recipe, opts Options) error {
+	tok := o.filterTokenizer()
+	sentences := make([][]string, 0, len(recipes))
+	observed := make(map[string]bool)
+	for _, r := range recipes {
+		o.observeDescription(tok, r.Description, observed, func(sent []string) {
+			sentences = append(sentences, sent)
+		})
+	}
+	return o.trainFilterFromSentences(sentences, observed, opts)
+}
+
+// filterTokenizer builds the word2vec tokenizer: the texture-term trie
+// extended with all registry ingredient names, so ingredient mentions
+// segment as their own tokens (see trainFilter).
+func (o *Output) filterTokenizer() *textseg.Tokenizer {
 	trie := o.Dict.Trie()
 	next := o.Dict.Len()
 	for _, info := range recipe.KnownIngredients() {
@@ -275,26 +375,34 @@ func (o *Output) trainFilter(recipes []*recipe.Recipe, opts Options) error {
 			next++
 		}
 	}
-	tok := textseg.NewTokenizer(trie)
-	sentences := make([][]string, 0, len(recipes))
-	observed := make(map[string]bool)
-	for _, r := range recipes {
-		toks := tok.Tokenize(r.Description)
-		sent := textseg.Surfaces(toks)
-		if len(sent) > 1 {
-			sentences = append(sentences, sent)
+	return textseg.NewTokenizer(trie)
+}
+
+// observeDescription tokenizes one description, hands its sentence to
+// emit (when it carries more than one token) and marks the texture
+// terms it contains in observed.
+func (o *Output) observeDescription(tok *textseg.Tokenizer, desc string, observed map[string]bool, emit func([]string)) {
+	toks := tok.Tokenize(desc)
+	sent := textseg.Surfaces(toks)
+	if len(sent) > 1 {
+		emit(sent)
+	}
+	for _, t := range toks {
+		if !t.InDict {
+			continue
 		}
-		for _, t := range toks {
-			if !t.InDict {
-				continue
-			}
-			// Only texture terms count as filter candidates; the combined
-			// trie also matches ingredient names.
-			if _, isTerm := o.Dict.ByKana(t.Surface); isTerm {
-				observed[t.Surface] = true
-			}
+		// Only texture terms count as filter candidates; the combined
+		// trie also matches ingredient names.
+		if _, isTerm := o.Dict.ByKana(t.Surface); isTerm {
+			observed[t.Surface] = true
 		}
 	}
+}
+
+// trainFilterFromSentences is trainFilter's training half, shared with
+// the streaming ingestion path (which collects sentences by reservoir
+// instead of holding every description).
+func (o *Output) trainFilterFromSentences(sentences [][]string, observed map[string]bool, opts Options) error {
 	model, err := word2vec.Train(sentences, opts.W2V)
 	if err != nil {
 		return fmt.Errorf("pipeline: word2vec: %w", err)

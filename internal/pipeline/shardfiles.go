@@ -1,0 +1,265 @@
+// Durable shard-fit state: the manifest that makes a sharded fit
+// resumable and the per-shard statistics files it points at. Both ride
+// the format-2 RHEODUR1 container (see container.go), so a torn write,
+// bit flip, or wrong-kind file is detected before any byte is trusted.
+package pipeline
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// ShardManifestFile is the fixed name of the shard manifest inside a
+// shard directory. One file, atomically replaced after every state
+// change: a resumed orchestrator has exactly one source of truth.
+const ShardManifestFile = "manifest.shards"
+
+const (
+	shardManifestSchemaVersion = 1
+	shardStatsSchemaVersion    = 1
+)
+
+// Shard entry states. A shard is pending until its statistics file is
+// durably on disk; there is deliberately no "running" state — a crash
+// mid-fit leaves the entry pending and the next run refits it.
+const (
+	ShardPending = "pending"
+	ShardFitted  = "fitted"
+)
+
+// ShardIdentity pins everything that determines a sharded fit's
+// result. A manifest whose identity does not match the current run
+// byte-for-byte describes a different fit; resuming from it would
+// silently merge statistics from the wrong model, so the orchestrator
+// discards it and refits everything.
+type ShardIdentity struct {
+	NumDocs        int     `json:"num_docs"`
+	V              int     `json:"v"`
+	K              int     `json:"k"`
+	Iterations     int     `json:"iterations"`
+	BurnIn         int     `json:"burn_in"`
+	Seed           uint64  `json:"seed"`
+	ShardCount     int     `json:"shard_count"`
+	Collapsed      bool    `json:"collapsed"`
+	Workers        int     `json:"workers"`
+	Alpha          float64 `json:"alpha"`
+	Gamma          float64 `json:"gamma"`
+	UseEmulsion    bool    `json:"use_emulsion"`
+	EmulsionWeight float64 `json:"emulsion_weight"`
+}
+
+// ShardEntry is one shard's row in the manifest.
+type ShardEntry struct {
+	// Lo, Hi is the shard's global document range [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Seed is the shard chain's seed, derived deterministically from the
+	// run seed and the range so a retried or resumed shard replays the
+	// same chain.
+	Seed uint64 `json:"seed"`
+	// State is ShardPending or ShardFitted.
+	State string `json:"state"`
+	// File names the shard's statistics file inside the shard directory
+	// (fitted shards only).
+	File string `json:"file,omitempty"`
+	// Digest is the hex SHA-256 of the statistics payload, cross-checked
+	// against the file's own header on load (fitted shards only).
+	Digest string `json:"digest,omitempty"`
+	// Resharded marks a shard created by splitting a straggler.
+	Resharded bool `json:"resharded,omitempty"`
+}
+
+// ShardManifest records the progress of one sharded fit: which shards
+// exist, which are durably fitted, and whether the merge completed.
+type ShardManifest struct {
+	Identity ShardIdentity `json:"identity"`
+	Shards   []ShardEntry  `json:"shards"`
+	// Merged is set once the merged model was assembled successfully —
+	// a resumed run with Merged still false re-merges from the fitted
+	// shard files.
+	Merged bool `json:"merged"`
+}
+
+// Validate checks the manifest's internal consistency: shards sorted
+// by Lo, contiguous, covering exactly [0, NumDocs), with legal states
+// and a file+digest on every fitted entry. Damaged manifests are
+// rejected on load so a resumed orchestrator never trusts them.
+func (m *ShardManifest) Validate() error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("pipeline: shard manifest has no shards: %w", ErrCorrupt)
+	}
+	if !sort.SliceIsSorted(m.Shards, func(i, j int) bool { return m.Shards[i].Lo < m.Shards[j].Lo }) {
+		return fmt.Errorf("pipeline: shard manifest entries out of order: %w", ErrCorrupt)
+	}
+	next := 0
+	for i, sh := range m.Shards {
+		if sh.Lo != next || sh.Hi <= sh.Lo {
+			return fmt.Errorf("pipeline: shard %d covers [%d,%d), want contiguous from %d: %w",
+				i, sh.Lo, sh.Hi, next, ErrCorrupt)
+		}
+		next = sh.Hi
+		switch sh.State {
+		case ShardPending:
+		case ShardFitted:
+			if sh.File == "" || sh.Digest == "" {
+				return fmt.Errorf("pipeline: fitted shard %d lacks file or digest: %w", i, ErrCorrupt)
+			}
+		default:
+			return fmt.Errorf("pipeline: shard %d has unknown state %q: %w", i, sh.State, ErrCorrupt)
+		}
+		if sh.File != "" && filepath.Base(sh.File) != sh.File {
+			return fmt.Errorf("pipeline: shard %d file %q escapes the shard directory: %w", i, sh.File, ErrCorrupt)
+		}
+	}
+	if next != m.Identity.NumDocs {
+		return fmt.Errorf("pipeline: shards cover [0,%d) but the corpus has %d documents: %w",
+			next, m.Identity.NumDocs, ErrCorrupt)
+	}
+	return nil
+}
+
+// SaveShardManifest atomically replaces dir/manifest.shards. The
+// directory is created if absent.
+func SaveShardManifest(dir string, m *ShardManifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("pipeline: shard dir: %w", err)
+	}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("pipeline: encoding shard manifest: %w", err)
+	}
+	return AtomicWriteFile(filepath.Join(dir, ShardManifestFile), func(w *bufio.Writer) error {
+		return writeContainer(w, kindShardManifest, shardManifestSchemaVersion, payload, nil)
+	})
+}
+
+// LoadShardManifest reads dir/manifest.shards. A missing file returns
+// an error satisfying errors.Is(err, fs.ErrNotExist) — the fresh-start
+// signal; damaged files return wrapped ErrCorrupt/ErrVersion/ErrKind.
+func LoadShardManifest(dir string) (*ShardManifest, error) {
+	path := filepath.Join(dir, ShardManifestFile)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: opening shard manifest: %w", err)
+	}
+	defer f.Close()
+	m, err := readShardManifest(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// readShardManifest parses a shard-manifest container stream.
+func readShardManifest(r io.Reader) (*ShardManifest, error) {
+	var magic [len(containerMagic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("pipeline: shard manifest magic missing: %w: %w", ErrCorrupt, err)
+	}
+	if string(magic[:]) != containerMagic {
+		return nil, fmt.Errorf("pipeline: not a shard manifest container: %w", ErrCorrupt)
+	}
+	payload, hdr, err := readContainer(r, kindShardManifest)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Schema > shardManifestSchemaVersion || hdr.Schema < 1 {
+		return nil, fmt.Errorf("pipeline: shard manifest schema %d, this build reads ≤ %d: %w",
+			hdr.Schema, shardManifestSchemaVersion, ErrVersion)
+	}
+	m := &ShardManifest{}
+	if err := json.Unmarshal(payload, m); err != nil {
+		return nil, fmt.Errorf("pipeline: decoding shard manifest: %w: %w", ErrCorrupt, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteShardStatsFile durably writes one shard's statistics to
+// dir/name (crash-safe temp+rename) and returns the hex SHA-256 of the
+// payload — the digest the manifest records and the loader verifies.
+func WriteShardStatsFile(dir, name string, st *core.ShardStats) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("pipeline: shard dir: %w", err)
+	}
+	var body bytes.Buffer
+	gz := gzip.NewWriter(&body)
+	if err := st.WriteJSON(gz); err != nil {
+		return "", fmt.Errorf("pipeline: encoding shard stats: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return "", fmt.Errorf("pipeline: compressing shard stats: %w", err)
+	}
+	err := AtomicWriteFile(filepath.Join(dir, name), func(w *bufio.Writer) error {
+		return writeContainer(w, kindShardStats, shardStatsSchemaVersion, body.Bytes(), nil)
+	})
+	if err != nil {
+		return "", err
+	}
+	return payloadDigestHex(body.Bytes()), nil
+}
+
+// payloadDigestHex is the container's payload digest, recomputed for
+// the manifest record.
+func payloadDigestHex(payload []byte) string {
+	d := sha256.Sum256(payload)
+	return hex.EncodeToString(d[:])
+}
+
+// LoadShardStatsFile reads dir/name, verifies the container (magic,
+// kind, schema, internal digest) and — when wantDigest is non-empty —
+// that the payload digest matches the manifest's record, then restores
+// the statistics under the supplied priors. Any mismatch wraps
+// ErrCorrupt: the orchestrator treats it as "refit this shard", never
+// as data.
+func LoadShardStatsFile(dir, name, wantDigest string, gelPrior, emuPrior *stats.NormalWishart) (*core.ShardStats, error) {
+	path := filepath.Join(dir, name)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: opening shard stats: %w", err)
+	}
+	defer f.Close()
+	var magic [len(containerMagic)]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, fmt.Errorf("%s: shard stats magic missing: %w: %w", path, ErrCorrupt, err)
+	}
+	if string(magic[:]) != containerMagic {
+		return nil, fmt.Errorf("%s: not a shard stats container: %w", path, ErrCorrupt)
+	}
+	payload, hdr, err := readContainer(f, kindShardStats)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if hdr.Schema > shardStatsSchemaVersion || hdr.Schema < 1 {
+		return nil, fmt.Errorf("%s: shard stats schema %d, this build reads ≤ %d: %w",
+			path, hdr.Schema, shardStatsSchemaVersion, ErrVersion)
+	}
+	if wantDigest != "" && hdr.SHA256 != wantDigest {
+		return nil, fmt.Errorf("%s: shard stats digest %.12s…, manifest expects %.12s…: %w",
+			path, hdr.SHA256, wantDigest, ErrCorrupt)
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("%s: opening shard stats payload: %w: %w", path, ErrCorrupt, err)
+	}
+	defer gz.Close()
+	st, err := core.ReadShardStatsJSON(gz, gelPrior, emuPrior)
+	if err != nil {
+		return nil, fmt.Errorf("%s: decoding shard stats: %w: %w", path, ErrCorrupt, err)
+	}
+	return st, nil
+}

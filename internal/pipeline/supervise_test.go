@@ -154,7 +154,7 @@ func TestSupervisedRollbackAfterCheckpointWriteCrash(t *testing.T) {
 	dir := t.TempDir()
 
 	script := resilience.NewScript()
-	script.Queue("checkpoint.write", 1, resilience.Fault{})                                 // sweep 10: succeeds
+	script.Queue("checkpoint.write", 1, resilience.Fault{})                                // sweep 10: succeeds
 	script.Queue("checkpoint.write", 1, resilience.Fault{Err: errors.New("disk on fire")}) // sweep 20: fails
 
 	st := &syncCrashStore{FitCheckpointStore: FitCheckpointStore{Dir: dir}, script: script}
@@ -246,7 +246,7 @@ func TestSupervisedResumeSkipsUnhealthyCheckpoint(t *testing.T) {
 		Supervise:  true,
 		Checkpoint: CheckpointOptions{Dir: dir, Every: 10, Resume: true},
 	}
-	res, incidents, err := fitModel(data, opts)
+	res, incidents, _, err := fitModel(data, opts)
 	if err != nil {
 		t.Fatalf("supervised fit failed: %v (incidents %+v)", err, incidents)
 	}
@@ -288,7 +288,7 @@ func TestSupervisedFitHealthMetrics(t *testing.T) {
 		Checkpoint: CheckpointOptions{Dir: t.TempDir(), Every: 10},
 		Metrics:    reg,
 	}
-	_, incidents, err := fitModel(data, opts)
+	_, incidents, _, err := fitModel(data, opts)
 	if err != nil {
 		t.Fatalf("supervised fit failed: %v (incidents %+v)", err, incidents)
 	}

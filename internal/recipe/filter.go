@@ -34,26 +34,34 @@ type FilterStats struct {
 	TooUnrelated int
 }
 
+// Admit applies the config to one resolved recipe, tallying the drop
+// reason (and Input) into stats. The record-at-a-time form of Filter,
+// for streaming ingestion that never holds the corpus in memory.
+func (cfg FilterConfig) Admit(r *Recipe, stats *FilterStats) bool {
+	stats.Input++
+	switch {
+	case cfg.RequireGel && !r.HasGel():
+		stats.NoGel++
+	case cfg.RequireTexture && cfg.HasTexture != nil && !cfg.HasTexture(r):
+		stats.NoTexture++
+	case cfg.MaxUnrelatedFraction > 0 && r.UnrelatedFraction() > cfg.MaxUnrelatedFraction:
+		stats.TooUnrelated++
+	default:
+		stats.Kept++
+		return true
+	}
+	return false
+}
+
 // Filter applies the config and returns the surviving recipes along
 // with drop statistics. Recipes must be resolved first.
 func Filter(recipes []*Recipe, cfg FilterConfig) ([]*Recipe, FilterStats) {
-	stats := FilterStats{Input: len(recipes)}
+	var stats FilterStats
 	var kept []*Recipe
 	for _, r := range recipes {
-		if cfg.RequireGel && !r.HasGel() {
-			stats.NoGel++
-			continue
+		if cfg.Admit(r, &stats) {
+			kept = append(kept, r)
 		}
-		if cfg.RequireTexture && cfg.HasTexture != nil && !cfg.HasTexture(r) {
-			stats.NoTexture++
-			continue
-		}
-		if cfg.MaxUnrelatedFraction > 0 && r.UnrelatedFraction() > cfg.MaxUnrelatedFraction {
-			stats.TooUnrelated++
-			continue
-		}
-		kept = append(kept, r)
 	}
-	stats.Kept = len(kept)
 	return kept, stats
 }

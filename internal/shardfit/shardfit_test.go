@@ -1,0 +1,372 @@
+package shardfit
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// shardData draws a three-topic corpus from the model's own generative
+// process — the same construction the pipeline supervision tests use.
+func shardData(docs int) *core.Data {
+	rng := stats.NewRNG(41, 99)
+	phi := [][]float64{
+		{.30, .30, .30, .03, .03, .02, .01, .005, .005},
+		{.01, .005, .005, .30, .30, .30, .03, .03, .02},
+		{.03, .03, .02, .01, .005, .005, .30, .30, .30},
+	}
+	gelMeans := [][]float64{{3, 9}, {6, 9}, {9, 4}}
+	emuMeans := [][]float64{{2, 8}, {8, 2}, {5, 5}}
+	data := &core.Data{V: 9}
+	for d := 0; d < docs; d++ {
+		k := d % 3
+		n := 2 + rng.IntN(4)
+		words := make([]int, n)
+		for i := range words {
+			words[i] = rng.Categorical(phi[k])
+		}
+		data.Words = append(data.Words, words)
+		data.Gel = append(data.Gel, []float64{rng.Normal(gelMeans[k][0], 0.25), rng.Normal(gelMeans[k][1], 0.25)})
+		data.Emu = append(data.Emu, []float64{rng.Normal(emuMeans[k][0], 0.3), rng.Normal(emuMeans[k][1], 0.3)})
+	}
+	return data
+}
+
+// shardOpts is a small sharded-fit configuration with the priors
+// pinned from the full corpus (the orchestrator would pin the same
+// ones; doing it here lets tests hand identical configs to core.Fit).
+func shardOpts(t *testing.T, data *core.Data, shards int) pipeline.Options {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.K = 3
+	cfg.Iterations = 30
+	cfg.BurnIn = 15
+	cfg.Seed = 9
+	gp, ep, err := core.EmpiricalPriors(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.GelPrior, cfg.EmuPrior = gp, ep
+	return pipeline.Options{Model: cfg, ShardCount: shards}
+}
+
+func mustFit(t *testing.T, o *Orchestrator, data *core.Data) (*core.Result, *pipeline.ShardFitSummary) {
+	t.Helper()
+	res, sum, err := o.Fit(context.Background(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sum
+}
+
+// assertSameResult demands bit-identical estimates — the currency of
+// the kill-and-retry guarantee.
+func assertSameResult(t *testing.T, got, want *core.Result) {
+	t.Helper()
+	if len(got.Y) != len(want.Y) {
+		t.Fatalf("Y length %d vs %d", len(got.Y), len(want.Y))
+	}
+	for d := range want.Y {
+		if got.Y[d] != want.Y[d] {
+			t.Fatalf("Y[%d] = %d, want %d", d, got.Y[d], want.Y[d])
+		}
+		for k := range want.Theta[d] {
+			if got.Theta[d][k] != want.Theta[d][k] {
+				t.Fatalf("Theta[%d][%d] = %g, want %g", d, k, got.Theta[d][k], want.Theta[d][k])
+			}
+		}
+	}
+	for k := range want.Phi {
+		for v := range want.Phi[k] {
+			if got.Phi[k][v] != want.Phi[k][v] {
+				t.Fatalf("Phi[%d][%d] = %g, want %g", k, v, got.Phi[k][v], want.Phi[k][v])
+			}
+		}
+	}
+	for k := range want.Gel {
+		for i := range want.Gel[k].Mean {
+			if got.Gel[k].Mean[i] != want.Gel[k].Mean[i] {
+				t.Fatalf("gel mean[%d][%d] = %g, want %g", k, i, got.Gel[k].Mean[i], want.Gel[k].Mean[i])
+			}
+		}
+		if d := got.Gel[k].Precision.MaxAbsDiff(want.Gel[k].Precision); d != 0 {
+			t.Fatalf("gel precision %d differs by %g", k, d)
+		}
+	}
+}
+
+// TestSingleShardMatchesPlainFit: ShardCount=1 keeps the run seed and
+// must reproduce core.Fit byte-for-byte — sharding is free when off.
+func TestSingleShardMatchesPlainFit(t *testing.T) {
+	data := shardData(45)
+	opts := shardOpts(t, data, 1)
+	ref, err := core.Fit(data, opts.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, sum := mustFit(t, &Orchestrator{Opts: opts}, data)
+	// Phi/Theta/Y come from the same integer counts and formulas —
+	// exact. The Gaussian components are rebuilt from a fresh
+	// accumulation (capture) versus the sampler's incremental one
+	// (Estimate), so they agree only up to float summation order.
+	for d := range ref.Y {
+		if res.Y[d] != ref.Y[d] {
+			t.Fatalf("Y[%d] = %d, want %d", d, res.Y[d], ref.Y[d])
+		}
+		for k := range ref.Theta[d] {
+			if res.Theta[d][k] != ref.Theta[d][k] {
+				t.Fatalf("Theta[%d][%d] = %g, want %g", d, k, res.Theta[d][k], ref.Theta[d][k])
+			}
+		}
+	}
+	for k := range ref.Phi {
+		for v := range ref.Phi[k] {
+			if res.Phi[k][v] != ref.Phi[k][v] {
+				t.Fatalf("Phi[%d][%d] = %g, want %g", k, v, res.Phi[k][v], ref.Phi[k][v])
+			}
+		}
+	}
+	for k := range ref.Gel {
+		for i := range ref.Gel[k].Mean {
+			if math.Abs(res.Gel[k].Mean[i]-ref.Gel[k].Mean[i]) > 1e-8 {
+				t.Fatalf("gel mean[%d][%d]: %g vs %g", k, i, res.Gel[k].Mean[i], ref.Gel[k].Mean[i])
+			}
+		}
+		if d := res.Gel[k].Precision.MaxAbsDiff(ref.Gel[k].Precision); d > 1e-6 {
+			t.Fatalf("gel precision %d differs by %g", k, d)
+		}
+	}
+	if sum.ShardCount != 1 || sum.Fitted != 1 {
+		t.Fatalf("summary = %+v, want one fitted shard", sum)
+	}
+}
+
+// TestShardedFitDeterministic: two identical sharded runs agree
+// bit-for-bit even with concurrent workers.
+func TestShardedFitDeterministic(t *testing.T) {
+	data := shardData(60)
+	a, _ := mustFit(t, &Orchestrator{Opts: shardOpts(t, data, 4)}, data)
+	b, _ := mustFit(t, &Orchestrator{Opts: shardOpts(t, data, 4)}, data)
+	assertSameResult(t, a, b)
+	if len(a.Theta) != data.NumDocs() {
+		t.Fatalf("merged model covers %d/%d docs", len(a.Theta), data.NumDocs())
+	}
+}
+
+// killChaos poisons the chain of the listed shard ranges on their
+// first attempt — the "worker dies mid-fit" injection. The retried
+// attempt runs clean with the same seed.
+func killChaos(killLos map[int]bool) func(lo, hi, attempt int, cfg *core.Config) {
+	return func(lo, hi, attempt int, cfg *core.Config) {
+		if attempt == 0 && killLos[lo] {
+			cfg.Health.Perturb = func(sweep int, ll float64) float64 {
+				if sweep == 5 {
+					return math.NaN()
+				}
+				return ll
+			}
+		}
+	}
+}
+
+// TestChaosKillKOfNConverges is the chaos test: with 2 of 4 shard
+// workers killed mid-fit, the retried workers replay their seeds and
+// the merged model is byte-identical to an undisturbed run.
+func TestChaosKillKOfNConverges(t *testing.T) {
+	data := shardData(60)
+	opts := shardOpts(t, data, 4)
+	clean, _ := mustFit(t, &Orchestrator{Opts: opts}, data)
+
+	ranges := core.ShardRanges(data.NumDocs(), 4)
+	kills := map[int]bool{ranges[1][0]: true, ranges[3][0]: true}
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	res, sum := mustFit(t, &Orchestrator{Opts: opts, Chaos: killChaos(kills)}, data)
+	assertSameResult(t, res, clean)
+	if sum.Retried != 2 {
+		t.Fatalf("summary = %+v, want exactly 2 retries", sum)
+	}
+	if len(sum.Incidents) != 2 {
+		t.Fatalf("want the 2 kills recorded as incidents, got %+v", sum.Incidents)
+	}
+	if v := reg.Counter("fit_shards_retried_total", "", nil).Value(); v != 2 {
+		t.Fatalf("fit_shards_retried_total = %d, want 2", v)
+	}
+	if v := reg.Counter("fit_shards_merged_total", "", nil).Value(); v != 4 {
+		t.Fatalf("fit_shards_merged_total = %d, want 4", v)
+	}
+}
+
+// persistentChaos kills every attempt of one shard — the terminal
+// failure that exercises maximal-progress persistence.
+func persistentChaos(killLo int) func(lo, hi, attempt int, cfg *core.Config) {
+	return func(lo, hi, attempt int, cfg *core.Config) {
+		if lo == killLo {
+			cfg.Health.Perturb = func(sweep int, ll float64) float64 {
+				if sweep == 5 {
+					return math.NaN()
+				}
+				return ll
+			}
+		}
+	}
+}
+
+// TestCrashResumeFromManifest: a run that dies with one shard
+// unfitted leaves the other shards durably recorded; the rerun reuses
+// them, refits only the missing shard, and converges to the clean
+// model.
+func TestCrashResumeFromManifest(t *testing.T) {
+	data := shardData(60)
+	dir := t.TempDir()
+	opts := shardOpts(t, data, 4)
+	clean, _ := mustFit(t, &Orchestrator{Opts: opts}, data)
+
+	opts.ShardDir = dir
+	ranges := core.ShardRanges(data.NumDocs(), 4)
+	_, _, err := (&Orchestrator{Opts: opts, Chaos: persistentChaos(ranges[2][0])}).Fit(context.Background(), data)
+	if err == nil {
+		t.Fatal("persistently killed shard did not fail the run")
+	}
+	man, merr := pipeline.LoadShardManifest(dir)
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	fitted := 0
+	for _, e := range man.Shards {
+		if e.State == pipeline.ShardFitted {
+			fitted++
+		}
+	}
+	if fitted != 3 || man.Merged {
+		t.Fatalf("after crash: %d fitted, merged=%v, want 3 fitted unmerged", fitted, man.Merged)
+	}
+
+	res, sum := mustFit(t, &Orchestrator{Opts: opts}, data)
+	assertSameResult(t, res, clean)
+	if sum.Resumed != 3 || sum.Fitted != 1 {
+		t.Fatalf("resume summary = %+v, want 3 resumed / 1 fitted", sum)
+	}
+	man, merr = pipeline.LoadShardManifest(dir)
+	if merr != nil || !man.Merged {
+		t.Fatalf("manifest after resume: merged=%v err=%v", man != nil && man.Merged, merr)
+	}
+}
+
+// TestResumeRejectsForeignManifest: a manifest written for a different
+// fit (other seed) must not contribute a single shard.
+func TestResumeRejectsForeignManifest(t *testing.T) {
+	data := shardData(48)
+	dir := t.TempDir()
+	opts := shardOpts(t, data, 3)
+	opts.ShardDir = dir
+	mustFit(t, &Orchestrator{Opts: opts}, data)
+
+	opts2 := opts
+	opts2.Model.Seed = 77
+	clean2, _ := mustFit(t, &Orchestrator{Opts: func() pipeline.Options {
+		o := opts2
+		o.ShardDir = ""
+		return o
+	}()}, data)
+	res, sum := mustFit(t, &Orchestrator{Opts: opts2}, data)
+	assertSameResult(t, res, clean2)
+	if sum.Resumed != 0 || sum.Fitted != 3 {
+		t.Fatalf("summary = %+v, want full refit under new identity", sum)
+	}
+}
+
+// TestResumeRefitsCorruptShardFile: a bit-flipped statistics file must
+// be refitted, not merged.
+func TestResumeRefitsCorruptShardFile(t *testing.T) {
+	data := shardData(48)
+	dir := t.TempDir()
+	opts := shardOpts(t, data, 3)
+	opts.ShardDir = dir
+	clean, _ := mustFit(t, &Orchestrator{Opts: opts}, data)
+
+	man, err := pipeline.LoadShardManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(dir, man.Shards[1].File)
+	b, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-10] ^= 0x40
+	if err := os.WriteFile(victim, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, sum := mustFit(t, &Orchestrator{Opts: opts}, data)
+	assertSameResult(t, res, clean)
+	if sum.Resumed != 2 || sum.Fitted != 1 {
+		t.Fatalf("summary = %+v, want 2 resumed / 1 refit after corruption", sum)
+	}
+}
+
+// TestStragglerReshards: a shard that cannot finish inside the
+// straggler timeout is split and the halves complete; the run makes
+// progress instead of hanging.
+func TestStragglerReshards(t *testing.T) {
+	data := shardData(40)
+	opts := shardOpts(t, data, 2)
+	opts.StragglerTimeout = 200 * time.Millisecond
+	ranges := core.ShardRanges(data.NumDocs(), 2)
+	stallLo, stallHi := ranges[1][0], ranges[1][1]
+	chaos := func(lo, hi, attempt int, cfg *core.Config) {
+		if lo == stallLo && hi == stallHi {
+			cfg.Hooks = cfg.Hooks.Then(core.SweepHooks{OnSweep: func(core.SweepStats) {
+				time.Sleep(400 * time.Millisecond)
+			}})
+		}
+	}
+	res, sum := mustFit(t, &Orchestrator{Opts: opts, Chaos: chaos}, data)
+	if sum.Resharded != 1 || sum.ShardCount != 3 {
+		t.Fatalf("summary = %+v, want 1 reshard yielding 3 shards", sum)
+	}
+	if len(res.Theta) != data.NumDocs() || len(res.Y) != data.NumDocs() {
+		t.Fatalf("resharded model covers %d/%d docs", len(res.Theta), data.NumDocs())
+	}
+}
+
+// TestShardFitterRegistered: importing this package wires the
+// orchestrator into the pipeline's fit dispatch, end to end — a
+// sharded RunOnRecipes produces an aligned model plus a summary.
+func TestShardFitterRegistered(t *testing.T) {
+	ccfg := corpus.DefaultConfig()
+	ccfg.Scale = 0.05
+	recipes, err := corpus.Generate(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := pipeline.DefaultOptions()
+	opts.UseW2VFilter = false
+	opts.Model.Iterations = 40
+	opts.Model.BurnIn = 20
+	opts.ShardCount = 3
+	out, err := pipeline.RunOnRecipes(recipes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shards == nil || out.Shards.Fitted != 3 || out.Shards.ShardCount != 3 {
+		t.Fatalf("Output.Shards = %+v, want 3 fitted shards", out.Shards)
+	}
+	if len(out.Model.Theta) != len(out.Docs) {
+		t.Fatalf("merged θ rows %d, docs %d", len(out.Model.Theta), len(out.Docs))
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("unreachable")
+	}
+}
