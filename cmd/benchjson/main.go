@@ -10,6 +10,12 @@
 // units like served or shed). Non-benchmark lines pass through to
 // stderr so the usual PASS/ok trailer stays visible.
 //
+// Repeated lines for the same benchmark (go test -count N) collapse to
+// the run with the lowest ns/op. Best-of-N is the noise-robust
+// estimator for CPU-bound benchmarks: the minimum is the run least
+// disturbed by scheduler phases, GC timing, and frequency drift, which
+// on a one-core box can swing single runs by 30% or more.
+//
 // With -compare, benchjson instead diffs two baselines and exits
 // non-zero when any shared benchmark regressed in ns/op beyond the
 // threshold:
@@ -22,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -49,6 +56,7 @@ func main() {
 	}
 
 	var records []record
+	index := map[string]int{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -58,6 +66,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, line)
 			continue
 		}
+		if at, seen := index[rec.Name]; seen {
+			if rec.Metrics["ns/op"] < records[at].Metrics["ns/op"] {
+				records[at] = rec
+			}
+			continue
+		}
+		index[rec.Name] = len(records)
 		records = append(records, rec)
 	}
 	if err := sc.Err(); err != nil {
@@ -110,6 +125,7 @@ func compareBaselines(oldPath, newPath string, maxRegressPct float64) int {
 
 	failed := 0
 	shared := 0
+	sumLogRatio := 0.0
 	for _, name := range names {
 		o := oldRecs[name]
 		n, ok := newRecs[name]
@@ -124,6 +140,7 @@ func compareBaselines(oldPath, newPath string, maxRegressPct float64) int {
 			continue
 		}
 		shared++
+		sumLogRatio += math.Log(newNs / oldNs)
 		deltaPct := (newNs - oldNs) / oldNs * 100
 		verdict := "ok"
 		if deltaPct > maxRegressPct {
@@ -133,14 +150,25 @@ func compareBaselines(oldPath, newPath string, maxRegressPct float64) int {
 		fmt.Printf("%-40s  %12.0f → %12.0f ns/op  %+7.1f%%  %s\n",
 			name, oldNs, newNs, deltaPct, verdict)
 	}
-	for name, n := range newRecs {
+	added := make([]string, 0, len(newRecs))
+	for name := range newRecs {
 		if _, ok := oldRecs[name]; !ok {
-			fmt.Printf("%-40s  new (%.0f ns/op)\n", name, n.Metrics["ns/op"])
+			added = append(added, name)
 		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Printf("%-40s  new (%.0f ns/op)\n", name, newRecs[name].Metrics["ns/op"])
 	}
 	if shared == 0 {
 		fatal(fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath))
 	}
+	// One headline number for multi-benchmark PRs: the geometric mean
+	// of the per-benchmark ns/op ratios, so improvements and
+	// regressions of different magnitudes compose symmetrically.
+	geomean := math.Exp(sumLogRatio / float64(shared))
+	fmt.Printf("%-40s  geomean ns/op ratio %.3f (%+.1f%%) over %d shared benchmarks\n",
+		"SUMMARY", geomean, (geomean-1)*100, shared)
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d of %d shared benchmarks regressed past %.0f%%\n",
 			failed, shared, maxRegressPct)

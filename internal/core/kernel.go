@@ -18,21 +18,56 @@ import (
 // the index panic a degenerate model used to trigger.
 var ErrDegenerateModel = errors.New("core: degenerate model")
 
+// KernelOptions selects an opt-in fold-in scoring variant. The zero
+// value is the default kernel: float64 scoring, inverse-CDF
+// categorical draws, chains byte-identical to the seed implementation.
+// Both options change the draw stream or the rounding, so they are
+// explicitly not byte-identical — they are distribution-equivalent
+// (alias) or tolerance-equivalent (float32), covered by the frequency
+// and fold-in equivalence suites.
+type KernelOptions struct {
+	// Alias draws the token-topic z with a per-word Vose alias table
+	// over the static α·φ_w part of the weights plus an exact sparse
+	// correction for the document-dependent part, and the document
+	// topic y with the Gumbel-max trick. The model is frozen during
+	// fold-in, so the tables never go stale; draws are exactly
+	// distributed but consume a different number of uniforms.
+	Alias bool
+	// Float32 scores φ and the concentration Gaussians in float32 with
+	// float64 accumulators. Serving-only: fitting has no float32 path.
+	Float32 bool
+}
+
+// slot maps the options to a kernel-cache slot index.
+func (o KernelOptions) slot() int {
+	s := 0
+	if o.Alias {
+		s |= 1
+	}
+	if o.Float32 {
+		s |= 2
+	}
+	return s
+}
+
 // FoldInKernel is the per-model working set of fold-in inference,
 // precomputed once per Result: the per-topic concentration Gaussians
-// (with their Cholesky factors and log-determinants baked in) and the
-// φ matrix transposed to vocab-major columns so the z kernel's inner
-// topic loop reads one contiguous row per token. Chains drawn through
-// the kernel are bit-identical to the original per-call derivation:
-// the Gaussians are built by the same constructor, the φ columns are
-// exact copies, and the pooled RNGs are reseeded to the same (seed,
-// stream) pair a fresh RNG would use.
+// in struct-of-arrays banks (Cholesky log-determinants baked in) and
+// the φ matrix transposed to vocab-major columns so the z kernel's
+// inner topic loop reads one contiguous K-length row per token. Chains
+// drawn through the default kernel are bit-identical to the original
+// per-call derivation: the Gaussians are built by the same
+// constructor, the φ columns are exact copies, the log-count table
+// caches the exact values math.Log would return, and the pooled RNGs
+// are reseeded to the same (seed, stream) pair a fresh RNG would use.
 //
 // A kernel is immutable after construction and safe for concurrent
 // use; per-request scratch lives in an internal sync.Pool, so
 // steady-state fold-ins allocate nothing beyond the caller's θ slice.
 type FoldInKernel struct {
 	res *Result // hook + identity; model parameters are copied below
+
+	opts KernelOptions
 
 	k, v           int
 	gelDim, emuDim int
@@ -43,6 +78,18 @@ type FoldInKernel struct {
 	gelG []*stats.Gaussian
 	emuG []*stats.Gaussian
 	phiW [][]float64 // vocab-major φ columns: phiW[w][k] == Phi[k][w]
+
+	gelBank *stats.GaussianBank
+	emuBank *stats.GaussianBank
+
+	// Alias-mode state: one table per word over the static α·φ_w[k]
+	// weights (nil without the option).
+	aliasW []*stats.AliasTable
+
+	// Float32-mode state (nil without the option).
+	phiW32    [][]float32
+	gelBank32 *stats.GaussianBankF32
+	emuBank32 *stats.GaussianBankF32
 
 	pool sync.Pool // *foldScratch
 }
@@ -58,27 +105,69 @@ type foldScratch struct {
 	catW    []float64
 	gelDiff []float64
 	emuDiff []float64
+
+	// logTab[c] caches math.Log(float64(c)+α) for c ∈ [0, len(words)]:
+	// the y kernel looks topic counts up instead of recomputing the
+	// logarithm K times per sweep. Values are bit-identical by
+	// construction (the cached expression is the original one).
+	logTab []float64
+
+	dynW   []float64 // alias mode: document-dependent weight part
+	gelD32 []float32 // float32 mode: centering scratch
+	emuD32 []float32
+
+	// yCache memoizes the y draw's exponentiated weight vector per
+	// topic-count state. The y weights are a pure function of the ndk
+	// vector within one request (conc and the log table are fixed), and
+	// a short document revisits very few count states across its
+	// sweeps, so most draws skip the K exponentials entirely. Hits are
+	// bit-identical: the cached exps came from the same max-scan +
+	// exp sequence an uncached draw would run, and the inverse-CDF draw
+	// still consumes exactly one uniform. Slots are invalidated at
+	// request start (conc changes per recipe).
+	yCache [yCacheSlots]yCacheEntry
 }
 
-// BuildKernel validates the model shape and returns its fold-in
-// kernel, constructing it on first call and reusing it afterwards
-// (SwapOutput installs a fresh Result, which starts with no kernel).
-// Shape defects are reported as errors matching ErrDegenerateModel
-// instead of the panic the unchecked index used to raise.
+// yCacheSlots is the direct-mapped y-state cache size. Must be a power
+// of two; 16 covers the one-hot states of typical short requests with
+// few collisions.
+const yCacheSlots = 16
+
+type yCacheEntry struct {
+	valid bool
+	key   []int     // ndk state, length K
+	w     []float64 // exp(logw − max) for that state, length K
+}
+
+// BuildKernel validates the model shape and returns its default
+// fold-in kernel, constructing it on first call and reusing it
+// afterwards (SwapOutput installs a fresh Result, which starts with no
+// kernel). Shape defects are reported as errors matching
+// ErrDegenerateModel instead of the panic the unchecked index used to
+// raise.
 func (r *Result) BuildKernel() (*FoldInKernel, error) {
-	if kn := r.kernel.Load(); kn != nil {
+	return r.BuildKernelOpts(KernelOptions{})
+}
+
+// BuildKernelOpts is BuildKernel for an opt-in scoring variant. Each
+// option combination caches its own kernel on the Result, so mixed
+// workloads (default fitting-side fold-ins next to a float32 serving
+// pool) don't rebuild per call.
+func (r *Result) BuildKernelOpts(opts KernelOptions) (*FoldInKernel, error) {
+	slot := opts.slot()
+	if kn := r.kernel.Load(slot); kn != nil {
 		return kn, nil
 	}
-	kn, err := newFoldInKernel(r)
+	kn, err := newFoldInKernel(r, opts)
 	if err != nil {
 		return nil, err
 	}
 	// Two racing builders produce interchangeable kernels; keep the first.
-	r.kernel.CompareAndSwap(nil, kn)
-	return r.kernel.Load(), nil
+	r.kernel.CompareAndSwap(slot, nil, kn)
+	return r.kernel.Load(slot), nil
 }
 
-func newFoldInKernel(r *Result) (*FoldInKernel, error) {
+func newFoldInKernel(r *Result, opts KernelOptions) (*FoldInKernel, error) {
 	if r.K < 1 {
 		return nil, fmt.Errorf("%w: K=%d", ErrDegenerateModel, r.K)
 	}
@@ -100,6 +189,7 @@ func newFoldInKernel(r *Result) (*FoldInKernel, error) {
 	}
 	kn := &FoldInKernel{
 		res:       r,
+		opts:      opts,
 		k:         r.K,
 		v:         r.V,
 		gelDim:    len(r.Gel[0].Mean),
@@ -126,6 +216,14 @@ func newFoldInKernel(r *Result) (*FoldInKernel, error) {
 		}
 		kn.emuG[k] = e
 	}
+	kn.gelBank = stats.NewGaussianBank(r.K, kn.gelDim)
+	kn.emuBank = stats.NewGaussianBank(r.K, kn.emuDim)
+	if err := kn.gelBank.SetFromGaussians(kn.gelG); err != nil {
+		return nil, fmt.Errorf("core: gel bank: %w", err)
+	}
+	if err := kn.emuBank.SetFromGaussians(kn.emuG); err != nil {
+		return nil, fmt.Errorf("core: emulsion bank: %w", err)
+	}
 	flat := make([]float64, r.V*r.K)
 	kn.phiW = make([][]float64, r.V)
 	for w := 0; w < r.V; w++ {
@@ -135,8 +233,41 @@ func newFoldInKernel(r *Result) (*FoldInKernel, error) {
 		}
 		kn.phiW[w] = col
 	}
+	if opts.Alias {
+		kn.aliasW = make([]*stats.AliasTable, r.V)
+		static := make([]float64, r.K)
+		for w := 0; w < r.V; w++ {
+			for k := 0; k < r.K; k++ {
+				static[k] = kn.alpha * kn.phiW[w][k]
+			}
+			t, err := stats.NewAliasTable(static)
+			if err != nil {
+				return nil, fmt.Errorf("core: alias table for word %d: %w", w, err)
+			}
+			kn.aliasW[w] = t
+		}
+	}
+	if opts.Float32 {
+		flat32 := make([]float32, r.V*r.K)
+		kn.phiW32 = make([][]float32, r.V)
+		for w := 0; w < r.V; w++ {
+			col := flat32[w*r.K : (w+1)*r.K : (w+1)*r.K]
+			for k := 0; k < r.K; k++ {
+				col[k] = float32(kn.phiW[w][k])
+			}
+			kn.phiW32[w] = col
+		}
+		kn.gelBank32 = stats.NewGaussianBankF32(r.K, kn.gelDim)
+		kn.emuBank32 = stats.NewGaussianBankF32(r.K, kn.emuDim)
+		if err := kn.gelBank32.SetFromGaussians(kn.gelG); err != nil {
+			return nil, fmt.Errorf("core: gel f32 bank: %w", err)
+		}
+		if err := kn.emuBank32.SetFromGaussians(kn.emuG); err != nil {
+			return nil, fmt.Errorf("core: emulsion f32 bank: %w", err)
+		}
+	}
 	kn.pool.New = func() any {
-		return &foldScratch{
+		sc := &foldScratch{
 			rng:     stats.NewRNG(0, 0), // reseeded per request
 			ndk:     make([]int, kn.k),
 			conc:    make([]float64, kn.k),
@@ -146,6 +277,18 @@ func newFoldInKernel(r *Result) (*FoldInKernel, error) {
 			gelDiff: make([]float64, kn.gelDim),
 			emuDiff: make([]float64, kn.emuDim),
 		}
+		if kn.opts.Alias {
+			sc.dynW = make([]float64, kn.k)
+		}
+		if kn.opts.Float32 {
+			sc.gelD32 = make([]float32, kn.gelDim)
+			sc.emuD32 = make([]float32, kn.emuDim)
+		}
+		for i := range sc.yCache {
+			sc.yCache[i].key = make([]int, kn.k)
+			sc.yCache[i].w = make([]float64, kn.k)
+		}
+		return sc
 	}
 	return kn, nil
 }
@@ -154,11 +297,15 @@ func newFoldInKernel(r *Result) (*FoldInKernel, error) {
 // its destination θ slice).
 func (kn *FoldInKernel) K() int { return kn.k }
 
+// Options returns the scoring variant the kernel was built with.
+func (kn *FoldInKernel) Options() KernelOptions { return kn.opts }
+
 // FoldInTo runs fold-in inference for one recipe, writing the averaged
 // θ of the chain's second half into theta (length K). It is FoldInCtx
 // with the allocation moved to the caller: steady-state calls touch
-// only pooled scratch. Chains are bit-identical to FoldInCtx for the
-// same inputs.
+// only pooled scratch. Default-kernel chains are bit-identical to
+// FoldInCtx for the same inputs; alias and float32 kernels draw their
+// own (deterministic, seeded) chains.
 func (kn *FoldInKernel) FoldInTo(ctx context.Context, theta []float64, words []int, gel, emu []float64, iters int, seed uint64) error {
 	if iters <= 0 {
 		return fmt.Errorf("core: fold-in needs positive iterations")
@@ -181,11 +328,31 @@ func (kn *FoldInKernel) FoldInTo(ctx context.Context, theta []float64, words []i
 
 	// Concentration log-likelihood per topic is constant across sweeps.
 	conc := sc.conc
-	for k := 0; k < kn.k; k++ {
-		conc[k] = kn.gelG[k].LogPdfScratch(gel, sc.gelDiff)
-		if kn.useEmu {
-			conc[k] += kn.emuWeight * kn.emuG[k].LogPdfScratch(emu, sc.emuDiff)
+	if kn.opts.Float32 {
+		for k := range conc {
+			conc[k] = 0
 		}
+		kn.gelBank32.AddLogPdf(conc, gel, 1, sc.gelD32)
+		if kn.useEmu {
+			kn.emuBank32.AddLogPdf(conc, emu, kn.emuWeight, sc.emuD32)
+		}
+	} else {
+		kn.gelBank.LogPdfInto(conc, gel, sc.gelDiff)
+		if kn.useEmu {
+			kn.emuBank.AddLogPdf(conc, emu, kn.emuWeight, sc.emuDiff)
+		}
+	}
+
+	// The y kernel's log(N_dk+α) terms range over counts 0…len(words);
+	// cache every possible value once per request instead of taking K
+	// logarithms per sweep. The cached expression is exactly the inline
+	// one, so lookups are bit-identical.
+	if cap(sc.logTab) < len(words)+1 {
+		sc.logTab = make([]float64, len(words)+1)
+	}
+	logTab := sc.logTab[:len(words)+1]
+	for c := range logTab {
+		logTab[c] = math.Log(float64(c) + kn.alpha)
 	}
 
 	rng := sc.rng
@@ -209,44 +376,16 @@ func (kn *FoldInKernel) FoldInTo(ctx context.Context, theta []float64, words []i
 		theta[k] = 0
 	}
 	kept := 0
-	weights := sc.weights
-	logw := sc.logw
-	for it := 0; it < iters; it++ {
-		if err := ctx.Err(); err != nil {
-			if hook := kn.res.FoldInHook; hook != nil {
-				hook(FoldInStats{Sweeps: it, Words: len(words), Total: time.Since(start), Canceled: true})
-			}
-			return &CanceledError{Sweeps: it, Cause: err}
-		}
-		for n, w := range words {
-			ndk[z[n]]--
-			row := kn.phiW[w]
-			for k := 0; k < kn.k; k++ {
-				m := 0.0
-				if y == k {
-					m = 1
-				}
-				weights[k] = (float64(ndk[k]) + m + kn.alpha) * row[k]
-			}
-			z[n] = rng.Categorical(weights)
-			ndk[z[n]]++
-		}
-		for k := 0; k < kn.k; k++ {
-			logw[k] = math.Log(float64(ndk[k])+kn.alpha) + conc[k]
-		}
-		y = rng.CategoricalLogScratch(logw, sc.catW)
-
-		if it >= iters/2 {
-			kept++
-			denom := float64(len(words)) + 1 + kn.alpha*float64(kn.k)
-			for k := 0; k < kn.k; k++ {
-				m := 0.0
-				if y == k {
-					m = 1
-				}
-				theta[k] += (float64(ndk[k]) + m + kn.alpha) / denom
-			}
-		}
+	var err error
+	switch {
+	case kn.opts.Alias:
+		kept, y, err = kn.sweepAlias(ctx, theta, words, z, ndk, conc, logTab, y, iters, sc, start)
+	default:
+		kept, y, err = kn.sweepDefault(ctx, theta, words, z, ndk, conc, logTab, y, iters, sc, start)
+	}
+	_ = y
+	if err != nil {
+		return err
 	}
 	for k := range theta {
 		theta[k] /= float64(kept)
@@ -257,14 +396,191 @@ func (kn *FoldInKernel) FoldInTo(ctx context.Context, theta []float64, words []i
 	return nil
 }
 
-// kernelCache is the Result-side slot BuildKernel fills. It lives in
-// its own type so Result stays a plain data struct for JSON round
-// trips; the slot is deliberately not serialized.
-type kernelCache struct {
-	p atomic.Pointer[FoldInKernel]
+// sweepDefault is the seed-equivalent Gibbs loop: inverse-CDF
+// categorical draws, float64 (or float32, when the option is set)
+// scoring. On the default float64 kernel every weight, draw and θ
+// contribution is bit-identical to the original implementation — the
+// loop only hoists the per-topic branch on y into a single fixup,
+// looks the y kernel's logarithms up from the per-request table, and
+// uses the fused draw variants (all individually bit-exact
+// transformations).
+func (kn *FoldInKernel) sweepDefault(ctx context.Context, theta []float64, words []int, z, ndk []int, conc, logTab []float64, y, iters int, sc *foldScratch, start time.Time) (int, int, error) {
+	kk := kn.k
+	alpha := kn.alpha
+	weights := sc.weights[:kk]
+	logw := sc.logw[:kk]
+	ndk = ndk[:kk]
+	conc = conc[:kk]
+	kept := 0
+	half := iters / 2
+	denom := float64(len(words)) + 1 + alpha*float64(kk)
+	rng := sc.rng
+	f32 := kn.opts.Float32
+	for i := range sc.yCache {
+		sc.yCache[i].valid = false
+	}
+	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			if hook := kn.res.FoldInHook; hook != nil {
+				hook(FoldInStats{Sweeps: it, Words: len(words), Total: time.Since(start), Canceled: true})
+			}
+			return 0, y, &CanceledError{Sweeps: it, Cause: err}
+		}
+		if f32 {
+			for n, w := range words {
+				ndk[z[n]]--
+				row := kn.phiW32[w][:kk]
+				a32 := float32(alpha)
+				for k := 0; k < kk; k++ {
+					weights[k] = float64((float32(ndk[k]) + a32) * row[k])
+				}
+				weights[y] = float64((float32(ndk[y]) + 1 + a32) * row[y])
+				zn := rng.CategoricalFast(weights)
+				z[n] = zn
+				ndk[zn]++
+			}
+		} else {
+			for n, w := range words {
+				ndk[z[n]]--
+				row := kn.phiW[w][:kk]
+				for k := 0; k < kk; k++ {
+					weights[k] = (float64(ndk[k]) + alpha) * row[k]
+				}
+				// The y-coupled topic carries the +1 recipe-topic pull;
+				// fixing it up once replaces a branch per topic. For k≠y
+				// the original addend was an exact +0.
+				weights[y] = (float64(ndk[y]) + 1 + alpha) * row[y]
+				zn := rng.CategoricalFast(weights)
+				z[n] = zn
+				ndk[zn]++
+			}
+		}
+		// y draw, memoized per ndk state: an inverse-CDF draw over the
+		// cached exp weights is bit-identical to recomputing them (and
+		// consumes the same single uniform).
+		h := uint(0)
+		for k := 0; k < kk; k++ {
+			h = h*131 + uint(ndk[k])
+		}
+		e := &sc.yCache[h&(yCacheSlots-1)]
+		if e.valid && intsEqual(e.key, ndk) {
+			y = rng.CategoricalFast(e.w)
+		} else {
+			for k := 0; k < kk; k++ {
+				logw[k] = logTab[ndk[k]] + conc[k]
+			}
+			y = rng.CategoricalLogFused(logw, e.w)
+			copy(e.key, ndk)
+			e.valid = true
+		}
+
+		if it >= half {
+			kept++
+			for k := 0; k < kk; k++ {
+				m := 0.0
+				if y == k {
+					m = 1
+				}
+				theta[k] += (float64(ndk[k]) + m + alpha) / denom
+			}
+		}
+	}
+	return kept, y, nil
 }
 
-func (c *kernelCache) Load() *FoldInKernel { return c.p.Load() }
-func (c *kernelCache) CompareAndSwap(old, new *FoldInKernel) bool {
-	return c.p.CompareAndSwap(old, new)
+// intsEqual reports element-wise equality of equal-length int slices.
+func intsEqual(a, b []int) bool {
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// sweepAlias is the opt-in alias/Gumbel Gibbs loop. The z weights
+// decompose as (N_dk + M_dk)·φ_w[k] + α·φ_w[k]: the document-dependent
+// first part is summed exactly per step, the static second part is the
+// per-word alias table built at kernel construction — O(1) to draw
+// from however large K grows. The model is frozen, so the decomposed
+// draw is exactly distributed (no stale-weight approximation); it
+// consumes uniforms differently from the default path, which is why
+// the whole mode is opt-in. y uses the Gumbel-max trick.
+func (kn *FoldInKernel) sweepAlias(ctx context.Context, theta []float64, words []int, z, ndk []int, conc, logTab []float64, y, iters int, sc *foldScratch, start time.Time) (int, int, error) {
+	kk := kn.k
+	alpha := kn.alpha
+	logw := sc.logw[:kk]
+	dynW := sc.dynW[:kk]
+	ndk = ndk[:kk]
+	conc = conc[:kk]
+	kept := 0
+	half := iters / 2
+	denom := float64(len(words)) + 1 + alpha*float64(kk)
+	rng := sc.rng
+	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			if hook := kn.res.FoldInHook; hook != nil {
+				hook(FoldInStats{Sweeps: it, Words: len(words), Total: time.Since(start), Canceled: true})
+			}
+			return 0, y, &CanceledError{Sweeps: it, Cause: err}
+		}
+		for n, w := range words {
+			ndk[z[n]]--
+			row := kn.phiW[w][:kk]
+			sdyn := 0.0
+			for k := 0; k < kk; k++ {
+				dw := float64(ndk[k]) * row[k]
+				dynW[k] = dw
+				sdyn += dw
+			}
+			dynW[y] += row[y]
+			sdyn += row[y]
+			tab := kn.aliasW[w]
+			var zn int
+			if u := rng.Float64() * (sdyn + tab.Total()); u < sdyn {
+				acc := 0.0
+				zn = kk - 1
+				for k := 0; k < kk; k++ {
+					acc += dynW[k]
+					if u < acc {
+						zn = k
+						break
+					}
+				}
+			} else {
+				zn = rng.AliasDraw(tab)
+			}
+			z[n] = zn
+			ndk[zn]++
+		}
+		for k := 0; k < kk; k++ {
+			logw[k] = logTab[ndk[k]] + conc[k]
+		}
+		y = rng.GumbelMaxLog(logw)
+
+		if it >= half {
+			kept++
+			for k := 0; k < kk; k++ {
+				m := 0.0
+				if y == k {
+					m = 1
+				}
+				theta[k] += (float64(ndk[k]) + m + alpha) / denom
+			}
+		}
+	}
+	return kept, y, nil
+}
+
+// kernelCache is the Result-side slot set BuildKernelOpts fills, one
+// slot per option combination. It lives in its own type so Result
+// stays a plain data struct for JSON round trips; the slots are
+// deliberately not serialized.
+type kernelCache struct {
+	p [4]atomic.Pointer[FoldInKernel]
+}
+
+func (c *kernelCache) Load(slot int) *FoldInKernel { return c.p[slot].Load() }
+func (c *kernelCache) CompareAndSwap(slot int, old, new *FoldInKernel) bool {
+	return c.p[slot].CompareAndSwap(old, new)
 }

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// foldRequests builds a deterministic batch of fold-in requests from
+// fresh synthetic recipes of each generating region, plus the mapping
+// from region to fitted topic.
+func foldRequests(res *Result, n int) (words [][]int, gels, emus [][]float64, wantTopic []int) {
+	rng := stats.NewRNG(80, 1)
+	gelMeans := [][]float64{{3, 9}, {6, 9}, {9, 4}}
+	emuMeans := [][]float64{{2, 8}, {8, 2}, {5, 5}}
+	wordPools := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}}
+	regionTopic := make([]int, 3)
+	for region, gm := range gelMeans {
+		best, bestD := 0, math.Inf(1)
+		for k := 0; k < res.K; k++ {
+			d := 0.0
+			for j := range gm {
+				diff := res.Gel[k].Mean[j] - gm[j]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = k, d
+			}
+		}
+		regionTopic[region] = best
+	}
+	for i := 0; i < n; i++ {
+		region := i % 3
+		words = append(words, []int{
+			wordPools[region][rng.IntN(3)],
+			wordPools[region][rng.IntN(3)],
+		})
+		gels = append(gels, []float64{rng.Normal(gelMeans[region][0], 0.25), rng.Normal(gelMeans[region][1], 0.25)})
+		emus = append(emus, []float64{rng.Normal(emuMeans[region][0], 0.3), rng.Normal(emuMeans[region][1], 0.3)})
+		wantTopic = append(wantTopic, regionTopic[region])
+	}
+	return words, gels, emus, wantTopic
+}
+
+// TestFloat32FoldInEquivalence is the float32-path tolerance gate: on
+// the committed synthetic fixture, the float32 kernel's θ must stay
+// within a small max-abs-diff of the float64 path per request, and its
+// placement accuracy must be no worse than the float64 path's on the
+// same requests. (Exact equality is not expected — float32 rounding
+// can flip individual Gibbs draws — so the gate is distributional, not
+// bitwise, which is why the path is opt-in.)
+func TestFloat32FoldInEquivalence(t *testing.T) {
+	res, _ := fitSynth(t, smallCfg(), 300)
+	// Confirm the opt-in actually engages the float32 state, so the
+	// comparison below exercises the reduced-precision path.
+	kn32, err := res.BuildKernelOpts(KernelOptions{Float32: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kn32.phiW32 == nil || kn32.gelBank32 == nil || kn32.emuBank32 == nil {
+		t.Fatal("Float32 option did not build the float32 kernel state")
+	}
+	words, gels, emus, wantTopic := foldRequests(res, 45)
+	const tol = 0.08
+	correct64, correct32 := 0, 0
+	worst := 0.0
+	for i := range words {
+		t64, err := res.FoldInOptsCtx(context.Background(), KernelOptions{}, words[i], gels[i], emus[i], 60, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t32, err := res.FoldInOptsCtx(context.Background(), KernelOptions{Float32: true}, words[i], gels[i], emus[i], 60, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := stats.SumVec(t32); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("request %d: float32 θ sums to %g", i, s)
+		}
+		for k := range t64 {
+			if d := math.Abs(t64[k] - t32[k]); d > worst {
+				worst = d
+			}
+		}
+		if stats.ArgMax(t64) == wantTopic[i] {
+			correct64++
+		}
+		if stats.ArgMax(t32) == wantTopic[i] {
+			correct32++
+		}
+	}
+	if worst > tol {
+		t.Errorf("float32 θ deviates from float64 by %.4f, tolerance %.4f", worst, tol)
+	}
+	if correct32 < correct64 {
+		t.Errorf("float32 placement %d/%d worse than float64 %d/%d",
+			correct32, len(words), correct64, len(words))
+	}
+	t.Logf("max θ deviation %.5f, placement f64 %d/%d f32 %d/%d", worst, correct64, len(words), correct32, len(words))
+}
+
+// TestAliasFoldInEquivalence gates the alias/Gumbel draw path the same
+// way: the draws consume the generator differently (so θ is not
+// bitwise comparable), but placement accuracy on the fixture must be
+// no worse than the default path's.
+func TestAliasFoldInEquivalence(t *testing.T) {
+	res, _ := fitSynth(t, smallCfg(), 300)
+	words, gels, emus, wantTopic := foldRequests(res, 45)
+	correctDef, correctAlias := 0, 0
+	for i := range words {
+		td, err := res.FoldInOptsCtx(context.Background(), KernelOptions{}, words[i], gels[i], emus[i], 60, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ta, err := res.FoldInOptsCtx(context.Background(), KernelOptions{Alias: true}, words[i], gels[i], emus[i], 60, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := stats.SumVec(ta); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("request %d: alias θ sums to %g", i, s)
+		}
+		if stats.ArgMax(td) == wantTopic[i] {
+			correctDef++
+		}
+		if stats.ArgMax(ta) == wantTopic[i] {
+			correctAlias++
+		}
+	}
+	if correctAlias < correctDef {
+		t.Errorf("alias placement %d/%d worse than default %d/%d",
+			correctAlias, len(words), correctDef, len(words))
+	}
+	t.Logf("placement default %d/%d alias %d/%d", correctDef, len(words), correctAlias, len(words))
+}
+
+// TestFittingNeverRoutesThroughFloat32 is the guard the issue asks
+// for: the fitting sampler's entire state — counts, components,
+// scratch, parallel-shard buffers — must contain no float32 anywhere.
+// The float32 kernels exist only on FoldInKernel behind an explicit
+// opt-in, so a reflect walk over Sampler proving the type is
+// float32-free shows fitting cannot route through reduced precision.
+func TestFittingNeverRoutesThroughFloat32(t *testing.T) {
+	seen := map[reflect.Type]bool{}
+	var walk func(ty reflect.Type, path string)
+	walk = func(ty reflect.Type, path string) {
+		if seen[ty] {
+			return
+		}
+		seen[ty] = true
+		switch ty.Kind() {
+		case reflect.Float32, reflect.Complex64:
+			t.Errorf("fitting state holds float32 at %s", path)
+		case reflect.Ptr, reflect.Slice, reflect.Array, reflect.Chan:
+			walk(ty.Elem(), path+"/*")
+		case reflect.Map:
+			walk(ty.Key(), path+"/key")
+			walk(ty.Elem(), path+"/val")
+		case reflect.Struct:
+			for i := 0; i < ty.NumField(); i++ {
+				f := ty.Field(i)
+				walk(f.Type, path+"."+f.Name)
+			}
+		}
+	}
+	walk(reflect.TypeOf(Sampler{}), "Sampler")
+
+	// And the default kernel leaves the float32 banks unbuilt: only
+	// the opt-in slot materializes them.
+	res, _ := fitSynth(t, smallCfg(), 120)
+	kn, err := res.BuildKernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kn.phiW32 != nil || kn.gelBank32 != nil || kn.emuBank32 != nil {
+		t.Error("default kernel built float32 state without opt-in")
+	}
+}

@@ -19,6 +19,7 @@ import (
 // count; they differ from the sequential chain, like any AD-LDA run.
 func (s *Sampler) sweepParallel(sweep int) (phaseTimes, error) {
 	var pt phaseTimes
+	s.ensureLogTab()
 	w := s.cfg.Workers
 	shards := ShardRanges(s.data.NumDocs(), w)
 	if len(shards) == 0 {
@@ -59,8 +60,12 @@ func (s *Sampler) sweepParallel(sweep int) (phaseTimes, error) {
 			rng := sc.rng
 			rng.Reseed(s.cfg.Seed^0xAD1DA, uint64(sweep)<<16|uint64(si))
 
-			weights := sc.weights
-			gv := s.cfg.Gamma * float64(s.data.V)
+			K := s.cfg.K
+			weights := sc.weights[:K]
+			alpha := s.cfg.Alpha
+			gamma := s.cfg.Gamma
+			gv := gamma * float64(s.data.V)
+			nk = nk[:K]
 			for d := lo; d < hi; d++ {
 				if s.aborted() {
 					// Cooperative watchdog stop: the partial sweep is
@@ -68,25 +73,27 @@ func (s *Sampler) sweepParallel(sweep int) (phaseTimes, error) {
 					// (counts still consistent) is safe.
 					break
 				}
-				ndk := s.ndk[d]
+				ndk := s.ndk[d][:K]
+				zd := s.Z[d]
 				yd := s.Y[d]
 				for n, word := range s.data.Words[d] {
-					old := s.Z[d][n]
-					row := nwk[word]
+					old := zd[n]
+					row := nwk[word][:K]
 					ndk[old]--
 					row[old]--
 					nk[old]--
-					for k := 0; k < s.cfg.K; k++ {
-						m := 0.0
-						if yd == k {
-							m = 1
-						}
-						weights[k] = (float64(ndk[k]) + m + s.cfg.Alpha) *
-							(float64(row[k]) + s.cfg.Gamma) /
+					// Same flat pass + single y fixup as the sequential
+					// kernel; bit-identical to the branching form.
+					for k := 0; k < K; k++ {
+						weights[k] = (float64(ndk[k]) + alpha) *
+							(float64(row[k]) + gamma) /
 							(float64(nk[k]) + gv)
 					}
-					k := rng.Categorical(weights)
-					s.Z[d][n] = k
+					weights[yd] = (float64(ndk[yd]) + 1 + alpha) *
+						(float64(row[yd]) + gamma) /
+						(float64(nk[yd]) + gv)
+					k := rng.CategoricalFast(weights)
+					zd[n] = k
 					ndk[k]++
 					row[k]++
 					nk[k]++
@@ -129,20 +136,24 @@ func (s *Sampler) sweepParallel(sweep int) (phaseTimes, error) {
 			sc := &s.scr.par[si]
 			rng := sc.rng
 			rng.Reseed(s.cfg.Seed^0x9D1DA, uint64(sweep)<<16|uint64(si))
-			logw := sc.logw
+			K := s.cfg.K
+			logw := sc.logw[:K]
+			// The banks and log table are refreshed before the phase
+			// and read-only inside it, so sharing them across shards is
+			// race-free; only the diff/exp scratch is per-shard.
+			logTab := s.scr.logTab
+			emuBank := s.scr.emuBank
+			if !s.cfg.UseEmulsion {
+				emuBank = nil
+			}
 			for d := lo; d < hi; d++ {
 				if s.aborted() {
 					break
 				}
-				for k := 0; k < s.cfg.K; k++ {
-					lw := logFloat(float64(s.ndk[d][k]) + s.cfg.Alpha)
-					lw += s.gelComp[k].gauss.LogPdfScratch(s.data.Gel[d], sc.gelDiff)
-					if s.cfg.UseEmulsion {
-						lw += s.cfg.EmulsionWeight * s.emuComp[k].gauss.LogPdfScratch(s.data.Emu[d], sc.emuDiff)
-					}
-					logw[k] = lw
-				}
-				s.Y[d] = rng.CategoricalLogScratch(logw, sc.catW)
+				ndk := s.ndk[d][:K]
+				stats.ScoreTopics(logw, logTab, ndk, s.scr.gelBank, s.data.Gel[d], sc.gelDiff,
+					emuBank, s.data.Emu[d], s.cfg.EmulsionWeight, sc.emuDiff)
+				s.Y[d] = rng.CategoricalLogFused(logw, sc.catW)
 			}
 		}(si, sh[0], sh[1])
 	}

@@ -39,6 +39,25 @@ func newComponent(mean []float64, precision *stats.Mat) (component, error) {
 	return component{gauss: g}, nil
 }
 
+// setFrom refills the component in place from a freshly drawn mean and
+// precision, reusing the Gaussian's storage after the first sweep. The
+// regularization is the one newComponent applies (same jitter, same
+// schedule, into caller scratch) and SetParams reruns NewGaussian's
+// factorization, so the resulting density is bit-identical to a fresh
+// component — the sweep just stops allocating one per topic.
+func (c *component) setFrom(mean []float64, precision *stats.Mat, reg *stats.Mat, chol *stats.Cholesky) error {
+	stats.RegularizeSPDInto(reg, precision, 1e-10, chol)
+	if c.gauss == nil {
+		g, err := stats.NewGaussian(mean, reg)
+		if err != nil {
+			return err
+		}
+		c.gauss = g
+		return nil
+	}
+	return c.gauss.SetParams(mean, reg)
+}
+
 // Sampler is the Gibbs sampler state for the joint topic model.
 type Sampler struct {
 	cfg  Config
@@ -98,12 +117,36 @@ type samplerScratch struct {
 	gelDiff []float64 // Gaussian.LogPdfScratch centering, gel space
 	emuDiff []float64 // Gaussian.LogPdfScratch centering, emulsion space
 
-	// Component-resampling buffers: per-topic member lists and the
-	// feature-slice views handed to the Normal-Wishart posterior.
+	// Struct-of-arrays views of the current components, refreshed by
+	// resampleComponents: the y kernel scores a recipe against all K
+	// topics in one bank call over flat arrays instead of K pointer
+	// chases. Bank scoring is bit-identical to per-component
+	// LogPdfScratch calls.
+	gelBank *stats.GaussianBank
+	emuBank *stats.GaussianBank
+	gs      []*stats.Gaussian // staging slice for bank refreshes
+
+	// logTab[c] caches math.Log(float64(c)+α) for every possible
+	// per-document topic count c ∈ [0, max nd]; the y kernels index it
+	// instead of calling math.Log K times per document per sweep. The
+	// cached expression is the inline one, so lookups are bit-identical.
+	// Rebuilt whenever α moves (LearnAlpha).
+	logTab      []float64
+	logTabAlpha float64
+
+	// Component-resampling buffers: per-topic member lists, the
+	// feature-slice views handed to the Normal-Wishart posterior, the
+	// fused posterior-draw scratch per concentration space, and the
+	// regularization workspace for rebuilding component densities in
+	// place.
 	members  [][]int
 	gxs, exs [][]float64
-	gelPost  *stats.PosteriorScratch
-	emuPost  *stats.PosteriorScratch
+	gelDraw  *stats.NWDrawScratch
+	emuDraw  *stats.NWDrawScratch
+	gelReg   *stats.Mat
+	emuReg   *stats.Mat
+	gelChol  *stats.Cholesky
+	emuChol  *stats.Cholesky
 
 	par []parShard // parallel-sweep worker state, sized on first use
 }
@@ -113,16 +156,58 @@ type samplerScratch struct {
 // the live worker count).
 func (s *Sampler) initScratch() {
 	k := s.cfg.K
+	maxNd := 0
+	for _, n := range s.nd {
+		if n > maxNd {
+			maxNd = n
+		}
+	}
 	s.scr = samplerScratch{
 		weights: make([]float64, k),
 		logw:    make([]float64, k),
 		catW:    make([]float64, k),
 		gelDiff: make([]float64, s.gelDim),
 		emuDiff: make([]float64, s.emuDim),
+		gelBank: stats.NewGaussianBank(k, s.gelDim),
+		emuBank: stats.NewGaussianBank(k, s.emuDim),
+		gs:      make([]*stats.Gaussian, k),
+		logTab:  make([]float64, maxNd+1),
 		members: make([][]int, k),
-		gelPost: s.cfg.GelPrior.NewPosteriorScratch(),
-		emuPost: s.cfg.EmuPrior.NewPosteriorScratch(),
+		gelDraw: s.cfg.GelPrior.NewDrawScratch(),
+		emuDraw: s.cfg.EmuPrior.NewDrawScratch(),
+		gelReg:  stats.NewMat(s.gelDim, s.gelDim),
+		emuReg:  stats.NewMat(s.emuDim, s.emuDim),
+		gelChol: &stats.Cholesky{L: stats.NewMat(s.gelDim, s.gelDim)},
+		emuChol: &stats.Cholesky{L: stats.NewMat(s.emuDim, s.emuDim)},
 	}
+	s.scr.logTabAlpha = math.NaN() // force the first ensureLogTab build
+}
+
+// ensureLogTab rebuilds the log-count table when α has moved (sampler
+// construction, resume, or a LearnAlpha update between sweeps).
+func (s *Sampler) ensureLogTab() {
+	if s.scr.logTabAlpha == s.cfg.Alpha {
+		return
+	}
+	for c := range s.scr.logTab {
+		s.scr.logTab[c] = math.Log(float64(c) + s.cfg.Alpha)
+	}
+	s.scr.logTabAlpha = s.cfg.Alpha
+}
+
+// refreshBanks re-mirrors the explicit components into the scratch
+// banks; must run after every resampleComponents.
+func (s *Sampler) refreshBanks() error {
+	for k := range s.gelComp {
+		s.scr.gs[k] = s.gelComp[k].gauss
+	}
+	if err := s.scr.gelBank.SetFromGaussians(s.scr.gs); err != nil {
+		return err
+	}
+	for k := range s.emuComp {
+		s.scr.gs[k] = s.emuComp[k].gauss
+	}
+	return s.scr.emuBank.SetFromGaussians(s.scr.gs)
 }
 
 // prepareConfig validates cfg against data, fills in empirical priors
@@ -389,6 +474,7 @@ func (s *Sampler) Sweep() error {
 // discards the partial sweep.
 func (s *Sampler) sweepSequential() (phaseTimes, error) {
 	var pt phaseTimes
+	s.ensureLogTab()
 	t := time.Now()
 	for d := range s.data.Words {
 		if s.aborted() {
@@ -425,31 +511,38 @@ func (s *Sampler) sweepSequential() (phaseTimes, error) {
 // recipe's concentration topic through the shared θ_d.
 func (s *Sampler) sampleZ(d int) {
 	w := s.data.Words[d]
-	weights := s.scr.weights
-	ndk := s.ndk[d]
-	yd := s.Y[d]
 	K := s.cfg.K
-	gv := s.cfg.Gamma * float64(s.data.V)
+	weights := s.scr.weights[:K]
+	ndk := s.ndk[d][:K]
+	nk := s.nk[:K]
+	zd := s.Z[d]
+	yd := s.Y[d]
+	alpha := s.cfg.Alpha
+	gamma := s.cfg.Gamma
+	gv := gamma * float64(s.data.V)
 	for n, word := range w {
-		old := s.Z[d][n]
-		row := s.nwk[word]
+		old := zd[n]
+		row := s.nwk[word][:K]
 		ndk[old]--
 		row[old]--
-		s.nk[old]--
+		nk[old]--
+		// Flat pass with the y-coupled +1 fixed up once after the loop:
+		// for k≠y the original M_dk addend was an exact +0, and the
+		// fixup recomputes y's weight in the original operation order,
+		// so every weight is bit-identical to the branching form.
 		for k := 0; k < K; k++ {
-			m := 0.0
-			if yd == k {
-				m = 1
-			}
-			weights[k] = (float64(ndk[k]) + m + s.cfg.Alpha) *
-				(float64(row[k]) + s.cfg.Gamma) /
-				(float64(s.nk[k]) + gv)
+			weights[k] = (float64(ndk[k]) + alpha) *
+				(float64(row[k]) + gamma) /
+				(float64(nk[k]) + gv)
 		}
-		k := s.rng.Categorical(weights)
-		s.Z[d][n] = k
+		weights[yd] = (float64(ndk[yd]) + 1 + alpha) *
+			(float64(row[yd]) + gamma) /
+			(float64(nk[yd]) + gv)
+		k := s.rng.CategoricalFast(weights)
+		zd[n] = k
 		ndk[k]++
 		row[k]++
-		s.nk[k]++
+		nk[k]++
 	}
 }
 
@@ -464,16 +557,20 @@ func (s *Sampler) sampleZ(d int) {
 func (s *Sampler) sampleY(d int) {
 	old := s.Y[d]
 	s.mk[old]--
-	logw := s.scr.logw
-	for k := 0; k < s.cfg.K; k++ {
-		lw := math.Log(float64(s.ndk[d][k]) + s.cfg.Alpha)
-		lw += s.gelComp[k].gauss.LogPdfScratch(s.data.Gel[d], s.scr.gelDiff)
-		if s.cfg.UseEmulsion {
-			lw += s.cfg.EmulsionWeight * s.emuComp[k].gauss.LogPdfScratch(s.data.Emu[d], s.scr.emuDiff)
-		}
-		logw[k] = lw
+	K := s.cfg.K
+	logw := s.scr.logw[:K]
+	ndk := s.ndk[d][:K]
+	logTab := s.scr.logTab
+	// One fused pass per topic in the multi-pass order — count prior
+	// from the log table, then the gel bank, then the weighted emulsion
+	// bank — each term bit-identical to its original.
+	emuBank := s.scr.emuBank
+	if !s.cfg.UseEmulsion {
+		emuBank = nil
 	}
-	k := s.rng.CategoricalLogScratch(logw, s.scr.catW)
+	stats.ScoreTopics(logw, logTab, ndk, s.scr.gelBank, s.data.Gel[d], s.scr.gelDiff,
+		emuBank, s.data.Emu[d], s.cfg.EmulsionWeight, s.scr.emuDiff)
+	k := s.rng.CategoricalLogFused(logw, s.scr.catW)
 	s.Y[d] = k
 	s.mk[k]++
 }
@@ -484,7 +581,9 @@ func (s *Sampler) sampleY(d int) {
 // recipes currently assigned to k, maintained incrementally through
 // sufficient-statistic accumulators.
 func (s *Sampler) sampleYCollapsed() {
-	logw := s.scr.logw
+	K := s.cfg.K
+	logw := s.scr.logw[:K]
+	logTab := s.scr.logTab
 	for d := range s.data.Words {
 		if s.aborted() {
 			return
@@ -494,15 +593,15 @@ func (s *Sampler) sampleYCollapsed() {
 		s.gelAcc[old].Remove(s.data.Gel[d])
 		s.emuAcc[old].Remove(s.data.Emu[d])
 
-		for k := 0; k < s.cfg.K; k++ {
-			lw := math.Log(float64(s.ndk[d][k]) + s.cfg.Alpha)
-			lw += s.gelAcc[k].PredictiveLogPdf(s.data.Gel[d])
-			if s.cfg.UseEmulsion {
-				lw += s.cfg.EmulsionWeight * s.emuAcc[k].PredictiveLogPdf(s.data.Emu[d])
-			}
-			logw[k] = lw
+		ndk := s.ndk[d][:K]
+		for k := 0; k < K; k++ {
+			logw[k] = logTab[ndk[k]]
 		}
-		k := s.rng.CategoricalLogScratch(logw, s.scr.catW)
+		stats.AddPredictiveLogPdf(logw, s.gelAcc, s.data.Gel[d], 1)
+		if s.cfg.UseEmulsion {
+			stats.AddPredictiveLogPdf(logw, s.emuAcc, s.data.Emu[d], s.cfg.EmulsionWeight)
+		}
+		k := s.rng.CategoricalLogFused(logw, s.scr.catW)
 		s.Y[d] = k
 		s.mk[k]++
 		s.gelAcc[k].Add(s.data.Gel[d])
@@ -544,21 +643,17 @@ func (s *Sampler) resampleComponents() error {
 			gxs = append(gxs, s.data.Gel[d])
 			exs = append(exs, s.data.Emu[d])
 		}
-		mu, lam := s.cfg.GelPrior.PosteriorWith(gxs, s.scr.gelPost).Sample(s.rng)
-		c, err := newComponent(mu, lam)
-		if err != nil {
+		s.cfg.GelPrior.PosteriorSampleInto(s.rng, gxs, s.scr.gelDraw)
+		if err := s.gelComp[k].setFrom(s.scr.gelDraw.Mu, s.scr.gelDraw.Lambda, s.scr.gelReg, s.scr.gelChol); err != nil {
 			return fmt.Errorf("gel component %d: %w", k, err)
 		}
-		s.gelComp[k] = c
-		m, l := s.cfg.EmuPrior.PosteriorWith(exs, s.scr.emuPost).Sample(s.rng)
-		c, err = newComponent(m, l)
-		if err != nil {
+		s.cfg.EmuPrior.PosteriorSampleInto(s.rng, exs, s.scr.emuDraw)
+		if err := s.emuComp[k].setFrom(s.scr.emuDraw.Mu, s.scr.emuDraw.Lambda, s.scr.emuReg, s.scr.emuChol); err != nil {
 			return fmt.Errorf("emulsion component %d: %w", k, err)
 		}
-		s.emuComp[k] = c
 	}
 	s.scr.gxs, s.scr.exs = gxs[:0], exs[:0]
-	return nil
+	return s.refreshBanks()
 }
 
 // logLikelihood computes the joint data log-likelihood under the
@@ -583,11 +678,13 @@ func (s *Sampler) logLikelihood() float64 {
 		}
 		return ll
 	}
+	// LogPdfScratch centers once into scratch instead of once per
+	// matrix row; its result is bit-identical to LogPdf.
 	for d := range s.data.Words {
 		k := s.Y[d]
-		ll += s.gelComp[k].gauss.LogPdf(s.data.Gel[d])
+		ll += s.gelComp[k].gauss.LogPdfScratch(s.data.Gel[d], s.scr.gelDiff)
 		if s.cfg.UseEmulsion {
-			ll += s.emuComp[k].gauss.LogPdf(s.data.Emu[d])
+			ll += s.emuComp[k].gauss.LogPdfScratch(s.data.Emu[d], s.scr.emuDiff)
 		}
 	}
 	return ll

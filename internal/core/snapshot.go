@@ -286,6 +286,12 @@ func ResumeSampler(data *Data, cfg Config, sn *Snapshot) (*Sampler, error) {
 		}
 		s.gelComp[k], s.emuComp[k] = gc, ec
 	}
+	// The scratch banks mirror the components; a resumed sampler must
+	// score its first y phase against the restored parameters, not the
+	// zero-valued bank initScratch left behind.
+	if err := s.refreshBanks(); err != nil {
+		return nil, fmt.Errorf("core: snapshot component banks: %w", err)
+	}
 	return s, nil
 }
 

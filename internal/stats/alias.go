@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// AliasTable is a Walker/Vose alias table: O(n) to build from a weight
+// vector, O(1) per draw regardless of n. It pays off when the same
+// distribution is sampled many times — exactly the shape of fold-in
+// against a frozen model, where the static α·φ_w part of the topic
+// weights never changes between requests.
+//
+// A table is immutable after construction and safe for concurrent
+// draws (the RNG carries all mutable state).
+type AliasTable struct {
+	prob  []float64 // acceptance threshold per column, in [0,1]
+	alias []int32   // fallback index per column
+	total float64   // sum of the input weights
+}
+
+// NewAliasTable builds an alias table over the non-negative weights w
+// using Vose's stable two-worklist construction. Weights need not be
+// normalized; zero weights are legal (their columns redirect with
+// probability 1). Errors on empty, negative, NaN, Inf or all-zero
+// input.
+func NewAliasTable(w []float64) (*AliasTable, error) {
+	n := len(w)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: alias table needs at least one weight")
+	}
+	total := 0.0
+	for i, x := range w {
+		if x < 0 || math.IsNaN(x) {
+			return nil, fmt.Errorf("stats: alias weight %d is negative or NaN", i)
+		}
+		if math.IsInf(x, 1) {
+			return nil, fmt.Errorf("stats: alias weight %d is +Inf", i)
+		}
+		total += x
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("stats: alias weights sum to zero")
+	}
+	if math.IsInf(total, 1) {
+		return nil, fmt.Errorf("stats: alias weights overflow to +Inf")
+	}
+
+	t := &AliasTable{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+		total: total,
+	}
+	// Scaled weights: mean 1 per column. Partition into small (<1) and
+	// large (≥1) worklists, then repeatedly top a small column up from a
+	// large one.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	scale := float64(n) / total
+	for i, x := range w {
+		scaled[i] = x * scale
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers are exactly-1 columns up to rounding; both residual
+	// lists saturate (the standard Vose treatment of float error).
+	for _, l := range large {
+		t.prob[l] = 1
+		t.alias[l] = l
+	}
+	for _, s := range small {
+		t.prob[s] = 1
+		t.alias[s] = s
+	}
+	return t, nil
+}
+
+// N returns the number of outcomes.
+func (t *AliasTable) N() int { return len(t.prob) }
+
+// Total returns the sum of the weights the table was built from.
+func (t *AliasTable) Total() float64 { return t.total }
+
+// AliasDraw samples one index from the table in O(1): a single uniform
+// picks the column with its integer part and accepts or redirects with
+// its fractional part.
+func (r *RNG) AliasDraw(t *AliasTable) int {
+	u := r.Float64() * float64(len(t.prob))
+	i := int(u)
+	if i >= len(t.prob) { // u==n·(1−ulp) edge after the multiply
+		i = len(t.prob) - 1
+	}
+	if u-float64(i) < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// GumbelMaxLog samples an index proportionally to exp(logw) via the
+// Gumbel-max trick: argmax_k logw[k] + G_k with G_k standard Gumbel
+// noise. It needs no exponentials of the weights and no normalization
+// — one log per index instead of one exp plus two reduction passes —
+// but consumes K uniforms where CategoricalLog consumes one, so it is
+// an opt-in alternative draw, not a bit-identical replacement. −Inf
+// weights are excluded; panics if all weights are −Inf.
+func (r *RNG) GumbelMaxLog(logw []float64) int {
+	best := math.Inf(-1)
+	bestI := -1
+	for i, x := range logw {
+		if math.IsInf(x, -1) {
+			continue
+		}
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		g := x - math.Log(-math.Log(u))
+		if g > best {
+			best = g
+			bestI = i
+		}
+	}
+	if bestI < 0 {
+		panic("stats: GumbelMaxLog all weights -Inf")
+	}
+	return bestI
+}
+
+// GumbelTopK writes the indices of the k largest Gumbel-perturbed
+// log-weights into out (length ≥ k) in decreasing perturbed order —
+// equivalent to sampling k distinct indices without replacement with
+// probabilities proportional to exp(logw). Returns the number written
+// (less than k when fewer than k weights are finite).
+func (r *RNG) GumbelTopK(logw []float64, k int, out []int) int {
+	if k <= 0 {
+		return 0
+	}
+	if k > len(logw) {
+		k = len(logw)
+	}
+	// Selection into a small parallel key slice: k is tiny (top terms,
+	// beam widths), so insertion into a sorted prefix beats a heap.
+	keys := make([]float64, 0, k)
+	n := 0
+	for i, x := range logw {
+		if math.IsInf(x, -1) {
+			continue
+		}
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		g := x - math.Log(-math.Log(u))
+		if n < k {
+			keys = append(keys, g)
+			out[n] = i
+			n++
+			for j := n - 1; j > 0 && keys[j] > keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+			continue
+		}
+		if g <= keys[k-1] {
+			continue
+		}
+		keys[k-1] = g
+		out[k-1] = i
+		for j := k - 1; j > 0 && keys[j] > keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return n
+}

@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// chiSquaredStat returns the Pearson statistic of observed counts
+// against expected probabilities over n draws.
+func chiSquaredStat(counts []int, probs []float64, n int) float64 {
+	stat := 0.0
+	for i, c := range counts {
+		e := probs[i] * float64(n)
+		if e == 0 {
+			if c != 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		d := float64(c) - e
+		stat += d * d / e
+	}
+	return stat
+}
+
+// TestAliasDrawFrequencies is the distribution-correctness gate for the
+// alias method: on a fixed seed, AliasDraw and Categorical over the
+// same weights must both pass a chi-squared test against the target
+// distribution (the draws themselves differ — the alias path consumes
+// the generator differently and is opt-in for exactly that reason).
+func TestAliasDrawFrequencies(t *testing.T) {
+	w := []float64{0.5, 3, 0, 1.25, 7, 0.01, 2.2}
+	tab, err := NewAliasTable(w)
+	if err != nil {
+		t.Fatalf("NewAliasTable: %v", err)
+	}
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	probs := make([]float64, len(w))
+	for i, v := range w {
+		probs[i] = v / total
+	}
+	const n = 200000
+	// Critical value for df=6 at significance 0.001 is 22.46.
+	const crit = 22.46
+	for name, draw := range map[string]func(r *RNG) int{
+		"alias":       func(r *RNG) int { return r.AliasDraw(tab) },
+		"categorical": func(r *RNG) int { return r.Categorical(w) },
+	} {
+		r := NewRNG(424242, 7)
+		counts := make([]int, len(w))
+		for i := 0; i < n; i++ {
+			counts[draw(r)]++
+		}
+		if counts[2] != 0 {
+			t.Fatalf("%s: drew a zero-weight index %d times", name, counts[2])
+		}
+		if stat := chiSquaredStat(counts, probs, n); stat > crit {
+			t.Errorf("%s: chi-squared %.2f > %.2f against target distribution", name, stat, crit)
+		}
+	}
+}
+
+// TestGumbelMaxLogFrequencies checks the Gumbel-max draw against the
+// softmax of the log-weights, alongside CategoricalLog on the same
+// weights, both via chi-squared on a fixed seed.
+func TestGumbelMaxLogFrequencies(t *testing.T) {
+	logw := []float64{-1.5, 0.3, math.Inf(-1), 2.0, -0.7}
+	maxW := 2.0
+	probs := make([]float64, len(logw))
+	total := 0.0
+	for i, lw := range logw {
+		probs[i] = math.Exp(lw - maxW)
+		total += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= total
+	}
+	const n = 200000
+	// Critical value for df=3 at significance 0.001 is 16.27.
+	const crit = 16.27
+	for name, draw := range map[string]func(r *RNG) int{
+		"gumbel":         func(r *RNG) int { return r.GumbelMaxLog(logw) },
+		"categoricalLog": func(r *RNG) int { return r.CategoricalLog(logw) },
+	} {
+		r := NewRNG(99, 3)
+		counts := make([]int, len(logw))
+		for i := 0; i < n; i++ {
+			counts[draw(r)]++
+		}
+		if counts[2] != 0 {
+			t.Fatalf("%s: drew a -Inf index %d times", name, counts[2])
+		}
+		if stat := chiSquaredStat(counts, probs, n); stat > crit {
+			t.Errorf("%s: chi-squared %.2f > %.2f against softmax", name, stat, crit)
+		}
+	}
+}
+
+// TestGumbelTopK checks the without-replacement contract (distinct
+// indices, finite weights only, honest count) and that the first
+// element's marginal matches the softmax — for k=1 Gumbel-top-k is
+// exactly Gumbel-max.
+func TestGumbelTopK(t *testing.T) {
+	logw := []float64{0.5, math.Inf(-1), 1.2, -0.3}
+	r := NewRNG(7, 7)
+	out := make([]int, 3)
+	for trial := 0; trial < 2000; trial++ {
+		got := r.GumbelTopK(logw, 3, out)
+		if got != 3 {
+			t.Fatalf("GumbelTopK returned %d indices, want 3", got)
+		}
+		seen := map[int]bool{}
+		for _, i := range out[:got] {
+			if i == 1 {
+				t.Fatal("GumbelTopK returned a -Inf index")
+			}
+			if seen[i] {
+				t.Fatalf("GumbelTopK repeated index %d", i)
+			}
+			seen[i] = true
+		}
+	}
+	if got := r.GumbelTopK(logw, 4, make([]int, 4)); got != 3 {
+		t.Fatalf("GumbelTopK over 3 finite weights wrote %d, want 3", got)
+	}
+}
+
+// TestAliasTableErrors enumerates the rejected constructions.
+func TestAliasTableErrors(t *testing.T) {
+	for name, w := range map[string][]float64{
+		"empty":    {},
+		"negative": {1, -0.5},
+		"nan":      {1, math.NaN()},
+		"posinf":   {1, math.Inf(1)},
+		"allzero":  {0, 0, 0},
+	} {
+		if _, err := NewAliasTable(w); err == nil {
+			t.Errorf("%s: NewAliasTable accepted %v", name, w)
+		}
+	}
+}
+
+// TestAliasTableSingleEntry pins the degenerate one-outcome table.
+func TestAliasTableSingleEntry(t *testing.T) {
+	tab, err := NewAliasTable([]float64{3.5})
+	if err != nil {
+		t.Fatalf("NewAliasTable: %v", err)
+	}
+	r := NewRNG(1, 1)
+	for i := 0; i < 100; i++ {
+		if got := r.AliasDraw(tab); got != 0 {
+			t.Fatalf("single-entry draw = %d", got)
+		}
+	}
+}
+
+// FuzzAliasTable drives alias-table construction with arbitrary weight
+// vectors: construction must either reject the input or produce a
+// table whose draws always land on positive-weight indices. Seeds
+// cover the degenerate shapes named in the issue — zeros, single
+// entry, near-overflow magnitudes.
+func FuzzAliasTable(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})                                                         // single zero weight
+	f.Add([]byte{63, 240, 0, 0, 0, 0, 0, 0})                                                      // single 1.0
+	f.Add([]byte{127, 239, 255, 255, 255, 255, 255, 255, 127, 239, 255, 255, 255, 255, 255, 255}) // two ~1.8e308 weights: near-overflow total
+	f.Add([]byte{63, 240, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})                              // {1, 0}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 8
+		if n > 256 {
+			n = 256
+		}
+		w := make([]float64, n)
+		for i := range w {
+			bits := uint64(0)
+			for b := 0; b < 8; b++ {
+				bits = bits<<8 | uint64(data[i*8+b])
+			}
+			w[i] = math.Float64frombits(bits)
+		}
+		tab, err := NewAliasTable(w)
+		if err != nil {
+			return
+		}
+		if tab.N() != len(w) {
+			t.Fatalf("table has %d outcomes for %d weights", tab.N(), len(w))
+		}
+		r := NewRNG(11, 11)
+		for i := 0; i < 64; i++ {
+			k := r.AliasDraw(tab)
+			if k < 0 || k >= len(w) {
+				t.Fatalf("draw out of range: %d", k)
+			}
+			if !(w[k] > 0) {
+				t.Fatalf("drew index %d with weight %v", k, w[k])
+			}
+		}
+	})
+}

@@ -122,6 +122,43 @@ func (c *Cholesky) Inverse() *Mat {
 	return inv
 }
 
+// InverseInto writes A⁻¹ into inv without allocating, using e, y and x
+// (each length ≥ dim) as substitution scratch. It solves the same unit
+// columns in the same order as Inverse, so inv is bit-identical to the
+// allocating result.
+func (c *Cholesky) InverseInto(inv *Mat, e, y, x []float64) {
+	n := c.L.R
+	if inv.R != n || inv.C != n || len(e) < n || len(y) < n || len(x) < n {
+		panic("stats: dim mismatch in InverseInto")
+	}
+	e, y, x = e[:n], y[:n], x[:n]
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		// SolveVec's two substitutions, inlined over the scratch.
+		for i := 0; i < n; i++ {
+			s := e[i]
+			for k := 0; k < i; k++ {
+				s -= c.L.At(i, k) * y[k]
+			}
+			y[i] = s / c.L.At(i, i)
+		}
+		for i := n - 1; i >= 0; i-- {
+			s := y[i]
+			for k := i + 1; k < n; k++ {
+				s -= c.L.At(k, i) * x[k]
+			}
+			x[i] = s / c.L.At(i, i)
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, x[i])
+		}
+	}
+	inv.Symmetrize()
+}
+
 // LogDet returns log|A| = 2·Σ log L_ii.
 func (c *Cholesky) LogDet() float64 {
 	s := 0.0
@@ -283,5 +320,30 @@ func RegularizeSPD(a *Mat, jitter float64) *Mat {
 	// that stays indefinite through 60 jitter doublings means the chain
 	// state is garbage, and a supervisor recovering the panic needs the
 	// sentinel to classify it as a health event rather than a crash.
+	panic(fmt.Errorf("stats: RegularizeSPD failed to produce a positive definite matrix after 60 jitter doublings: %w", ErrNumericalHealth))
+}
+
+// RegularizeSPDInto is RegularizeSPD writing the regularized matrix
+// into dst and its Cholesky factor into chol (both preallocated, dim
+// matching a). The copy, symmetrization and jitter schedule are those
+// of RegularizeSPD, and the factorization attempt per jitter step runs
+// the identical pivot recurrence, so dst is bit-identical to the
+// allocating result — with the factor of the accepted matrix kept
+// instead of thrown away, saving the caller a refactorization.
+func RegularizeSPDInto(dst, a *Mat, jitter float64, chol *Cholesky) {
+	if dst.R != a.R || dst.C != a.C {
+		panic("stats: bad destination shape in RegularizeSPDInto")
+	}
+	copy(dst.Data, a.Data)
+	dst.Symmetrize()
+	for attempt := 0; attempt < 60; attempt++ {
+		if err := CholeskyInto(chol.L, dst); err == nil {
+			return
+		}
+		for i := 0; i < dst.R; i++ {
+			dst.Set(i, i, dst.At(i, i)+jitter)
+		}
+		jitter *= 2
+	}
 	panic(fmt.Errorf("stats: RegularizeSPD failed to produce a positive definite matrix after 60 jitter doublings: %w", ErrNumericalHealth))
 }

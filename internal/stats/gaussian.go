@@ -31,6 +31,31 @@ func NewGaussian(mean []float64, precision *Mat) (*Gaussian, error) {
 	return &Gaussian{Mean: CloneVec(mean), Precision: precision.Clone(), chol: c, logDet: c.LogDet()}, nil
 }
 
+// SetParams refills g in place from a mean and positive definite
+// precision matrix, reusing the existing mean/precision/factor storage
+// when the dimension matches (allocating it on first use). The factor
+// and log-determinant come from the same recurrences NewGaussian runs,
+// so a reused Gaussian is bit-identical to a freshly constructed one.
+// Not safe concurrently with readers of g.
+func (g *Gaussian) SetParams(mean []float64, precision *Mat) error {
+	d := len(mean)
+	if precision.R != d || precision.C != d {
+		return fmt.Errorf("stats: precision is %d×%d but mean has dim %d", precision.R, precision.C, d)
+	}
+	if g.chol == nil || len(g.Mean) != d {
+		g.Mean = make([]float64, d)
+		g.Precision = NewMat(d, d)
+		g.chol = &Cholesky{L: NewMat(d, d)}
+	}
+	if err := CholeskyInto(g.chol.L, precision); err != nil {
+		return fmt.Errorf("stats: precision matrix: %w", err)
+	}
+	copy(g.Mean, mean)
+	copy(g.Precision.Data, precision.Data)
+	g.logDet = g.chol.LogDet()
+	return nil
+}
+
 // NewGaussianCov builds a Gaussian from a mean and a covariance matrix.
 func NewGaussianCov(mean []float64, cov *Mat) (*Gaussian, error) {
 	prec, err := Inverse(RegularizeSPD(cov, 1e-12))

@@ -128,6 +128,46 @@ func (m *Mat) Scale(s float64) *Mat {
 	return out
 }
 
+// MulInto writes the matrix product a·b into dst, the allocation-free
+// counterpart of Mul: the skip of zero left-operands and the k-middle
+// accumulation order are identical, so dst is bit-for-bit what Mul
+// would return. dst must not alias a or b.
+func MulInto(dst, a, b *Mat) {
+	if a.C != b.R {
+		panic(fmt.Sprintf("stats: dim mismatch in MulInto: %d×%d · %d×%d", a.R, a.C, b.R, b.C))
+	}
+	if dst.R != a.R || dst.C != b.C {
+		panic("stats: bad destination shape in MulInto")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.R; i++ {
+		for k := 0; k < a.C; k++ {
+			v := a.At(i, k)
+			if v == 0 {
+				continue
+			}
+			for j := 0; j < b.C; j++ {
+				dst.Data[i*dst.C+j] += v * b.At(k, j)
+			}
+		}
+	}
+}
+
+// TransposeInto writes aᵀ into dst without allocating. dst must not
+// alias a.
+func TransposeInto(dst, a *Mat) {
+	if dst.R != a.C || dst.C != a.R {
+		panic("stats: bad destination shape in TransposeInto")
+	}
+	for i := 0; i < a.R; i++ {
+		for j := 0; j < a.C; j++ {
+			dst.Set(j, i, a.At(i, j))
+		}
+	}
+}
+
 // Mul returns the matrix product m·b.
 func (m *Mat) Mul(b *Mat) *Mat {
 	if m.C != b.R {

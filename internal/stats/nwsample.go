@@ -1,0 +1,205 @@
+package stats
+
+import "math"
+
+// NWDrawScratch holds every intermediate of a posterior Normal-Wishart
+// draw — the posterior-update buffers, the regularization/factor
+// workspace, the Bartlett matrices and the substitution columns — so a
+// Gibbs sweep that redraws K components per iteration performs the
+// whole posterior-and-sample chain without allocating. Mu and Lambda
+// are the draw outputs; both are overwritten by the next
+// PosteriorSampleInto call, so callers that keep a draw must copy it
+// out. A scratch belongs to one goroutine.
+type NWDrawScratch struct {
+	post *PosteriorScratch
+
+	muC []float64 // posterior mean μ'
+	sC  *Mat      // posterior scale S'
+
+	reg  *Mat      // RegularizeSPD working copy
+	chol *Cholesky // shared factor buffer
+
+	e, yv, xv []float64 // InverseInto substitution columns
+
+	bart   *Mat // Bartlett factor A
+	la     *Mat // L·A
+	laT    *Mat // (L·A)ᵀ
+	wish   *Mat // Wishart draw before regularization
+	scaled *Mat // β·Λ
+	cov    *Mat // (β·Λ)⁻¹
+
+	z []float64 // standard normals for the mean draw
+
+	// Mu and Lambda hold the sampled mean and precision after a
+	// PosteriorSampleInto call, valid until the next one.
+	Mu     []float64
+	Lambda *Mat
+}
+
+// NewDrawScratch returns draw scratch sized for this prior's dimension.
+func (nw *NormalWishart) NewDrawScratch() *NWDrawScratch {
+	d := nw.Dim()
+	return &NWDrawScratch{
+		post:   nw.NewPosteriorScratch(),
+		muC:    make([]float64, d),
+		sC:     NewMat(d, d),
+		reg:    NewMat(d, d),
+		chol:   &Cholesky{L: NewMat(d, d)},
+		e:      make([]float64, d),
+		yv:     make([]float64, d),
+		xv:     make([]float64, d),
+		bart:   NewMat(d, d),
+		la:     NewMat(d, d),
+		laT:    NewMat(d, d),
+		wish:   NewMat(d, d),
+		scaled: NewMat(d, d),
+		cov:    NewMat(d, d),
+		z:      make([]float64, d),
+		Mu:     make([]float64, d),
+		Lambda: NewMat(d, d),
+	}
+}
+
+// addScatter accumulates m += diff·diffᵀ, the AddOuterScaled(1, diff,
+// diff) call of the posterior update with the scale multiply dropped
+// (1·x is exactly x) and the row indexing hoisted; rows with a zero
+// pivot are skipped exactly as AddOuterScaled skips them. The paper's
+// feature dimensions run unrolled; every per-element product matches
+// the generic form, so the scatter is bit-identical either way.
+func addScatter(m *Mat, diff []float64) {
+	data := m.Data
+	switch len(diff) {
+	case 3:
+		d0, d1, d2 := diff[0], diff[1], diff[2]
+		if d0 != 0 {
+			data[0] += d0 * d0
+			data[1] += d0 * d1
+			data[2] += d0 * d2
+		}
+		if d1 != 0 {
+			data[3] += d1 * d0
+			data[4] += d1 * d1
+			data[5] += d1 * d2
+		}
+		if d2 != 0 {
+			data[6] += d2 * d0
+			data[7] += d2 * d1
+			data[8] += d2 * d2
+		}
+	default:
+		d := len(diff)
+		for i := 0; i < d; i++ {
+			av := diff[i]
+			if av == 0 {
+				continue
+			}
+			row := data[i*d : i*d+d : i*d+d]
+			for j := 0; j < d; j++ {
+				row[j] += av * diff[j]
+			}
+		}
+	}
+}
+
+// PosteriorSampleInto draws (μ, Λ) from the Normal-Wishart posterior
+// given observations xs, writing the sample into scr.Mu and scr.Lambda.
+// It is the fused, allocation-free form of
+//
+//	mu, lambda := nw.PosteriorWith(xs, scr).Sample(r)
+//
+// and is bit-identical to it: the posterior update reuses the exact
+// PosteriorWith arithmetic, each Regularize/Cholesky/Inverse step runs
+// the Into variant of the primitive the allocating chain calls (same
+// recurrences, same operation order), and the Bartlett factor and mean
+// draw consume the generator in the same order — so the chain of draws,
+// and therefore the fitted model, is unchanged.
+func (nw *NormalWishart) PosteriorSampleInto(r *RNG, xs [][]float64, scr *NWDrawScratch) {
+	d := nw.Dim()
+	n := len(xs)
+	var betaC, nuC float64
+	muC := scr.muC[:d]
+	if n == 0 {
+		// Posterior returns a clone of the prior; the values Sample
+		// consumes are the prior's own.
+		betaC, nuC = nw.Beta, nw.Nu
+		copy(muC, nw.Mu0)
+		copy(scr.sC.Data, nw.S.Data)
+	} else {
+		ps := scr.post
+		mean := ps.mean[:d]
+		for i := range mean {
+			mean[i] = 0
+		}
+		for _, x := range xs {
+			if len(x) != d {
+				panic("stats: dim mismatch in NormalWishart.PosteriorSampleInto")
+			}
+			for i, v := range x {
+				mean[i] += v
+			}
+		}
+		for i := range mean {
+			mean[i] /= float64(n)
+		}
+		scatter := ps.scatter
+		for i := range scatter.Data {
+			scatter.Data[i] = 0
+		}
+		diff := ps.diff[:d]
+		for _, x := range xs {
+			for i := range diff {
+				diff[i] = x[i] - mean[i]
+			}
+			addScatter(scatter, diff)
+		}
+		fn := float64(n)
+		betaC = nw.Beta + fn
+		nuC = nw.Nu + fn
+		for i := range muC {
+			muC[i] = (nw.Beta*nw.Mu0[i] + fn*mean[i]) / betaC
+		}
+		sInv := ps.sInv
+		copy(sInv.Data, nw.priorSInv().Data)
+		for i := range diff {
+			diff[i] = mean[i] - nw.Mu0[i]
+		}
+		sInv.AddInPlace(scatter)
+		sInv.AddOuterScaled(nw.Beta*fn/betaC, diff, diff)
+		// S' = Inverse(RegularizeSPD(S'⁻¹, 1e-12)), via the factor the
+		// regularizer already computed.
+		RegularizeSPDInto(scr.reg, sInv, 1e-12, scr.chol)
+		scr.chol.InverseInto(scr.sC, scr.e, scr.yv, scr.xv)
+	}
+
+	// Λ ~ Wishart(ν', S') by the Bartlett decomposition, exactly as
+	// RNG.Wishart: factor the regularized scale, fill A diagonal-first
+	// per row, then Λ = (L·A)(L·A)ᵀ symmetrized.
+	RegularizeSPDInto(scr.reg, scr.sC, 1e-12, scr.chol)
+	a := scr.bart
+	for i := range a.Data {
+		a.Data[i] = 0
+	}
+	for i := 0; i < d; i++ {
+		a.Set(i, i, math.Sqrt(r.ChiSquared(nuC-float64(i))))
+		for j := 0; j < i; j++ {
+			a.Set(i, j, r.StdNormal())
+		}
+	}
+	MulInto(scr.la, scr.chol.L, a)
+	TransposeInto(scr.laT, scr.la)
+	MulInto(scr.wish, scr.la, scr.laT)
+	scr.wish.Symmetrize()
+	RegularizeSPDInto(scr.Lambda, scr.wish, 1e-10, scr.chol)
+
+	// μ | Λ ~ N(μ', (β'·Λ)⁻¹): scale, factor (MustCholesky semantics —
+	// panic on failure), invert, regularize, draw.
+	for i, v := range scr.Lambda.Data {
+		scr.scaled.Data[i] = v * betaC
+	}
+	if err := CholeskyInto(scr.chol.L, scr.scaled); err != nil {
+		panic(err)
+	}
+	scr.chol.InverseInto(scr.cov, scr.e, scr.yv, scr.xv)
+	RegularizeSPDInto(scr.reg, scr.cov, 1e-12, scr.chol)
+	r.MVNormalCholInto(scr.Mu[:d], muC, scr.chol, scr.z)
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func testDrawPrior(t *testing.T, d int) *NormalWishart {
+	t.Helper()
+	mu0 := make([]float64, d)
+	s := NewMat(d, d)
+	for i := 0; i < d; i++ {
+		mu0[i] = 0.3 * float64(i+1)
+		s.Set(i, i, 1.0+0.1*float64(i))
+		for j := 0; j < i; j++ {
+			s.Set(i, j, 0.05)
+			s.Set(j, i, 0.05)
+		}
+	}
+	nw, err := NewNormalWishart(mu0, 0.7, float64(d)+2.5, s)
+	if err != nil {
+		t.Fatalf("prior: %v", err)
+	}
+	return nw
+}
+
+// TestPosteriorSampleIntoBitIdentical pins the fused draw to the
+// allocating chain it replaces: with identically seeded generators,
+// PosteriorSampleInto must reproduce PosteriorWith(...).Sample(...)
+// bit for bit — including on an empty observation set (prior draw) and
+// across repeated reuse of one scratch.
+func TestPosteriorSampleIntoBitIdentical(t *testing.T) {
+	for _, d := range []int{3, 6} {
+		nw := testDrawPrior(t, d)
+		gen := NewRNG(11, 7)
+		scr := nw.NewDrawScratch()
+		post := nw.NewPosteriorScratch()
+		for _, n := range []int{0, 1, 2, 17} {
+			xs := make([][]float64, n)
+			for i := range xs {
+				x := make([]float64, d)
+				for j := range x {
+					x[j] = gen.Normal(float64(j), 1.5)
+				}
+				xs[i] = x
+			}
+			r1 := NewRNG(99, uint64(n))
+			r2 := NewRNG(99, uint64(n))
+			wantMu, wantLam := nw.PosteriorWith(xs, post).Sample(r1)
+			nw.PosteriorSampleInto(r2, xs, scr)
+			for i := range wantMu {
+				if scr.Mu[i] != wantMu[i] {
+					t.Fatalf("d=%d n=%d: mu[%d] = %v, want %v", d, n, i, scr.Mu[i], wantMu[i])
+				}
+			}
+			for i, v := range wantLam.Data {
+				if scr.Lambda.Data[i] != v {
+					t.Fatalf("d=%d n=%d: lambda[%d] = %v, want %v", d, n, i, scr.Lambda.Data[i], v)
+				}
+			}
+			if g1, g2 := r1.Float64(), r2.Float64(); g1 != g2 {
+				t.Fatalf("d=%d n=%d: generators diverged (%v vs %v)", d, n, g1, g2)
+			}
+		}
+	}
+}
+
+// TestSetParamsMatchesNewGaussian checks that refilling a Gaussian in
+// place reproduces a freshly constructed one exactly, including the
+// cached factorization used by LogPdf.
+func TestSetParamsMatchesNewGaussian(t *testing.T) {
+	gen := NewRNG(5, 5)
+	var g Gaussian
+	for trial := 0; trial < 4; trial++ {
+		d := 3 + trial%2*3
+		mean := make([]float64, d)
+		prec := NewMat(d, d)
+		for i := range mean {
+			mean[i] = gen.Normal(0, 2)
+			prec.Set(i, i, 2.0+gen.Float64())
+		}
+		want, err := NewGaussian(mean, prec)
+		if err != nil {
+			t.Fatalf("NewGaussian: %v", err)
+		}
+		if err := g.SetParams(mean, prec); err != nil {
+			t.Fatalf("SetParams: %v", err)
+		}
+		x := make([]float64, d)
+		for i := range x {
+			x[i] = gen.Normal(0, 1)
+		}
+		if got, w := g.LogPdf(x), want.LogPdf(x); got != w {
+			t.Fatalf("trial %d: LogPdf = %v, want %v", trial, got, w)
+		}
+	}
+	bad := NewMat(3, 3) // all-zero: not positive definite
+	if err := g.SetParams(make([]float64, 3), bad); err == nil {
+		t.Fatal("SetParams accepted a singular precision")
+	}
+}
+
+// TestScoreTopicsBitIdentical pins the fused per-topic weight build to
+// the three-pass sequence it replaces, for the specialized 3×6 shape,
+// the emulsion-free case, generic dimensions, and both unit and
+// non-unit emulsion weights.
+func TestScoreTopicsBitIdentical(t *testing.T) {
+	gen := NewRNG(3, 1)
+	build := func(k, d int) *GaussianBank {
+		gs := make([]*Gaussian, k)
+		for i := range gs {
+			mean := make([]float64, d)
+			prec := NewMat(d, d)
+			for j := range mean {
+				mean[j] = gen.Normal(0, 1)
+				prec.Set(j, j, 1.5+gen.Float64())
+			}
+			for a := 0; a < d; a++ {
+				for b := 0; b < a; b++ {
+					v := 0.1 * gen.Normal(0, 1)
+					prec.Set(a, b, v)
+					prec.Set(b, a, v)
+				}
+			}
+			prec = RegularizeSPD(prec, 1e-8)
+			g, err := NewGaussian(mean, prec)
+			if err != nil {
+				t.Fatalf("component: %v", err)
+			}
+			gs[i] = g
+		}
+		bank := NewGaussianBank(k, d)
+		if err := bank.SetFromGaussians(gs); err != nil {
+			t.Fatalf("bank: %v", err)
+		}
+		return bank
+	}
+	const k = 7
+	logTab := make([]float64, 30)
+	for c := range logTab {
+		logTab[c] = math.Log(float64(c) + 0.4)
+	}
+	ndk := []int{0, 3, 1, 29, 7, 2, 11}
+	for _, dims := range [][2]int{{3, 6}, {4, 5}} {
+		gel := build(k, dims[0])
+		emu := build(k, dims[1])
+		xg, xe := make([]float64, dims[0]), make([]float64, dims[1])
+		for i := range xg {
+			xg[i] = gen.Normal(0, 1)
+		}
+		for i := range xe {
+			xe[i] = gen.Normal(0, 1)
+		}
+		gd, ed := make([]float64, dims[0]), make([]float64, dims[1])
+		for _, w := range []float64{1, 0.35} {
+			for _, withEmu := range []bool{true, false} {
+				want := make([]float64, k)
+				for i := range want {
+					want[i] = logTab[ndk[i]]
+				}
+				gel.AddLogPdf(want, xg, 1, gd)
+				eb := emu
+				if !withEmu {
+					eb = nil
+				} else {
+					emu.AddLogPdf(want, xe, w, ed)
+				}
+				got := make([]float64, k)
+				ScoreTopics(got, logTab, ndk, gel, xg, gd, eb, xe, w, ed)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("dims=%v w=%v emu=%v: out[%d] = %v, want %v",
+							dims, w, withEmu, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -168,10 +168,71 @@ func (r *RNG) Categorical(w []float64) int {
 	return len(w) - 1
 }
 
+// CategoricalFast is Categorical without the validation pass, for hot
+// loops whose weights are non-negative and finite by construction
+// (counts times probabilities, exponentials). The total is summed in
+// the same index order and the inversion scan is unchanged, so for
+// valid weights the draw is bit-identical to Categorical — it consumes
+// one uniform and selects the same index. Invalid weights (negative,
+// NaN) silently skew the draw instead of panicking; callers own that
+// invariant.
+func (r *RNG) CategoricalFast(w []float64) int {
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if u < acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
 // CategoricalLog samples an index from unnormalized log-weights using
 // the log-sum-exp trick; robust when densities underflow.
 func (r *RNG) CategoricalLog(logw []float64) int {
 	return r.CategoricalLogScratch(logw, make([]float64, len(logw)))
+}
+
+// CategoricalLogFused is CategoricalLogScratch with the
+// exponentiation, total and inversion fused into two passes instead of
+// four. The max scan, the per-index exp(x−m) values, the summation
+// order of the total and the cumulative inversion are all unchanged,
+// so the draw is bit-identical to CategoricalLogScratch (and therefore
+// CategoricalLog) — it only skips the redundant re-walks and the
+// validation branches, which the exponential makes impossible to
+// trigger. Panics if every weight is −Inf. logw and scratch may not
+// alias.
+func (r *RNG) CategoricalLogFused(logw, scratch []float64) int {
+	m := math.Inf(-1)
+	for _, x := range logw {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		panic("stats: CategoricalLog all weights -Inf")
+	}
+	w := scratch[:len(logw)]
+	total := 0.0
+	for i, x := range logw {
+		e := math.Exp(x - m)
+		w[i] = e
+		total += e
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if u < acc {
+			return i
+		}
+	}
+	return len(w) - 1
 }
 
 // CategoricalLogScratch is CategoricalLog with a caller-provided
@@ -212,6 +273,29 @@ func (r *RNG) MVNormalChol(mu []float64, chol *Cholesky) []float64 {
 		out[i] = s
 	}
 	return out
+}
+
+// MVNormalCholInto is MVNormalChol writing the sample into out using z
+// (length ≥ dim) as the standard-normal scratch. The normals are drawn
+// in the same order and the lower-triangular accumulation keeps its
+// left-associative sum, so the draw is bit-identical to MVNormalChol
+// from the same generator state.
+func (r *RNG) MVNormalCholInto(out, mu []float64, chol *Cholesky, z []float64) {
+	n := len(mu)
+	if len(out) < n || len(z) < n {
+		panic("stats: dim mismatch in MVNormalCholInto")
+	}
+	z = z[:n]
+	for i := range z {
+		z[i] = r.StdNormal()
+	}
+	for i := 0; i < n; i++ {
+		s := mu[i]
+		for k := 0; k <= i; k++ {
+			s += chol.L.At(i, k) * z[k]
+		}
+		out[i] = s
+	}
 }
 
 // MVNormal samples from N(mu, cov); cov must be positive definite.
