@@ -14,7 +14,7 @@ GO ?= go
 # ns/op.
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 3
-BENCH_PATTERN := BenchmarkServeAnnotate|BenchmarkServeAnnotateBatch|BenchmarkFoldInPlacement|BenchmarkFoldInSteadyState|BenchmarkGibbsSweep|BenchmarkBundleSave|BenchmarkBundleLoad|BenchmarkSupervisedFit|BenchmarkUnsupervisedFit|BenchmarkShardedFit
+BENCH_PATTERN := BenchmarkServeAnnotate|BenchmarkServeAnnotateBatch|BenchmarkFoldInPlacement|BenchmarkFoldInSteadyState|BenchmarkGibbsSweep|BenchmarkBundleSave|BenchmarkBundleLoad|BenchmarkSupervisedFit|BenchmarkUnsupervisedFit|BenchmarkShardedFit|BenchmarkIngestAck|BenchmarkServeAnnotateFreshRecipe
 
 .PHONY: build test verify smoke bench-serve bench bench-compare bench-all profile fuzz-smoke pgo pgo-check
 
@@ -55,9 +55,14 @@ pgo-check:
 # along (they are httptest-only and fast), as does the whole sharded-fit
 # suite — the orchestrator runs shard workers concurrently and its
 # chaos/crash-resume tests are exactly the paths that must not race.
+# The online-ingest suite joins the gate in full: the WAL's group-commit
+# fsync, the kill -9 chaos harness, and the background refit controller
+# are concurrent durability machinery — the exact code this smoke exists
+# to keep race-clean.
 smoke:
-	$(GO) test -race -run 'Health|Supervis|Rollback|Breaker|Robust|Store|Registry|Follower|Cache|Drain|Shard|Chaos|Stream' ./internal/core ./internal/resilience ./internal/pipeline ./internal/storage ./internal/serve
+	$(GO) test -race -run 'Health|Supervis|Rollback|Breaker|Robust|Store|Registry|Follower|Cache|Drain|Shard|Chaos|Stream|Ingest|WAL|Refit' ./internal/core ./internal/resilience ./internal/pipeline ./internal/storage ./internal/serve
 	$(GO) test -race ./internal/shardfit
+	$(GO) test -race ./internal/ingest
 	$(GO) test -race ./client
 
 # The pooled serve-path benchmark: tracks end-to-end /annotate
@@ -123,3 +128,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzTokenize -fuzztime 10s ./internal/textseg
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/units
 	$(GO) test -run '^$$' -fuzz FuzzAliasTable -fuzztime 10s ./internal/stats
+	$(GO) test -run '^$$' -fuzz FuzzWALRecord -fuzztime 10s ./internal/ingest

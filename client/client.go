@@ -169,7 +169,8 @@ func (c *Client) Status(ctx context.Context) (*serve.Stats, error) {
 // serving, ErrNotReady while it fits or drains. Poll it to wait for a
 // replica to come up.
 func (c *Client) Ready(ctx context.Context) error {
-	return c.once(ctx, http.MethodGet, "/readyz", nil, nil)
+	_, err := c.once(ctx, http.MethodGet, "/readyz", nil, nil)
+	return err
 }
 
 // call is the retrying request loop: each attempt rebuilds the
@@ -178,14 +179,24 @@ func (c *Client) Ready(ctx context.Context) error {
 // the caller's context bounds everything — a cancellation mid-wait
 // returns immediately with the last error noted.
 func (c *Client) call(ctx context.Context, method, path string, body []byte, out any) error {
+	_, err := c.callStatus(ctx, method, path, body, out)
+	return err
+}
+
+// callStatus is call exposing the final attempt's HTTP status code —
+// the ingest routes overload 2xx (202 accepted vs 200 duplicate), so
+// their typed wrappers need more than "success". Status is 0 when no
+// HTTP exchange completed.
+func (c *Client) callStatus(ctx context.Context, method, path string, body []byte, out any) (int, error) {
 	var last error
+	var status int
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return stopRetry(err, last)
+			return status, stopRetry(err, last)
 		}
-		last = c.once(ctx, method, path, body, out)
+		status, last = c.once(ctx, method, path, body, out)
 		if last == nil || !retryable(last) || attempt >= len(c.delays) {
-			return last
+			return status, last
 		}
 		d := c.delays[attempt]
 		var ae *APIError
@@ -198,7 +209,7 @@ func (c *Client) call(ctx context.Context, method, path string, body []byte, out
 			case <-timer.C:
 			case <-ctx.Done():
 				timer.Stop()
-				return stopRetry(ctx.Err(), last)
+				return status, stopRetry(ctx.Err(), last)
 			}
 		}
 	}
@@ -214,14 +225,16 @@ func stopRetry(ctxErr, last error) error {
 // once performs a single HTTP exchange and maps the outcome: 2xx
 // decodes into out, anything else becomes an *APIError carrying the
 // status, the server's diagnostic line, and its Retry-After advice.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+// The returned status is the response's code, 0 when no response
+// arrived.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (int, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return fmt.Errorf("client: building request: %w", err)
+		return 0, fmt.Errorf("client: building request: %w", err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -231,24 +244,24 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		// The caller's own cancellation is not a transport fault and
 		// must not be retried on its behalf.
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return err
+			return 0, err
 		}
-		return &transportError{err: err}
+		return 0, &transportError{err: err}
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
 	if resp.StatusCode/100 != 2 {
-		return apiError(resp)
+		return resp.StatusCode, apiError(resp)
 	}
 	if out == nil {
-		return nil
+		return resp.StatusCode, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decoding %s response: %w", path, err)
+		return resp.StatusCode, fmt.Errorf("client: decoding %s response: %w", path, err)
 	}
-	return nil
+	return resp.StatusCode, nil
 }
 
 // apiError reads the diagnostic line and retry advice off a non-2xx

@@ -1,0 +1,66 @@
+// Typed ingest methods: submit recipes for durable online ingestion.
+// The wire structs are the server's own (serve.IngestAck and friends),
+// and the retry/Retry-After taxonomy is the shared call loop's —
+// ingest POSTs are idempotent by canonical recipe hash, so retrying a
+// 429/503/transport failure can at worst turn a lost ack into a
+// Duplicate answer, never a double record.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/recipe"
+	"repro/internal/serve"
+)
+
+// IngestReceipt is one recipe's ingest outcome. Accepted distinguishes
+// the server's 202 (a new durable record) from a 200 duplicate ack.
+type IngestReceipt struct {
+	serve.IngestAck
+	// Accepted is true when the server answered 202 Accepted — the
+	// recipe is newly and durably in the ingest log. False means the
+	// log already held it (see Duplicate).
+	Accepted bool `json:"-"`
+}
+
+// Ingest durably submits one recipe. A nil error means the server
+// fsynced the record (or already had it) before answering.
+func (c *Client) Ingest(ctx context.Context, r *recipe.Recipe) (*IngestReceipt, error) {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding recipe: %w", err)
+	}
+	var ack serve.IngestAck
+	status, err := c.callStatus(ctx, http.MethodPost, "/ingest", body, &ack)
+	if err != nil {
+		return nil, err
+	}
+	return &IngestReceipt{IngestAck: ack, Accepted: status == http.StatusAccepted}, nil
+}
+
+// IngestBatch durably submits up to MaxBatch recipes in one request.
+// The response is index-aligned; items fail individually (check
+// IngestBatchItem.Error/Status), so a non-nil error means the whole
+// request failed, not one recipe.
+func (c *Client) IngestBatch(ctx context.Context, rs []*recipe.Recipe) (*serve.IngestBatchResponse, error) {
+	if len(rs) == 0 {
+		return &serve.IngestBatchResponse{}, nil
+	}
+	if len(rs) > c.maxBatch {
+		return nil, fmt.Errorf("client: batch of %d recipes over the %d limit", len(rs), c.maxBatch)
+	}
+	body, err := json.Marshal(struct {
+		Recipes []*recipe.Recipe `json:"recipes"`
+	}{rs})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding batch: %w", err)
+	}
+	var resp serve.IngestBatchResponse
+	if err := c.call(ctx, http.MethodPost, "/ingest/batch", body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

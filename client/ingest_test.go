@@ -1,0 +1,151 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/recipe"
+	"repro/internal/serve"
+)
+
+// TestIngestAcceptedSentinel: a 202 answer surfaces Accepted=true, a
+// 200 duplicate answer Accepted=false with the original sequence —
+// the same wire struct, disambiguated by status.
+func TestIngestAcceptedSentinel(t *testing.T) {
+	var dup atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/ingest" {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		var rec recipe.Recipe
+		if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
+			t.Errorf("server could not decode the client's recipe: %v", err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if dup.Load() {
+			w.WriteHeader(http.StatusOK)
+			json.NewEncoder(w).Encode(serve.IngestAck{Seq: 1, Duplicate: true, RecordsSinceFit: 1})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(serve.IngestAck{Seq: 1, RecordsSinceFit: 1})
+	}))
+	defer ts.Close()
+	c := mustNew(t, ts.URL, Options{})
+
+	receipt, err := c.Ingest(context.Background(), jelly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !receipt.Accepted || receipt.Duplicate || receipt.Seq != 1 {
+		t.Fatalf("receipt = %+v", receipt)
+	}
+
+	dup.Store(true)
+	receipt, err = c.Ingest(context.Background(), jelly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if receipt.Accepted || !receipt.Duplicate || receipt.Seq != 1 {
+		t.Fatalf("duplicate receipt = %+v", receipt)
+	}
+}
+
+// TestIngestRetriedAfterLostAck: the idempotency story end to end — a
+// 503 (the "ack lost in flight" stand-in) is retried on the shared
+// schedule, and the retry's duplicate answer still reports the durable
+// sequence. At-least-once delivery, exactly-once records.
+func TestIngestRetriedAfterLostAck(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "draining; retry against a peer", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		json.NewEncoder(w).Encode(serve.IngestAck{Seq: 7, Duplicate: true, RecordsSinceFit: 3})
+	}))
+	defer ts.Close()
+
+	receipt, err := mustNew(t, ts.URL, fastRetry(3)).Ingest(context.Background(), jelly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d calls, want 2 (one failed, one retried)", calls.Load())
+	}
+	if receipt.Accepted || !receipt.Duplicate || receipt.Seq != 7 {
+		t.Fatalf("receipt after retry = %+v", receipt)
+	}
+}
+
+// TestIngestBatchRoundtrip: the batch call decodes the server's own
+// response type, and over-limit batches are refused before any bytes
+// hit the wire.
+func TestIngestBatchRoundtrip(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/ingest/batch" {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		var req struct {
+			Recipes []*recipe.Recipe `json:"recipes"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Recipes) != 2 {
+			t.Errorf("batch decode: %v (%d recipes)", err, len(req.Recipes))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(serve.IngestBatchResponse{
+			Results: []serve.IngestBatchItem{
+				{Index: 0, Seq: 1, Status: http.StatusAccepted},
+				{Index: 1, Seq: 1, Duplicate: true, Status: http.StatusOK},
+			},
+			Accepted: 1, Duplicates: 1,
+		})
+	}))
+	defer ts.Close()
+	c := mustNew(t, ts.URL, Options{MaxBatch: 2})
+
+	resp, err := c.IngestBatch(context.Background(), []*recipe.Recipe{jelly(), jelly()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 1 || resp.Duplicates != 1 || len(resp.Results) != 2 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if _, err := c.IngestBatch(context.Background(), []*recipe.Recipe{jelly(), jelly(), jelly()}); err == nil {
+		t.Error("over-limit batch accepted")
+	}
+	if resp, err := c.IngestBatch(context.Background(), nil); err != nil || len(resp.Results) != 0 {
+		t.Errorf("empty batch: %+v, %v", resp, err)
+	}
+}
+
+// TestIngestErrorTaxonomy: a 422 surfaces as ErrRecipe without
+// retries, like every other recipe-fault answer.
+func TestIngestErrorTaxonomy(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "ingest: recipe fault: no gelling agent", http.StatusUnprocessableEntity)
+	}))
+	defer ts.Close()
+
+	_, err := mustNew(t, ts.URL, fastRetry(3)).Ingest(context.Background(), jelly())
+	if !errors.Is(err, ErrRecipe) {
+		t.Fatalf("err = %v, want ErrRecipe", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("recipe fault retried: %d calls", calls.Load())
+	}
+}

@@ -4,6 +4,8 @@
 // SIGINT/SIGTERM:
 //
 //	POST /annotate      {recipe JSON}  → texture card
+//	POST /ingest        {recipe JSON}  → durable WAL append (with -ingest-dir)
+//	POST /ingest/batch  {recipes}      → batched durable appends
 //	GET  /topics                       → the fitted topics
 //	GET  /healthz                      → liveness (process is up)
 //	GET  /readyz                       → readiness (model fitted, not draining)
@@ -20,11 +22,21 @@
 // writes crash-safe checkpoints; with -resume it continues a
 // half-finished fit instead of starting over.
 //
+// With -ingest-dir the server accepts online corpus growth: POST
+// /ingest fsyncs each recipe into a durable WAL before acking, folds it
+// into the live model opportunistically, and — when a -store registry
+// is also configured — a background re-fit controller streams the base
+// corpus plus the WAL through the pipeline once -refit-records (or
+// -refit-age) accumulate past the watermark, publishes and promotes the
+// merged bundle so every follower rolls forward.
+//
 // Usage:
 //
 //	textureserver [-addr :8080] [-bundle model.bundle]
 //	              [-store fs:DIR|mem:] [-registry-poll 5s] [-generation-pin N]
 //	              [-scale 1.0] [-iters 300]
+//	              [-ingest-dir dir] [-refit-records 1000] [-refit-age 0]
+//	              [-refit-interval 15s] [-refit-base corpus.jsonl]
 //	              [-checkpoint-dir dir] [-checkpoint-every 25] [-resume]
 //	              [-supervise] [-max-restarts 3] [-sweep-timeout 0] [-max-ll-drop 0]
 //	              [-admin-token secret]
@@ -43,6 +55,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -52,6 +65,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/serve"
@@ -77,6 +91,11 @@ func main() {
 		maxLLDrop    = flag.Float64("max-ll-drop", 0, "supervised divergence threshold below the best sweep's log-likelihood (0 disables)")
 		shards       = flag.Int("shards", 1, "fit the startup corpus as this many supervised shards merged by sufficient statistics")
 		shardDir     = flag.String("shard-dir", "", "durable shard manifest + statistics directory for the startup fit (with -shards)")
+		ingestDir    = flag.String("ingest-dir", "", "durable ingest WAL directory; mounts POST /ingest and /ingest/batch")
+		refitRecords = flag.Uint64("refit-records", 1000, "trigger a background re-fit after this many accepted records past the watermark (with -ingest-dir and -store)")
+		refitAge     = flag.Duration("refit-age", 0, "trigger a re-fit once the oldest unfitted record is this old, regardless of count (0 disables)")
+		refitPoll    = flag.Duration("refit-interval", 15*time.Second, "re-fit trigger poll cadence")
+		refitBase    = flag.String("refit-base", "", "frozen JSONL base corpus re-fits grow the WAL on top of (empty: WAL records alone)")
 		adminToken   = flag.String("admin-token", "", "X-Admin-Token required by POST /admin/reload (empty: no token check)")
 		pool         = flag.Int("pool", runtime.GOMAXPROCS(0), "concurrent fold-in annotators")
 		maxBatch     = flag.Int("max-batch", 64, "max recipes per POST /annotate/batch (413 over)")
@@ -101,8 +120,16 @@ func main() {
 	if *genPin != 0 && *storeSpec == "" {
 		log.Fatal("textureserver: -generation-pin requires -store")
 	}
+	if *refitBase != "" && *ingestDir == "" {
+		log.Fatal("textureserver: -refit-base requires -ingest-dir")
+	}
+
+	// One registry shared by the server, the fitting pipeline, and the
+	// ingest manager, so /metrics is a single page.
+	metrics := obs.NewRegistry()
 
 	opts := serve.DefaultOptions()
+	opts.Metrics = metrics
 	opts.Pool = *pool
 	opts.MaxBatch = *maxBatch
 	opts.Cache = *cacheOn
@@ -121,6 +148,29 @@ func main() {
 			return pipeline.LoadBundleFile(*bundlePath)
 		}
 	}
+
+	// The ingest manager recovers the WAL (truncating any torn tail)
+	// before the server mounts its routes, so the first /ingest already
+	// sees the recovered sequence space.
+	var mgr *ingest.Manager
+	if *ingestDir != "" {
+		var err error
+		mgr, err = ingest.OpenManager(ingest.ManagerOptions{
+			Dir:      *ingestDir,
+			ShardDir: *shardDir,
+			Metrics:  metrics,
+		})
+		if err != nil {
+			log.Fatalf("textureserver: ingest: %v", err)
+		}
+		defer mgr.Close()
+		opts.Ingest = mgr
+		st := mgr.WAL().Stats()
+		logger.Info("ingest WAL recovered", "dir", *ingestDir,
+			"records", st.Records, "segments", st.Segments,
+			"last_seq", st.LastSeq, "watermark", mgr.Watermark())
+	}
+
 	srv := serve.NewPending(opts)
 
 	// Registry follower mode: the model comes from the store's promoted
@@ -128,6 +178,7 @@ func main() {
 	// the follower loop (started once the signal context exists) owns
 	// the model lifecycle end to end.
 	var follower *serve.Follower
+	var registry *storage.Registry
 	if *storeSpec != "" {
 		// A breaker cooldown of half the poll interval guarantees a
 		// recovered backend gets its half-open probe by the next poll, so
@@ -136,9 +187,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("textureserver: %v", err)
 		}
-		reg := storage.NewRegistry(st)
+		registry = storage.NewRegistry(st)
 		follower, err = srv.NewFollower(serve.FollowOptions{
-			Registry: reg,
+			Registry: registry,
 			Interval: *registryPoll,
 			Pin:      *genPin,
 		})
@@ -197,6 +248,55 @@ func main() {
 
 	if follower != nil {
 		go follower.Run(ctx)
+	}
+
+	// Watermark-triggered background re-fit: needs both a WAL to replay
+	// and a registry to publish into. Without -store the WAL still
+	// accrues durably and an offline `texturetopics -ingest-dir` run
+	// folds it in later.
+	switch {
+	case mgr != nil && registry != nil:
+		var base pipeline.StreamSource
+		if *refitBase != "" {
+			base = pipeline.FileSource(*refitBase)
+		}
+		ropts := pipeline.DefaultOptions()
+		ropts.Corpus.Scale = *scale
+		ropts.Model.Iterations = *iters
+		ropts.Supervise = *supervise
+		ropts.MaxRestarts = *maxRst
+		ropts.SweepTimeout = *sweepTO
+		ropts.MaxLLDrop = *maxLLDrop
+		ropts.ShardCount = *shards
+		if *shards > 1 {
+			// -shard-dir pulls double duty: the ingest watermark lives in
+			// its manifest even for single-chain re-fits, but the pipeline
+			// accepts a shard directory only for an actually sharded fit.
+			ropts.ShardDir = *shardDir
+		}
+		ropts.Metrics = metrics
+		ropts.Model.Hooks = pipeline.SweepProgress(logger, *logEvery)
+		refitter, err := ingest.NewRefitter(ingest.RefitOptions{
+			Manager:    mgr,
+			Base:       base,
+			Pipeline:   ropts,
+			Registry:   registry,
+			MinRecords: *refitRecords,
+			MaxAge:     *refitAge,
+			Interval:   *refitPoll,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			log.Fatalf("textureserver: %v", err)
+		}
+		go refitter.Run(ctx)
+		logger.Info("re-fit controller running",
+			"min_records", *refitRecords, "max_age", refitAge.String(),
+			"interval", refitPoll.String(), "base", *refitBase)
+	case mgr != nil:
+		logger.Info("ingest WAL active without -store; records accrue for an offline re-fit (texturetopics -ingest-dir)")
 	}
 
 	// SIGHUP = operator asking for a zero-downtime model reload.

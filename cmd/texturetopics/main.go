@@ -8,7 +8,7 @@
 //
 //	texturetopics [-scale 1.0] [-k 10] [-iters 300] [-seed 1]
 //	              [-collapsed] [-no-filter] [-no-emulsion]
-//	              [-stream corpus.jsonl] [-corpus-size 0]
+//	              [-stream corpus.jsonl] [-corpus-size 0] [-ingest-dir dir]
 //	              [-shards 1] [-shard-retries 2] [-straggler-timeout 0] [-shard-dir dir]
 //	              [-model-out model.json] [-bundle-out model.bundle]
 //	              [-store fs:DIR|mem:] [-publish-note text] [-promote]
@@ -27,6 +27,7 @@ import (
 
 	"context"
 
+	"repro/internal/ingest"
 	"repro/internal/lexicon"
 	"repro/internal/linkage"
 	"repro/internal/obs"
@@ -49,6 +50,7 @@ func main() {
 		noEmu     = flag.Bool("no-emulsion", false, "drop the emulsion likelihood (gel-only ablation)")
 		stream    = flag.String("stream", "", "stream this JSONL corpus file record-at-a-time instead of generating in memory")
 		corpSize  = flag.Int("corpus-size", 0, "stream exactly this many synthetic recipes through ingestion without materializing them (overrides -scale)")
+		ingestDir = flag.String("ingest-dir", "", "fold this online-ingest WAL's records into the fit, appended after the -stream/-corpus-size base")
 		shards    = flag.Int("shards", 1, "fit the corpus as this many independently supervised shards merged by sufficient statistics")
 		shardRtr  = flag.Int("shard-retries", 2, "orchestrator retries per failed shard (with -shards)")
 		stragTO   = flag.Duration("straggler-timeout", 0, "split and refit a shard attempt exceeding this duration (0 disables; with -shards)")
@@ -125,13 +127,24 @@ func main() {
 		opts.Model.Hooks = pipeline.SweepProgress(logger, *logEvery)
 	}
 
+	var base pipeline.StreamSource
+	switch {
+	case *stream != "":
+		base = pipeline.FileSource(*stream)
+	case *corpSize > 0:
+		base = pipeline.GeneratedSource(opts.Corpus, *corpSize)
+	}
+
 	var out *pipeline.Output
 	var err error
 	switch {
-	case *stream != "":
-		out, err = pipeline.RunStream(pipeline.FileSource(*stream), opts)
-	case *corpSize > 0:
-		out, err = pipeline.RunStream(pipeline.GeneratedSource(opts.Corpus, *corpSize), opts)
+	case *ingestDir != "":
+		// The batch analogue of the server's background re-fit: replay
+		// every WAL record (deduplicated by canonical hash) after the
+		// frozen base, so an offline fit covers online growth too.
+		out, err = pipeline.RunStream(ingest.CombinedSource(base, *ingestDir, 0), opts)
+	case base != nil:
+		out, err = pipeline.RunStream(base, opts)
 	default:
 		out, err = pipeline.Run(opts)
 	}

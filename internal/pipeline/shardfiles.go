@@ -90,6 +90,14 @@ type ShardManifest struct {
 	// a resumed run with Merged still false re-merges from the fitted
 	// shard files.
 	Merged bool `json:"merged"`
+	// IngestWatermark is the highest durable-ingest-log sequence number
+	// whose record is reflected in the fitted model ("appended-since-fit"
+	// watermark). It survives identity changes: each re-fit grows the
+	// corpus, so the identity never matches across fits, but the
+	// watermark must — it is what tells the refit controller how many
+	// accepted records the serving model has not yet learned from.
+	// Omitted as zero for manifests that predate online ingestion.
+	IngestWatermark uint64 `json:"ingest_watermark,omitempty"`
 }
 
 // Validate checks the manifest's internal consistency: shards sorted
@@ -98,6 +106,12 @@ type ShardManifest struct {
 // rejected on load so a resumed orchestrator never trusts them.
 func (m *ShardManifest) Validate() error {
 	if len(m.Shards) == 0 {
+		// A watermark-only manifest — zero identity, no shard rows — is
+		// how an unsharded deployment persists its ingest watermark; a
+		// zero-everything manifest is still corruption.
+		if m.IngestWatermark > 0 && m.Identity == (ShardIdentity{}) {
+			return nil
+		}
 		return fmt.Errorf("pipeline: shard manifest has no shards: %w", ErrCorrupt)
 	}
 	if !sort.SliceIsSorted(m.Shards, func(i, j int) bool { return m.Shards[i].Lo < m.Shards[j].Lo }) {
@@ -211,6 +225,39 @@ func WriteShardStatsFile(dir, name string, st *core.ShardStats) (string, error) 
 		return "", err
 	}
 	return payloadDigestHex(body.Bytes()), nil
+}
+
+// LoadIngestWatermark reads the appended-since-fit watermark from
+// dir/manifest.shards. A missing or damaged manifest reads as zero —
+// the conservative answer: every ingest-log record counts as unseen,
+// and the next re-fit rewrites a clean manifest. Never an error,
+// because the watermark is advisory (it sizes the refit trigger);
+// correctness comes from the ingest log itself.
+func LoadIngestWatermark(dir string) uint64 {
+	m, err := LoadShardManifest(dir)
+	if err != nil {
+		return 0
+	}
+	return m.IngestWatermark
+}
+
+// SaveIngestWatermark durably records seq as the appended-since-fit
+// watermark in dir/manifest.shards, preserving whatever shard state
+// the manifest already holds (read-modify-write under the atomic
+// replace). A missing or unreadable manifest gets a fresh
+// watermark-only one. Regressions are refused: the watermark is
+// monotone, and a re-fit that raced an older save must not roll it
+// backwards and re-trigger itself.
+func SaveIngestWatermark(dir string, seq uint64) error {
+	m, err := LoadShardManifest(dir)
+	if err != nil {
+		m = &ShardManifest{}
+	}
+	if seq <= m.IngestWatermark {
+		return nil
+	}
+	m.IngestWatermark = seq
+	return SaveShardManifest(dir, m)
 }
 
 // payloadDigestHex is the container's payload digest, recomputed for

@@ -1,0 +1,58 @@
+// Canonical content addressing for resolved recipes, shared by the
+// request-level annotation cache (internal/serve) and the durable
+// ingest log (internal/ingest): both need textual variants of one
+// recipe to collapse to one key, and they must agree on what "one
+// recipe" means or a cached annotation and a deduplicated WAL record
+// would disagree about identity.
+package recipe
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"math"
+	"sort"
+)
+
+// CanonicalHash content-addresses a resolved recipe. It hashes the
+// canonical form the fold-in consumes — resolved gram weights rather
+// than the posted amount strings — so textual variants of one recipe
+// ("400ml" vs "0.4l" of water) collapse to one key. Ingredients are
+// hashed in sorted order because every downstream feature (gel and
+// emulsion concentrations, total weight) is order-insensitive; Steps
+// and Truth are excluded because no part of the annotation card
+// depends on them. The caller must have run Resolve first.
+func CanonicalHash(r *Recipe) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		io.WriteString(h, s)
+	}
+	writeStr(r.ID)
+	writeStr(r.Title)
+	writeStr(r.Description)
+	type ing struct {
+		name  string
+		grams uint64
+	}
+	ings := make([]ing, len(r.Ingredients))
+	for i := range r.Ingredients {
+		ings[i] = ing{r.Ingredients[i].Name, math.Float64bits(r.Ingredients[i].Grams)}
+	}
+	sort.Slice(ings, func(i, j int) bool {
+		if ings[i].name != ings[j].name {
+			return ings[i].name < ings[j].name
+		}
+		return ings[i].grams < ings[j].grams
+	})
+	for _, in := range ings {
+		writeStr(in.name)
+		binary.LittleEndian.PutUint64(buf[:], in.grams)
+		h.Write(buf[:])
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}

@@ -4,11 +4,7 @@ import (
 	"bytes"
 	"container/list"
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/json"
-	"io"
-	"math"
-	"sort"
 	"sync"
 
 	"repro/internal/annotate"
@@ -27,47 +23,13 @@ type cacheKey struct {
 	hash [sha256.Size]byte
 }
 
-// hashRecipe content-addresses a resolved recipe. It hashes the same
-// canonical form the fold-in consumes — resolved gram weights rather
-// than the posted amount strings — so textual variants of one recipe
-// ("400ml" vs "0.4l" of water) collapse to one key. Ingredients are
-// hashed in sorted order because every downstream feature (gel and
-// emulsion concentrations, total weight) is order-insensitive; Steps
-// and Truth are excluded because no part of the card depends on them.
-// The caller must have run Resolve first.
+// hashRecipe content-addresses a resolved recipe via the shared
+// canonical hash (recipe.CanonicalHash) — the same key the durable
+// ingest WAL dedups on, so "already annotatable" and "already
+// ingested" agree about recipe identity. The caller must have run
+// Resolve first.
 func hashRecipe(r *recipe.Recipe) [sha256.Size]byte {
-	h := sha256.New()
-	var buf [8]byte
-	writeStr := func(s string) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
-		h.Write(buf[:])
-		io.WriteString(h, s)
-	}
-	writeStr(r.ID)
-	writeStr(r.Title)
-	writeStr(r.Description)
-	type ing struct {
-		name  string
-		grams uint64
-	}
-	ings := make([]ing, len(r.Ingredients))
-	for i := range r.Ingredients {
-		ings[i] = ing{r.Ingredients[i].Name, math.Float64bits(r.Ingredients[i].Grams)}
-	}
-	sort.Slice(ings, func(i, j int) bool {
-		if ings[i].name != ings[j].name {
-			return ings[i].name < ings[j].name
-		}
-		return ings[i].grams < ings[j].grams
-	})
-	for _, in := range ings {
-		writeStr(in.name)
-		binary.LittleEndian.PutUint64(buf[:], in.grams)
-		h.Write(buf[:])
-	}
-	var out [sha256.Size]byte
-	h.Sum(out[:0])
-	return out
+	return recipe.CanonicalHash(r)
 }
 
 // flight is one in-progress fold-in that concurrent identical

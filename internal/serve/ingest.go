@@ -1,0 +1,241 @@
+// POST /ingest and /ingest/batch: online corpus growth at the edge.
+// The durability contract is the WAL's — a 2xx means the recipe's
+// bytes are fsynced and will survive kill -9 — and the freshness
+// contract is the cache's: an accepted recipe is opportunistically
+// folded into the live model right away, so the poster can annotate
+// it before any re-fit runs.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/annotate"
+	"repro/internal/recipe"
+)
+
+// IngestAck is the wire form of one accepted ingest, shared with the
+// client SDK. A new recipe answers 202 Accepted; a canonical-hash
+// duplicate answers 200 with the original sequence and Duplicate set.
+type IngestAck struct {
+	// Seq is the recipe's durable WAL sequence number.
+	Seq uint64 `json:"seq"`
+	// Duplicate reports the recipe was already in the log.
+	Duplicate bool `json:"duplicate,omitempty"`
+	// RecordsSinceFit is how many accepted records await the next
+	// re-fit, this one included.
+	RecordsSinceFit uint64 `json:"records_since_fit"`
+}
+
+// IngestBatchItem is one recipe's ingest outcome, index-aligned with
+// the request. Status carries the HTTP status the item would have
+// received as a single request (202, 200, or an error status).
+type IngestBatchItem struct {
+	Index     int    `json:"index"`
+	Seq       uint64 `json:"seq,omitempty"`
+	Duplicate bool   `json:"duplicate,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Status    int    `json:"status"`
+}
+
+// IngestBatchResponse is the wire form of a batch ingest result.
+type IngestBatchResponse struct {
+	Results    []IngestBatchItem `json:"results"`
+	Accepted   int               `json:"accepted"`
+	Duplicates int               `json:"duplicates"`
+	Failed     int               `json:"failed"`
+}
+
+// handleIngest accepts one recipe into the WAL. Unlike the annotate
+// routes it does not require a fitted model — the log is the product
+// here, and a server still fitting its first model must not drop
+// submissions — but a draining server refuses new durability promises
+// the same way it refuses new fold-ins.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.unavailable(w, "draining")
+		return
+	}
+	var rec recipe.Recipe
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		writeRecipeDecodeError(w, err)
+		return
+	}
+	ack, status, err := s.ingestOne(&rec)
+	if err != nil {
+		s.writeIngestError(w, r, err)
+		return
+	}
+	go s.warmFoldIn(&rec)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(ack); err != nil {
+		s.logf("serve: /ingest: response encode: %v", err)
+	}
+}
+
+// handleIngestBatch appends a batch. Items fail individually; the
+// response status is 202 when anything new was accepted, 200 when the
+// batch was all duplicates and errors.
+func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.unavailable(w, "draining")
+		return
+	}
+	var req batchRequest
+	limit := s.opts.MaxBody * int64(s.opts.MaxBatch)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("batch body over %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "bad batch JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Recipes) == 0 {
+		http.Error(w, "batch has no recipes", http.StatusBadRequest)
+		return
+	}
+	if len(req.Recipes) > s.opts.MaxBatch {
+		http.Error(w, fmt.Sprintf("batch of %d recipes over the %d limit", len(req.Recipes), s.opts.MaxBatch),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	resp := IngestBatchResponse{Results: make([]IngestBatchItem, len(req.Recipes))}
+	var warm []*recipe.Recipe
+	for i, rec := range req.Recipes {
+		if rec == nil {
+			resp.Results[i] = IngestBatchItem{Index: i, Error: "null recipe", Status: http.StatusBadRequest}
+			resp.Failed++
+			continue
+		}
+		ack, status, err := s.ingestOne(rec)
+		if err != nil {
+			resp.Results[i] = s.ingestFailure(i, err)
+			resp.Failed++
+			continue
+		}
+		resp.Results[i] = IngestBatchItem{Index: i, Seq: ack.Seq, Duplicate: ack.Duplicate, Status: status}
+		if ack.Duplicate {
+			resp.Duplicates++
+		} else {
+			resp.Accepted++
+			warm = append(warm, rec)
+		}
+	}
+	if len(warm) > 0 {
+		// One background warmer for the whole batch: each recipe takes a
+		// spare pool slot if there is one and is skipped otherwise —
+		// freshness is opportunistic, durability is already settled.
+		go func() {
+			for _, rec := range warm {
+				s.warmFoldIn(rec)
+			}
+		}()
+	}
+	status := http.StatusOK
+	if resp.Accepted > 0 {
+		status = http.StatusAccepted
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(resp); err != nil {
+		s.logf("serve: /ingest/batch: response encode: %v", err)
+	}
+}
+
+// ingestOne resolves and durably appends one recipe, returning the ack
+// and the HTTP status it earns (202 new, 200 duplicate). The Append
+// only returns after fsync — the ack IS the durability promise.
+func (s *Server) ingestOne(rec *recipe.Recipe) (IngestAck, int, error) {
+	if err := rec.Resolve(); err != nil {
+		return IngestAck{}, 0, fmt.Errorf("ingest: %w: %w", annotate.ErrRecipe, err)
+	}
+	ack, err := s.opts.Ingest.Append(rec)
+	if err != nil {
+		return IngestAck{}, 0, err
+	}
+	status := http.StatusAccepted
+	if ack.Duplicate {
+		status = http.StatusOK
+	}
+	return IngestAck{
+		Seq:             ack.Seq,
+		Duplicate:       ack.Duplicate,
+		RecordsSinceFit: s.opts.Ingest.RecordsSinceFit(),
+	}, status, nil
+}
+
+// writeIngestError maps an ingest failure: recipe faults are the
+// client's (422), anything else means the log could not be written —
+// a 500 the operator must see, because acks stopped being possible.
+func (s *Server) writeIngestError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, annotate.ErrRecipe) {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.logf("serve: %s %s: wal append: %v", r.Method, r.URL.Path, err)
+	http.Error(w, "ingest log write failed", http.StatusInternalServerError)
+}
+
+// ingestFailure is writeIngestError for one batch index.
+func (s *Server) ingestFailure(i int, err error) IngestBatchItem {
+	if errors.Is(err, annotate.ErrRecipe) {
+		return IngestBatchItem{Index: i, Error: err.Error(), Status: http.StatusUnprocessableEntity}
+	}
+	s.logf("serve: /ingest/batch item %d: wal append: %v", i, err)
+	return IngestBatchItem{Index: i, Error: "ingest log write failed", Status: http.StatusInternalServerError}
+}
+
+// warmFoldIn makes a freshly ingested recipe immediately annotatable:
+// fold it in on a spare annotator and seed the request cache, so the
+// poster's next /annotate is a cache hit instead of a cold fold-in.
+// Strictly opportunistic — no model, no cache, or no free pool slot
+// means it silently skips; durability was already acknowledged and the
+// recipe reaches the model at the next re-fit regardless.
+func (s *Server) warmFoldIn(rec *recipe.Recipe) {
+	if s.cache == nil || !s.Ready() {
+		return
+	}
+	if !s.gate.TryAcquire() {
+		return
+	}
+	defer s.gate.Release()
+	defer func() {
+		if v := recover(); v != nil {
+			s.mPanics.Inc()
+			s.logf("serve: ingest warm fold-in: panic: %v", v)
+		}
+	}()
+	ctx := context.Background()
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+	s.mu.RLock()
+	pool := s.pool
+	s.mu.RUnlock()
+	gen := s.generation.Load()
+	ann := <-pool
+	defer func() { pool <- ann }()
+	card, err := ann.Annotate(ctx, rec)
+	if err != nil {
+		return // best effort; the WAL already has the recipe
+	}
+	wire := card.Wire()
+	s.cache.put(cacheKey{gen: gen, hash: hashRecipe(rec)}, &wire)
+}

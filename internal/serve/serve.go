@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/annotate"
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/linkage"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -85,6 +86,12 @@ type Options struct {
 	Injector resilience.Injector
 	// Logf sinks one-line diagnostics; log.Printf when nil.
 	Logf func(format string, args ...any)
+
+	// Ingest, when non-nil, mounts POST /ingest and POST /ingest/batch:
+	// accepted recipes are durably appended to the manager's WAL before
+	// the request is acknowledged, then opportunistically folded into
+	// the live model (cache warm) so they are immediately annotatable.
+	Ingest *ingest.Manager
 
 	// Reload, when non-nil, produces a fresh pipeline output for
 	// POST /admin/reload and Server.Reload — typically by re-reading a
@@ -397,6 +404,9 @@ type Stats struct {
 	// Cache is the request-level annotation cache state; nil when the
 	// cache is disabled.
 	Cache *CacheStats `json:"cache,omitempty"`
+	// Ingest is the online-ingestion state (WAL size, watermark,
+	// records since fit, refit state); nil when ingestion is off.
+	Ingest *ingest.Status `json:"ingest,omitempty"`
 }
 
 // CacheStats is the point-in-time state of the annotation cache on
@@ -436,6 +446,10 @@ func (s *Server) Stats() Stats {
 		st.Registry = &rs
 		st.RegistryDegraded = rs.Degraded
 	}
+	if m := s.opts.Ingest; m != nil {
+		is := m.Status()
+		st.Ingest = &is
+	}
 	if c := s.cache; c != nil {
 		st.Cache = &CacheStats{
 			Capacity:  c.capacity,
@@ -455,6 +469,8 @@ func (s *Server) Stats() Stats {
 //
 //	POST /annotate        body: one recipe JSON object → texture card JSON
 //	POST /annotate/batch  body: {"recipes": [...]} → index-aligned results
+//	POST /ingest          body: one recipe JSON object → durable WAL ack
+//	POST /ingest/batch    body: {"recipes": [...]} → index-aligned acks
 //	GET  /topics     the fitted topics with gel doses and top terms
 //	GET  /healthz    liveness: the process is up
 //	GET  /readyz     readiness: the model is fitted and not draining
@@ -474,6 +490,10 @@ func (s *Server) Handler() http.Handler {
 	route("POST /annotate", "/annotate", s.handleAnnotate)
 	route("POST /annotate/batch", "/annotate/batch", s.handleAnnotateBatch)
 	route("GET /topics", "/topics", s.handleTopics)
+	if s.opts.Ingest != nil {
+		route("POST /ingest", "/ingest", s.handleIngest)
+		route("POST /ingest/batch", "/ingest/batch", s.handleIngestBatch)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")

@@ -198,6 +198,15 @@ func (r *run) initManifest(ranges [][2]int) error {
 		return nil
 	}
 	prev, err := pipeline.LoadShardManifest(r.dir)
+	if err == nil {
+		// The ingest watermark outlives any single fit: a grown corpus
+		// changes the identity (NumDocs at minimum) and discards the
+		// shard rows, but the record of which ingest-log sequences the
+		// last promoted model absorbed must carry forward or every
+		// re-fit would reset the appended-since-fit counter to the whole
+		// log.
+		fresh.IngestWatermark = prev.IngestWatermark
+	}
 	switch {
 	case err == nil && prev.Identity == fresh.Identity:
 		r.man = prev

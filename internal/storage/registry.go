@@ -254,10 +254,16 @@ func (r *Registry) Promote(ctx context.Context, id int64) error {
 	if _, err := r.store.Stat(ctx, BundleKey(g.Digest)); err != nil {
 		return fmt.Errorf("storage: promote generation %d: bundle blob: %w", id, err)
 	}
-	if m.Promoted != id {
-		m.Previous = m.Promoted
-		m.Promoted = id
+	if m.Promoted == id {
+		// Re-promotion is a no-op, and deliberately skips the manifest
+		// write: a refit controller replaying its promote step after a
+		// crash must converge without churning the manifest blob (every
+		// write is a window a concurrent reader could see torn on a
+		// non-atomic store).
+		return nil
 	}
+	m.Previous = m.Promoted
+	m.Promoted = id
 	return r.saveManifest(ctx, m)
 }
 
