@@ -123,6 +123,12 @@ func main() {
 	if *refitBase != "" && *ingestDir == "" {
 		log.Fatal("textureserver: -refit-base requires -ingest-dir")
 	}
+	if *refitRecords == 0 {
+		// NewRefitter treats 0 as "use the default"; an operator typing 0
+		// almost certainly wanted per-record refits and must hear that
+		// they cannot have them, not silently get 1000.
+		log.Fatal("textureserver: -refit-records must be at least 1 (use -refit-age to trigger by age instead)")
+	}
 
 	// One registry shared by the server, the fitting pipeline, and the
 	// ingest manager, so /metrics is a single page.

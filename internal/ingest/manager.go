@@ -108,7 +108,15 @@ func OpenManager(opts ManagerOptions) (*Manager, error) {
 	// staleness arithmetic (the manager's) must agree under test clocks.
 	w.now = m.clock
 	if opts.ShardDir != "" {
-		m.watermark.Store(pipeline.LoadIngestWatermark(opts.ShardDir))
+		// Both halves of the persisted state matter: the watermark sizes
+		// the refit trigger, and the last-fit time floors the staleness
+		// clock — without it, a restart with any pending record would
+		// measure staleness from the oldest record in the whole WAL
+		// (already fitted, possibly days old) and fire the age trigger
+		// spuriously.
+		seq, fitUnix := pipeline.LoadIngestState(opts.ShardDir)
+		m.watermark.Store(seq)
+		m.lastFitUnix.Store(fitUnix)
 	}
 	if reg := opts.Metrics; reg != nil {
 		// The streaming fit pass owns the unlabeled ingest_records_total
@@ -219,29 +227,38 @@ func (m *Manager) failRefit(err error) {
 	m.mu.Unlock()
 }
 
-// CommitFit durably advances the watermark to seq and records the
-// promoted generation. The watermark write is the LAST step of a
-// re-fit — a crash before it re-runs an idempotent fit+publish+promote
-// chain, never loses records.
+// CommitFit advances the watermark to seq and records the promoted
+// generation, persisting both when a shard directory is configured.
+// The watermark write is the LAST step of a re-fit — a crash before it
+// re-runs an idempotent fit+publish+promote chain, never loses
+// records. A failed persist does not undo the commit: the promotion
+// already happened, so the in-memory watermark, counters, and status
+// all advance regardless (only the refit error notes the lag), and the
+// save error is returned for the caller to log. The next successful
+// save heals the on-disk copy.
 func (m *Manager) CommitFit(seq uint64, generation int64) error {
+	now := m.clock().Unix()
+	var saveErr error
 	if m.shardDir != "" {
-		if err := pipeline.SaveIngestWatermark(m.shardDir, seq); err != nil {
-			return err
-		}
+		saveErr = pipeline.SaveIngestWatermark(m.shardDir, seq, now)
 	}
 	if wm := m.watermark.Load(); seq > wm {
 		m.watermark.Store(seq)
 	}
 	m.lastPromoted.Store(generation)
-	m.lastFitUnix.Store(m.clock().Unix())
+	m.lastFitUnix.Store(now)
 	if m.refitOK != nil {
 		m.refitOK.Inc()
 	}
 	m.mu.Lock()
 	m.refitState = RefitIdle
-	m.refitErr = ""
+	if saveErr != nil {
+		m.refitErr = fmt.Sprintf("promotion of generation %d succeeded but the watermark save lagged: %v", generation, saveErr)
+	} else {
+		m.refitErr = ""
+	}
 	m.mu.Unlock()
-	return nil
+	return saveErr
 }
 
 // Status snapshots the ingest block for /statusz.

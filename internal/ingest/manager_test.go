@@ -3,6 +3,8 @@ package ingest
 import (
 	"bytes"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -156,5 +158,83 @@ func TestManagerMetricsExposition(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestManagerCommitFitPersistFailure: the promotion already happened
+// when CommitFit runs, so a failed watermark save must not leave
+// /statusz stuck at "running" or hide the success — the in-memory
+// watermark, promotion bookkeeping, and idle state all advance, the
+// error reaches the caller, and the lag is surfaced as the refit
+// error.
+func TestManagerCommitFitPersistFailure(t *testing.T) {
+	badShardDir := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(badShardDir, []byte("occupied"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenManager(ManagerOptions{Dir: t.TempDir(), ShardDir: badShardDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Append(testRecipe(t, "pf-1")); err != nil {
+		t.Fatal(err)
+	}
+	m.beginRefit()
+	if err := m.CommitFit(1, 9); err == nil {
+		t.Fatal("CommitFit with an unwritable shard dir reported success")
+	}
+	st := m.Status()
+	if st.RefitState != RefitIdle {
+		t.Fatalf("refit state after failed save = %q, want idle", st.RefitState)
+	}
+	if !strings.Contains(st.RefitError, "watermark save") {
+		t.Fatalf("refit error %q does not surface the save failure", st.RefitError)
+	}
+	if st.Watermark != 1 || st.LastPromoted != 9 || st.RecordsSinceFit != 0 {
+		t.Fatalf("in-memory commit did not advance: %+v", st)
+	}
+}
+
+// TestManagerStalenessSurvivesRestart: the last-fit time is persisted
+// with the watermark, so a restarted manager measures staleness from
+// the last promotion, not from the oldest (already fitted) record in
+// the WAL — otherwise one pending record after a restart would trip
+// the -refit-age trigger immediately and spuriously.
+func TestManagerStalenessSurvivesRestart(t *testing.T) {
+	walDir, shardDir := t.TempDir(), t.TempDir()
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	m, err := OpenManager(ManagerOptions{Dir: walDir, ShardDir: shardDir, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Append(testRecipe(t, "old")); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Hour)
+	if err := m.CommitFit(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Append(testRecipe(t, "fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	now = now.Add(30 * time.Second)
+	m2, err := OpenManager(ManagerOptions{Dir: walDir, ShardDir: shardDir, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got := m2.RecordsSinceFit(); got != 1 {
+		t.Fatalf("RecordsSinceFit after restart = %d, want 1", got)
+	}
+	// The oldest WAL record is 2h old but already fitted; only the
+	// post-fit record is pending, and it is ~30s old.
+	if s := m2.staleness().Seconds(); s < 29 || s > 31 {
+		t.Fatalf("staleness after restart = %vs, want ~30s", s)
 	}
 }

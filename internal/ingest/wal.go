@@ -77,6 +77,12 @@ var (
 	ErrCorrupt = pipeline.ErrCorrupt
 	// ErrVersion marks a segment or record written by a newer build.
 	ErrVersion = pipeline.ErrVersion
+	// ErrTooLarge rejects an append whose encoded record would exceed
+	// maxWALRecordLen. Refusing at append time is load-bearing: readFrame
+	// treats an over-limit length as corruption, so a larger record, once
+	// fsynced and acked, would be unreadable on recovery — an acked write
+	// the log could never honor. The caller's fault, never the log's.
+	ErrTooLarge = errors.New("ingest: recipe exceeds the WAL record limit")
 )
 
 // walSegmentHeader is the JSON between a segment's magic and its
@@ -516,6 +522,10 @@ func (w *WAL) Append(rec *recipe.Recipe) (Ack, error) {
 		w.mu.Unlock()
 		return Ack{}, fmt.Errorf("ingest: encoding wal record: %w", err)
 	}
+	if len(payload) > maxWALRecordLen {
+		w.mu.Unlock()
+		return Ack{}, fmt.Errorf("%w: record is %d bytes, limit %d", ErrTooLarge, len(payload), maxWALRecordLen)
+	}
 	frame := make([]byte, 0, 4+len(payload)+sha256.Size)
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
@@ -523,10 +533,14 @@ func (w *WAL) Append(rec *recipe.Recipe) (Ack, error) {
 	frame = append(frame, payload...)
 	sum := sha256.Sum256(payload)
 	frame = append(frame, sum[:]...)
-	if _, err := w.seg.Write(frame); err != nil {
-		// A torn in-place write is exactly what recovery truncates; do
-		// not advance any state, so the log converges on the pre-write
-		// prefix.
+	// WriteAt at the tracked offset, never Write at the file cursor: a
+	// partial write (ENOSPC mid-frame) leaves garbage past segOff, but
+	// because no state advances, the next append re-targets the same
+	// offset and overwrites it — a failed write can never shift where
+	// later acknowledged frames land. Any garbage left beyond the final
+	// good frame is dropped by rotation/Close truncation or, after a
+	// crash, by torn-tail recovery.
+	if _, err := w.seg.WriteAt(frame, w.segOff); err != nil {
 		w.mu.Unlock()
 		return Ack{}, fmt.Errorf("ingest: appending wal record: %w", err)
 	}
@@ -573,10 +587,16 @@ func (w *WAL) ack(target int64) error {
 }
 
 // rotateLocked seals the current segment and opens the next. Called
-// with mu held. The old segment is fsynced before the new one exists,
-// so a crash mid-rotation leaves the sealed segment complete and at
-// worst a headerless new file — which recovery recreates.
+// with mu held. The old segment is truncated to its last acknowledged
+// frame (dropping garbage a failed WriteAt may have left past segOff —
+// a sealed segment must scan clean end to end, it gets no torn-tail
+// tolerance) and fsynced before the new one exists, so a crash
+// mid-rotation leaves the sealed segment complete and at worst a
+// headerless new file — which recovery recreates.
 func (w *WAL) rotateLocked() error {
+	if err := w.seg.Truncate(w.segOff); err != nil {
+		return fmt.Errorf("ingest: trimming wal segment before rotation: %w", err)
+	}
 	if err := w.seg.Sync(); err != nil {
 		return fmt.Errorf("ingest: syncing wal segment before rotation: %w", err)
 	}
@@ -623,15 +643,18 @@ func (w *WAL) Stats() Stats {
 	}
 }
 
-// Close fsyncs and closes the current segment. Appends after Close
-// fail.
+// Close trims the current segment to its last acknowledged frame,
+// fsyncs, and closes it. Appends after Close fail.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.seg == nil {
 		return nil
 	}
-	err := w.seg.Sync()
+	err := w.seg.Truncate(w.segOff)
+	if serr := w.seg.Sync(); err == nil {
+		err = serr
+	}
 	if cerr := w.seg.Close(); err == nil {
 		err = cerr
 	}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/recipe"
@@ -579,4 +580,86 @@ func FuzzWALRecord(f *testing.F) {
 			t.Fatalf("second recovery failed: %v", err)
 		}
 	})
+}
+
+// TestWALAppendRejectsOversizeRecord: a recipe whose encoded record
+// would exceed maxWALRecordLen is refused with ErrTooLarge BEFORE any
+// bytes land — readFrame treats an over-limit length as corruption, so
+// acking such a record would promise durability recovery cannot honor.
+// The log stays fully usable afterwards.
+func TestWALAppendRejectsOversizeRecord(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := testRecipe(t, "huge")
+	huge.Description = strings.Repeat("a", maxWALRecordLen+1)
+	if _, err := w.Append(huge); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize append err = %v, want ErrTooLarge", err)
+	}
+	if st := w.Stats(); st.Records != 0 || st.LastSeq != 0 {
+		t.Fatalf("oversize append mutated the log: %+v", st)
+	}
+	appendN(t, w, "after-oversize", 2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery after rejected oversize append: %v", err)
+	}
+	defer w2.Close()
+	if st := w2.Stats(); st.Records != 2 || st.LastSeq != 2 {
+		t.Fatalf("recovered stats = %+v, want 2 records", st)
+	}
+}
+
+// TestWALFailedWriteGarbageOverwritten: a failed in-place write (e.g.
+// ENOSPC mid-frame) leaves garbage bytes past the last acknowledged
+// frame. Because Append targets the tracked offset with WriteAt, the
+// next acknowledged frame overwrites the garbage head, and rotation
+// truncates whatever remains — so a sealed segment scans clean end to
+// end and no acknowledged record is ever stranded behind garbage.
+func TestWALFailedWriteGarbageOverwritten(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentBytes 1: every append crosses the threshold, so the segment
+	// carrying the garbage tail is sealed (rotation) right after the
+	// overwriting append — the strictest recovery posture, since sealed
+	// segments get no torn-tail tolerance.
+	w, err := Open(dir, Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, "pre-garbage", 1) // lands in seg 1, rotates to seg 2
+	active := filepath.Join(dir, segName(w.segNum))
+	f, err := os.OpenFile(active, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Garbage longer than any frame we will append, emulating a torn
+	// write whose error meant no WAL state advanced.
+	if _, err := f.Write(bytes.Repeat([]byte{0xAA}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, "post-garbage", 2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatalf("recovery with garbage-tail segment: %v", err)
+	}
+	defer w2.Close()
+	if st := w2.Stats(); st.Records != 3 || st.LastSeq != 3 {
+		t.Fatalf("recovered stats = %+v, want 3 records", st)
+	}
+	seqs, ids := replaySeqs(t, dir, 0)
+	if len(seqs) != 3 || ids[0] != "pre-garbage-0" || ids[1] != "post-garbage-0" || ids[2] != "post-garbage-1" {
+		t.Fatalf("replayed %v / %v", seqs, ids)
+	}
 }

@@ -98,6 +98,12 @@ type ShardManifest struct {
 	// accepted records the serving model has not yet learned from.
 	// Omitted as zero for manifests that predate online ingestion.
 	IngestWatermark uint64 `json:"ingest_watermark,omitempty"`
+	// IngestLastFitUnix is when the watermark last advanced — the wall
+	// time of the promotion that absorbed those records. Persisted so a
+	// restarted server computes model staleness from the last fit, not
+	// from the oldest record in the whole ingest log (which the fit
+	// already covered). Zero for manifests that predate it.
+	IngestLastFitUnix int64 `json:"ingest_last_fit_unix,omitempty"`
 }
 
 // Validate checks the manifest's internal consistency: shards sorted
@@ -234,21 +240,30 @@ func WriteShardStatsFile(dir, name string, st *core.ShardStats) (string, error) 
 // because the watermark is advisory (it sizes the refit trigger);
 // correctness comes from the ingest log itself.
 func LoadIngestWatermark(dir string) uint64 {
+	seq, _ := LoadIngestState(dir)
+	return seq
+}
+
+// LoadIngestState reads the appended-since-fit watermark and the wall
+// time of the fit that set it from dir/manifest.shards, with the same
+// zero-on-missing posture as LoadIngestWatermark.
+func LoadIngestState(dir string) (seq uint64, lastFitUnix int64) {
 	m, err := LoadShardManifest(dir)
 	if err != nil {
-		return 0
+		return 0, 0
 	}
-	return m.IngestWatermark
+	return m.IngestWatermark, m.IngestLastFitUnix
 }
 
 // SaveIngestWatermark durably records seq as the appended-since-fit
-// watermark in dir/manifest.shards, preserving whatever shard state
+// watermark in dir/manifest.shards, stamped with fitUnix (the wall
+// time of the promotion advancing it), preserving whatever shard state
 // the manifest already holds (read-modify-write under the atomic
 // replace). A missing or unreadable manifest gets a fresh
 // watermark-only one. Regressions are refused: the watermark is
 // monotone, and a re-fit that raced an older save must not roll it
 // backwards and re-trigger itself.
-func SaveIngestWatermark(dir string, seq uint64) error {
+func SaveIngestWatermark(dir string, seq uint64, fitUnix int64) error {
 	m, err := LoadShardManifest(dir)
 	if err != nil {
 		m = &ShardManifest{}
@@ -257,6 +272,9 @@ func SaveIngestWatermark(dir string, seq uint64) error {
 		return nil
 	}
 	m.IngestWatermark = seq
+	if fitUnix > m.IngestLastFitUnix {
+		m.IngestLastFitUnix = fitUnix
+	}
 	return SaveShardManifest(dir, m)
 }
 

@@ -14,6 +14,7 @@ import (
 	"net/http"
 
 	"repro/internal/annotate"
+	"repro/internal/ingest"
 	"repro/internal/recipe"
 )
 
@@ -180,11 +181,18 @@ func (s *Server) ingestOne(rec *recipe.Recipe) (IngestAck, int, error) {
 }
 
 // writeIngestError maps an ingest failure: recipe faults are the
-// client's (422), anything else means the log could not be written —
-// a 500 the operator must see, because acks stopped being possible.
+// client's (422), a recipe too large for a WAL record is too (413 —
+// batch items can individually exceed what a lone request's MaxBody
+// cap would have refused), anything else means the log could not be
+// written — a 500 the operator must see, because acks stopped being
+// possible.
 func (s *Server) writeIngestError(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, annotate.ErrRecipe) {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if errors.Is(err, ingest.ErrTooLarge) {
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
 		return
 	}
 	s.logf("serve: %s %s: wal append: %v", r.Method, r.URL.Path, err)
@@ -195,6 +203,9 @@ func (s *Server) writeIngestError(w http.ResponseWriter, r *http.Request, err er
 func (s *Server) ingestFailure(i int, err error) IngestBatchItem {
 	if errors.Is(err, annotate.ErrRecipe) {
 		return IngestBatchItem{Index: i, Error: err.Error(), Status: http.StatusUnprocessableEntity}
+	}
+	if errors.Is(err, ingest.ErrTooLarge) {
+		return IngestBatchItem{Index: i, Error: err.Error(), Status: http.StatusRequestEntityTooLarge}
 	}
 	s.logf("serve: /ingest/batch item %d: wal append: %v", i, err)
 	return IngestBatchItem{Index: i, Error: "ingest log write failed", Status: http.StatusInternalServerError}

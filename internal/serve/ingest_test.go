@@ -321,3 +321,47 @@ func TestIngestChaosFollowerZeroErrors(t *testing.T) {
 	}
 	t.Logf("served %d requests with zero errors across the promotion", served.Load())
 }
+
+// TestIngestBatchOversizeItem: the batch decoder admits bodies up to
+// MaxBody × MaxBatch, so one item can individually dwarf what a lone
+// /ingest request could carry — but a recipe too large for a WAL
+// record must fail as that item's 413, never be acked (the WAL could
+// not recover it) and never poison the rest of the batch.
+func TestIngestBatchOversizeItem(t *testing.T) {
+	s, mgr := ingestServer(t, quietOptions())
+	h := s.Handler()
+
+	hugeDoc, err := json.Marshal(recipe.Recipe{
+		ID:          "huge-1",
+		Title:       "ゼリー",
+		Description: strings.Repeat("a", 9<<20),
+		Ingredients: []recipe.Ingredient{
+			{Name: "ゼラチン", Amount: "5g"},
+			{Name: "水", Amount: "400ml"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"recipes":[%s,%s]}`, hugeDoc, jellyJSON)
+	rec := postIngest(h, "/ingest/batch", body)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status %d: %.200s", rec.Code, rec.Body.String())
+	}
+	var resp IngestBatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 1 || resp.Failed != 1 {
+		t.Fatalf("tallies = accepted %d failed %d", resp.Accepted, resp.Failed)
+	}
+	if r := resp.Results[0]; r.Status != http.StatusRequestEntityTooLarge || r.Seq != 0 {
+		t.Fatalf("oversize item = %+v, want 413 and no seq", r)
+	}
+	if r := resp.Results[1]; r.Status != http.StatusAccepted {
+		t.Fatalf("normal item = %+v", r)
+	}
+	if st := mgr.WAL().Stats(); st.Records != 1 {
+		t.Fatalf("wal records = %d, want only the normal recipe", st.Records)
+	}
+}

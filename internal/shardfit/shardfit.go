@@ -206,6 +206,7 @@ func (r *run) initManifest(ranges [][2]int) error {
 		// re-fit would reset the appended-since-fit counter to the whole
 		// log.
 		fresh.IngestWatermark = prev.IngestWatermark
+		fresh.IngestLastFitUnix = prev.IngestLastFitUnix
 	}
 	switch {
 	case err == nil && prev.Identity == fresh.Identity:

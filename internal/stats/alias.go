@@ -57,9 +57,13 @@ func NewAliasTable(w []float64) (*AliasTable, error) {
 	scaled := make([]float64, n)
 	small := make([]int32, 0, n)
 	large := make([]int32, 0, n)
-	scale := float64(n) / total
 	for i, x := range w {
-		scaled[i] = x * scale
+		// Divide before multiplying: x/total is in [0,1], so the scaled
+		// weight is bounded by n. The tempting n/total prefactor overflows
+		// to +Inf for subnormal totals, and 0·Inf = NaN would then sort a
+		// zero-weight column into the large list — drawable at probability
+		// 1 despite having no mass.
+		scaled[i] = x / total * float64(n)
 		if scaled[i] < 1 {
 			small = append(small, int32(i))
 		} else {

@@ -2,6 +2,7 @@ package units
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -133,7 +134,7 @@ func parseNumber(s string) (float64, error) {
 		if b < a {
 			return 0, fmt.Errorf("descending range %q", s)
 		}
-		return (a + b) / 2, nil
+		return finite((a+b)/2, s)
 	}
 	if whole, frac, ok := strings.Cut(s, "と"); ok {
 		w, err := parseNumber(whole)
@@ -144,7 +145,7 @@ func parseNumber(s string) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		return w + f, nil
+		return finite(w+f, s)
 	}
 	if num, den, ok := strings.Cut(s, "/"); ok {
 		n, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
@@ -155,11 +156,21 @@ func parseNumber(s string) (float64, error) {
 		if err != nil || d == 0 {
 			return 0, fmt.Errorf("bad fraction denominator %q", den)
 		}
-		return n / d, nil
+		return finite(n/d, s)
 	}
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return finite(v, s)
+}
+
+// finite rejects NaN and ±Inf: strconv.ParseFloat happily reads
+// spellings like "nAn" and "inf", and range/sum arithmetic on huge
+// inputs can overflow — a recipe quantity must be a real number.
+func finite(v float64, s string) (float64, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite number %q", s)
 	}
 	return v, nil
 }
